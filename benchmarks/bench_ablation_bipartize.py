@@ -1,0 +1,61 @@
+"""Ablation X-gb: bipartization algorithm quality ladder.
+
+Compares four ways to pick the conflict set on identical planarized
+phase conflict graphs: the paper's optimal Bipartize, the fairer
+odd-cycle-aware greedy, the paper-literal spanning-tree GB, and the
+historical Moniwa-style iterative heuristic.
+"""
+
+import pytest
+
+from repro.bench import build_design, design_names
+from repro.conflict import PCG, build_layout_conflict_graph
+from repro.graph import (
+    greedy_odd_cycle_bipartization,
+    greedy_planarize,
+    greedy_spanning_tree_bipartization,
+    moniwa_iterative_bipartization,
+    optimal_planar_bipartization,
+)
+
+DESIGNS = design_names("small")
+
+
+def planarized_pcg(name, tech):
+    cg, _s, _p = build_layout_conflict_graph(build_design(name), tech,
+                                             PCG)
+    greedy_planarize(cg.graph)
+    return cg.graph
+
+
+ALGORITHMS = {
+    "optimal": lambda g: optimal_planar_bipartization(g).weight,
+    "greedy-odd-cycle": lambda g: greedy_odd_cycle_bipartization(g).weight,
+    "greedy-spanning-tree":
+        lambda g: greedy_spanning_tree_bipartization(g).weight,
+    "moniwa-iterative":
+        lambda g: sum(g.edge(e).weight
+                      for e in moniwa_iterative_bipartization(g)),
+}
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+@pytest.mark.parametrize("algo", list(ALGORITHMS))
+def test_bipartization_runtime(benchmark, tech, name, algo):
+    graph = planarized_pcg(name, tech)
+    weight = benchmark.pedantic(lambda: ALGORITHMS[algo](graph),
+                                rounds=1, iterations=1)
+    assert weight >= 0
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_quality_ladder(benchmark, tech, collect_row, name):
+    graph = planarized_pcg(name, tech)
+    weights = benchmark.pedantic(
+        lambda: {algo: fn(graph) for algo, fn in ALGORITHMS.items()},
+        rounds=1, iterations=1)
+    collect_row("Ablation — bipartization cost ladder",
+                dict(design=name, **{k: v for k, v in weights.items()}))
+    assert weights["optimal"] <= weights["greedy-odd-cycle"]
+    assert weights["optimal"] <= weights["moniwa-iterative"]
+    assert weights["greedy-odd-cycle"] <= weights["greedy-spanning-tree"]

@@ -1,0 +1,81 @@
+"""Ablation X-correctors: three ways to fix the selected conflicts.
+
+Compares the paper's end-to-end spaces against the compaction-style
+constraint-graph spreading (the Ooi'93 school the paper argues against)
+and the hybrid space+mask-split planner (the Kamat'04 direction the
+paper sketches), on identical conflict sets.
+"""
+
+import pytest
+
+from repro.bench import build_design, design_names
+from repro.compaction import spread_conflicts
+from repro.conflict import detect_conflicts
+from repro.correction import plan_correction, plan_hybrid_correction
+
+DESIGNS = design_names("small")
+
+
+def conflicts_of(layout, tech):
+    return [c.key for c in detect_conflicts(layout, tech).conflicts]
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+@pytest.mark.parametrize("corrector", ["spaces", "spread", "hybrid"])
+def test_corrector_runtime(benchmark, tech, name, corrector):
+    layout = build_design(name)
+    conflicts = conflicts_of(layout, tech)
+
+    runners = {
+        "spaces": lambda: plan_correction(layout, tech, conflicts),
+        "spread": lambda: spread_conflicts(layout, tech, conflicts),
+        "hybrid": lambda: plan_hybrid_correction(layout, tech, conflicts),
+    }
+    result = benchmark.pedantic(runners[corrector], rounds=1,
+                                iterations=1)
+    assert result is not None
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_corrector_area_comparison(benchmark, tech, collect_row, name):
+    layout = build_design(name)
+    conflicts = conflicts_of(layout, tech)
+    spaces, spread, hybrid = benchmark.pedantic(
+        lambda: (plan_correction(layout, tech, conflicts),
+                 spread_conflicts(layout, tech, conflicts),
+                 plan_hybrid_correction(layout, tech, conflicts,
+                                        split_cost=60)),
+        rounds=1, iterations=1)
+    collect_row("Ablation — correctors (area % / splits)", {
+        "design": name,
+        "conflicts": len(conflicts),
+        "spaces_pct": round(spaces.area_increase_pct, 2),
+        "spread_pct": round(spread.area_increase_pct, 2),
+        "hybrid_cuts": len(hybrid.cuts),
+        "hybrid_splits": len(hybrid.splits),
+    })
+    # Targeted spreading moves less geometry, so it should never cost
+    # meaningfully more area than full-die spaces.
+    if conflicts:
+        assert (spread.area_increase_pct
+                <= spaces.area_increase_pct + 0.5)
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_all_correctors_actually_fix(benchmark, tech, name):
+    from repro.correction import correct_layout
+
+    layout = build_design(name)
+    conflicts = conflicts_of(layout, tech)
+    if not conflicts:
+        pytest.skip("design has no conflicts")
+
+    fixed_cuts, rep = benchmark.pedantic(
+        lambda: correct_layout(layout, tech, conflicts),
+        rounds=1, iterations=1)
+    if not rep.uncorrectable:
+        assert detect_conflicts(fixed_cuts, tech).phase_assignable
+
+    spread = spread_conflicts(layout, tech, conflicts)
+    if not spread.unresolved:
+        assert detect_conflicts(spread.layout, tech).phase_assignable

@@ -1,0 +1,53 @@
+"""Ablation X-cover: greedy versus exact grid-line selection.
+
+The paper uses a Berkeley covering solver; we compare our greedy cover
+against the exact branch-and-bound on suite designs small enough for
+exactness, measuring both runtime and the space-width optimality gap.
+"""
+
+import pytest
+
+from repro.bench import build_design, design_names
+from repro.conflict import detect_conflicts
+from repro.correction import plan_correction
+
+DESIGNS = design_names("small")
+
+
+def conflicts_of(layout, tech):
+    return [c.key for c in detect_conflicts(layout, tech).conflicts]
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+@pytest.mark.parametrize("cover", ["greedy", "exact"])
+def test_cover_runtime(benchmark, tech, name, cover):
+    layout = build_design(name)
+    conflicts = conflicts_of(layout, tech)
+    if cover == "exact" and len(conflicts) > 40:
+        pytest.skip("instance too large for the exact solver")
+    report = benchmark.pedantic(
+        lambda: plan_correction(layout, tech, conflicts, cover=cover),
+        rounds=1, iterations=1)
+    assert report.cover_method in (cover, "greedy")
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_greedy_gap(benchmark, tech, collect_row, name):
+    layout = build_design(name)
+    conflicts = conflicts_of(layout, tech)
+    if len(conflicts) > 40:
+        pytest.skip("instance too large for the exact solver")
+    greedy, exact = benchmark.pedantic(
+        lambda: (plan_correction(layout, tech, conflicts, cover="greedy"),
+                 plan_correction(layout, tech, conflicts, cover="exact")),
+        rounds=1, iterations=1)
+    g = sum(c.width for c in greedy.cuts)
+    e = sum(c.width for c in exact.cuts)
+    collect_row("Ablation — set cover greedy vs exact", {
+        "design": name,
+        "conflicts": len(conflicts),
+        "greedy_space_nm": g,
+        "exact_space_nm": e,
+        "gap_pct": round(100 * (g - e) / e, 1) if e else 0.0,
+    })
+    assert e <= g

@@ -1,0 +1,57 @@
+"""Ablation X-weights: edge-weight models versus correction cost.
+
+The paper weights edges by "layout impact" without publishing the
+function; this ablation quantifies how the choice shifts conflict
+counts and the end-to-end space budget the correction pays.
+"""
+
+import pytest
+
+from repro.bench import build_design, design_names
+from repro.conflict import NAMED_MODELS, detect_conflicts
+from repro.correction import plan_correction
+
+DESIGNS = design_names("small")
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+@pytest.mark.parametrize("model", sorted(NAMED_MODELS))
+def test_weight_model_detection(benchmark, tech, collect_row, name, model):
+    layout = build_design(name)
+    report = benchmark.pedantic(
+        lambda: detect_conflicts(layout, tech,
+                                 weight_model=NAMED_MODELS[model]),
+        rounds=1, iterations=1)
+    correction = plan_correction(layout, tech,
+                                 [c.key for c in report.conflicts])
+    collect_row("Ablation — weight models", {
+        "design": name,
+        "model": model,
+        "conflicts": report.num_conflicts,
+        "space_nm": sum(c.width for c in correction.cuts),
+        "area_incr_pct": round(correction.area_increase_pct, 2),
+    })
+    assert report.num_conflicts >= 0
+
+
+def test_space_model_minimizes_space(benchmark, tech, collect_row):
+    """The default 'space' model should pay no more inserted space than
+    the uniform model, aggregated over the suite (that is its job)."""
+
+    def run():
+        totals = {}
+        for model in ("uniform", "space"):
+            total = 0
+            for name in DESIGNS:
+                layout = build_design(name)
+                report = detect_conflicts(
+                    layout, tech, weight_model=NAMED_MODELS[model])
+                correction = plan_correction(
+                    layout, tech, [c.key for c in report.conflicts])
+                total += sum(c.width for c in correction.cuts)
+            totals[model] = total
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    collect_row("Ablation — total inserted space (nm)", totals)
+    assert totals["space"] <= totals["uniform"] * 1.1

@@ -1,0 +1,69 @@
+"""Cross-variant comparison: bright-field vs dark-field AAPSM.
+
+The paper's §2 positions its bright-field flow against the dark-field
+system of TCAD'99 [5]; this bench runs both variants (same optimal
+bipartization engine underneath) on identical layouts and records
+their graph sizes and conflict densities.
+"""
+
+import pytest
+
+from repro.bench import build_design, design_names
+from repro.conflict import detect_conflicts
+from repro.darkfield import (
+    build_darkfield_graph,
+    correct_darkfield_conflicts,
+    detect_darkfield_conflicts,
+)
+
+DESIGNS = design_names("small")
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+@pytest.mark.parametrize("variant", ["bright", "dark"])
+def test_variant_detection_runtime(benchmark, tech, name, variant):
+    layout = build_design(name)
+    runners = {
+        "bright": lambda: detect_conflicts(layout, tech),
+        "dark": lambda: detect_darkfield_conflicts(layout, tech),
+    }
+    report = benchmark.pedantic(runners[variant], rounds=1, iterations=1)
+    assert report is not None
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_variant_comparison(benchmark, tech, collect_row, name):
+    layout = build_design(name)
+
+    def run():
+        bright = detect_conflicts(layout, tech)
+        dark = detect_darkfield_conflicts(layout, tech)
+        df = build_darkfield_graph(layout, tech)
+        return bright, dark, df
+
+    bright, dark, df = benchmark.pedantic(run, rounds=1, iterations=1)
+    collect_row("Bright-field vs dark-field", {
+        "design": name,
+        "bf_nodes": bright.graph_nodes,
+        "bf_edges": bright.graph_edges,
+        "bf_conflicts": bright.num_conflicts,
+        "df_nodes": df.graph.num_nodes(),
+        "df_edges": df.graph.num_edges(),
+        "df_conflicts": len(dark.conflicts),
+    })
+    # The bright-field graph carries shifter + overlap nodes, so it is
+    # structurally larger than the feature-level dark-field graph.
+    assert bright.graph_nodes >= df.graph.num_nodes()
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_darkfield_correction_closes_loop(benchmark, tech, name):
+    layout = build_design(name)
+    report = detect_darkfield_conflicts(layout, tech)
+    fixed, correction = benchmark.pedantic(
+        lambda: correct_darkfield_conflicts(layout, tech,
+                                            report.conflicts),
+        rounds=1, iterations=1)
+    if correction.uncorrectable:
+        pytest.skip("spacing-uncorrectable dark-field pair")
+    assert detect_darkfield_conflicts(fixed, tech).phase_assignable

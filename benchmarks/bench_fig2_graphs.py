@@ -1,0 +1,50 @@
+"""Figure 2: phase conflict graph versus feature graph.
+
+Quantifies the paper's figure: the PCG has fewer nodes, fewer edges and
+(in aggregate) far fewer straight-line crossings than the feature
+graph, which is why its planar-embedding step loses less optimality.
+"""
+
+import pytest
+
+from repro.bench import build_design, design_names, figure2_row
+from repro.conflict import FG, PCG, build_layout_conflict_graph
+
+DESIGNS = design_names("medium")
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_figure2_geometry(benchmark, collect_row, tech, name):
+    row = benchmark.pedantic(
+        lambda: figure2_row(build_design(name), tech),
+        rounds=1, iterations=1)
+    collect_row("Figure 2 — PCG vs FG geometry", row)
+    assert row["pcg_nodes"] <= row["fg_nodes"]
+    assert row["pcg_edges"] <= row["fg_edges"]
+
+
+def test_figure2_crossings_aggregate(benchmark, tech, collect_row):
+    def run():
+        total = {"pcg": 0, "fg": 0}
+        for name in DESIGNS:
+            row = figure2_row(build_design(name), tech)
+            total["pcg"] += row["pcg_crossings"]
+            total["fg"] += row["fg_crossings"]
+        return total
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    collect_row("Figure 2 — crossing totals", {
+        "pcg_crossings": total["pcg"], "fg_crossings": total["fg"]})
+    assert total["pcg"] < total["fg"]
+
+
+@pytest.mark.parametrize("kind", [PCG, FG])
+def test_graph_construction_speed(benchmark, tech, kind):
+    layout = build_design("D4")
+
+    def build():
+        cg, _s, _p = build_layout_conflict_graph(layout, tech, kind)
+        return cg
+
+    cg = benchmark(build)
+    assert cg.graph.num_nodes() > 0

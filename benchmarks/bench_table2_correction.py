@@ -1,0 +1,69 @@
+"""Table 2: layout modification results.
+
+Regenerates area / #conflicts / #grid-lines / max-per-line / %area for
+the suite, and checks the paper's quantitative envelope: area increases
+of 0.7-11.8% (avg ~4%) on their designs — ours must land in (0, 15%)
+with a single-digit average, and a single end-to-end space must fix
+multiple conflicts somewhere in the suite (the Figure 5 observation).
+"""
+
+import pytest
+
+from repro.bench import build_design, design_names, table2_row
+from repro.conflict import detect_conflicts
+from repro.core import run_aapsm_flow
+
+DESIGNS = design_names("medium")
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+def test_table2_row(benchmark, tech, collect_row, name):
+    layout = build_design(name)
+
+    row = benchmark.pedantic(lambda: table2_row(layout, tech),
+                             rounds=1, iterations=1)
+    collect_row("Table 2 — layout modification", row)
+
+    if row["conflicts"]:
+        assert 0.0 < row["area_incr_pct"] < 15.0
+        assert row["grid"] <= row["conflicts"]
+        assert row["max"] >= 1
+
+
+def test_table2_average_in_paper_band(benchmark, tech, collect_row):
+    rows = benchmark.pedantic(
+        lambda: [table2_row(build_design(name), tech)
+                 for name in DESIGNS],
+        rounds=1, iterations=1)
+    increases = [r["area_incr_pct"] for r in rows if r["conflicts"]]
+    average = sum(increases) / len(increases)
+    collect_row("Table 2 — summary", {
+        "designs": len(increases),
+        "avg_area_incr_pct": round(average, 2),
+        "min": min(increases),
+        "max": max(increases),
+    })
+    # Paper: range 0.7-11.8%, average ~4%.
+    assert 0.0 < average < 10.0
+
+
+def test_single_line_fixes_many(benchmark, tech):
+    """Figure 5 / Table 2 'Max' column: 'a considerable fraction of the
+    AAPSM conflicts can be corrected by adding a single end-to-end
+    space'."""
+
+    def run():
+        return max(table2_row(build_design(name), tech)["max"]
+                   for name in DESIGNS)
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1) >= 3
+
+
+@pytest.mark.parametrize("name", design_names("small"))
+def test_full_flow_end_to_end(benchmark, tech, name):
+    """Time the complete detect-correct-verify-assign flow."""
+    layout = build_design(name)
+    result = benchmark.pedantic(lambda: run_aapsm_flow(layout, tech),
+                                rounds=1, iterations=1)
+    if not result.correction.uncorrectable:
+        assert result.success

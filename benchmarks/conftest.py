@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures.
+
+Each bench regenerates one paper artifact (table or figure); the rows
+accumulate across parametrized cases and print once at session end, so
+``pytest benchmarks/ --benchmark-only -s`` shows both the timings and
+the reproduced tables.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.bench import format_table
+from repro.layout import Technology
+
+_collected_rows = defaultdict(list)
+
+
+@pytest.fixture
+def tech() -> Technology:
+    return Technology.node_90nm()
+
+
+@pytest.fixture
+def collect_row():
+    """Register a result row under a table title for end-of-run print."""
+
+    def _collect(title: str, row: dict) -> None:
+        _collected_rows[title].append(row)
+
+    return _collect
+
+
+def pytest_sessionfinish(session, exitstatus):
+    del session, exitstatus
+    if not _collected_rows:
+        return
+    print("\n")
+    print("=" * 72)
+    print("Reproduced paper artifacts (see EXPERIMENTS.md)")
+    print("=" * 72)
+    for title, rows in _collected_rows.items():
+        seen = set()
+        unique = []
+        for row in rows:
+            key = tuple(sorted(row.items()))
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        print()
+        print(format_table(unique, title))

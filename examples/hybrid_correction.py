@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Hybrid correction, cut restrictions and feature widening.
+
+The paper's §3.2 discussion and §5 future work, running together:
+
+* a hard macro blocks part of the die for end-to-end cuts
+  (``CutRestrictions`` — the standard-cell-block extension);
+* the hybrid planner sends amortizable conflicts to spaces and
+  isolated ones to mask splits, at several mask-cost settings;
+* feature widening dissolves a T-shape-style conflict that spacing
+  cannot touch.
+
+Run:  python examples/hybrid_correction.py
+"""
+
+from repro import Technology
+from repro.conflict import detect_conflicts
+from repro.correction import (
+    CutRestrictions,
+    apply_widening,
+    plan_correction,
+    plan_hybrid_correction,
+    plan_widening,
+)
+from repro.geometry import Rect
+from repro.layout import conflict_grid_layout, figure1_layout
+
+
+def main() -> None:
+    tech = Technology.node_90nm()
+
+    print("=== cut restrictions (standard-cell-block extension) ===")
+    layout = conflict_grid_layout(3, 1, name="row")
+    conflicts = [c.key for c in detect_conflicts(layout, tech).conflicts]
+    base = plan_correction(layout, tech, conflicts)
+    print(f"unrestricted: {base.num_cuts} cut(s) at "
+          f"{[c.position for c in base.cuts]}")
+    blocked = CutRestrictions.protect_rects(
+        [Rect(-400, base.cuts[0].position - 20, 4000,
+              base.cuts[0].position + 20)])
+    restricted = plan_correction(layout, tech, conflicts,
+                                 restrictions=blocked)
+    print(f"with the corridor centre blocked: {restricted.num_cuts} "
+          f"cut(s) at {[c.position for c in restricted.cuts]}, "
+          f"uncorrectable={restricted.uncorrectable}")
+
+    print("\n=== hybrid spaces vs mask splits ===")
+    layout = conflict_grid_layout(1, 3, name="column")  # misaligned
+    conflicts = [c.key for c in detect_conflicts(layout, tech).conflicts]
+    for split_cost in (10, 60, 10_000):
+        plan = plan_hybrid_correction(layout, tech, conflicts,
+                                      split_cost=split_cost)
+        print(f"split_cost={split_cost:>6}: {len(plan.cuts)} spaces, "
+              f"{len(plan.splits)} mask splits "
+              f"(space nm={plan.space_cost}, split units="
+              f"{plan.split_cost})")
+
+    print("\n=== feature widening (paper future work) ===")
+    layout = figure1_layout()
+    conflicts = [c.key for c in detect_conflicts(layout, tech).conflicts]
+    moves, leftover = plan_widening(layout, tech, conflicts)
+    for move in moves:
+        print(f"widen feature {move.feature_index}: "
+              f"{move.old_rect.min_dimension} -> "
+              f"{move.new_rect.min_dimension} nm "
+              f"(+{move.area_delta} nm^2)")
+    widened = apply_widening(layout, moves)
+    post = detect_conflicts(widened, tech)
+    print(f"leftover conflicts: {leftover}; phase-assignable after "
+          f"widening: {post.phase_assignable}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — Bright-Field AAPSM Conflict Detection and Correction.
+
+A from-scratch Python reproduction of Chiang, Kahng, Sinha, Xu,
+Zelikovsky, "Bright-Field AAPSM Conflict Detection and Correction",
+DATE 2005.
+
+Quickstart::
+
+    from repro import Technology, run_aapsm_flow
+    from repro.layout import figure1_layout
+
+    result = run_aapsm_flow(figure1_layout(), Technology.node_90nm())
+    print(result.summary())
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.geometry` — integer Manhattan geometry kernel
+* :mod:`repro.layout` — layout DB, rules, DRC, workload generators
+* :mod:`repro.shifters` — shifter generation and overlap analysis
+* :mod:`repro.graph` — planarization, duals, T-joins, gadgets, matching
+* :mod:`repro.conflict` — phase-conflict/feature graphs and detection
+* :mod:`repro.correction` — end-to-end space insertion and set cover
+* :mod:`repro.phase` — phase assignment and geometric verification
+* :mod:`repro.core` — the end-to-end flow
+* :mod:`repro.gdsii` — pure-Python GDSII stream reader/writer
+* :mod:`repro.viz` — ASCII/SVG rendering
+* :mod:`repro.darkfield` — dark-field AAPSM baseline (TCAD'99)
+* :mod:`repro.compaction` — constraint-graph spreading corrector
+* :mod:`repro.bench` — the named benchmark suite and table runners
+"""
+
+from .conflict import detect_conflicts
+from .core import FlowResult, run_aapsm_flow
+from .layout import Layout, Technology
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Technology",
+    "Layout",
+    "detect_conflicts",
+    "run_aapsm_flow",
+    "FlowResult",
+    "__version__",
+]

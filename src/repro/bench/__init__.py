@@ -1,0 +1,28 @@
+"""Named benchmark suite and table runners (substrate S12)."""
+
+from .suite import LARGE, MEDIUM, SMALL, SUITE, Design, build_design, design_names, get_design
+from .tables import (
+    figure2_row,
+    format_table,
+    gadget_matching_times,
+    gadget_size_row,
+    table1_row,
+    table2_row,
+)
+
+__all__ = [
+    "Design",
+    "SUITE",
+    "SMALL",
+    "MEDIUM",
+    "LARGE",
+    "get_design",
+    "build_design",
+    "design_names",
+    "table1_row",
+    "table2_row",
+    "figure2_row",
+    "gadget_matching_times",
+    "gadget_size_row",
+    "format_table",
+]

@@ -1,0 +1,77 @@
+"""The named benchmark suite.
+
+The paper evaluates on unnamed industrial 90 nm designs up to ~160K
+polygons.  Our stand-in is a deterministic, seeded suite D1..D8 of
+standard-cell-like layouts spanning ~60 to ~45 000 polygons (the scaling
+substitution is documented in DESIGN.md §4: pure-Python blossom constant
+factors bound the practical size, but every design runs the same code
+path the paper's full chip exercises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..layout import GeneratorParams, Layout, standard_cell_layout
+
+
+@dataclass(frozen=True)
+class Design:
+    """A named, reproducible benchmark design."""
+
+    name: str
+    rows: int
+    cols: int
+    seed: int
+    description: str = ""
+
+    def build(self) -> Layout:
+        layout = standard_cell_layout(
+            GeneratorParams(rows=self.rows, cols=self.cols),
+            seed=self.seed, name=self.name)
+        return layout
+
+
+SUITE: List[Design] = [
+    Design("D1", rows=2, cols=12, seed=11, description="small macro"),
+    Design("D2", rows=4, cols=25, seed=12, description="small block"),
+    Design("D3", rows=8, cols=40, seed=13, description="medium block"),
+    Design("D4", rows=12, cols=70, seed=14, description="large block"),
+    Design("D5", rows=20, cols=100, seed=15, description="small core"),
+    Design("D6", rows=30, cols=140, seed=16, description="medium core"),
+    Design("D7", rows=40, cols=200, seed=17, description="large core"),
+    Design("D8", rows=100, cols=400, seed=18, description="full chip"),
+]
+
+# Subsets used by the benches: gadget matching is the heavyweight step,
+# so the runtime-comparison benches stop at D5.
+SMALL = [d.name for d in SUITE[:3]]
+MEDIUM = [d.name for d in SUITE[:5]]
+LARGE = [d.name for d in SUITE]
+
+_BY_NAME: Dict[str, Design] = {d.name: d for d in SUITE}
+_CACHE: Dict[str, Layout] = {}
+
+
+def get_design(name: str) -> Design:
+    return _BY_NAME[name]
+
+
+def build_design(name: str, cache: bool = True) -> Layout:
+    """Build (and memoise) a suite design by name."""
+    if cache and name in _CACHE:
+        return _CACHE[name]
+    layout = _BY_NAME[name].build()
+    if cache:
+        _CACHE[name] = layout
+    return layout
+
+
+def design_names(subset: Optional[str] = None) -> List[str]:
+    """Names in a subset: "small", "medium", or None/"large" for all."""
+    if subset == "small":
+        return list(SMALL)
+    if subset == "medium":
+        return list(MEDIUM)
+    return list(LARGE)

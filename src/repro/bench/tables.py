@@ -1,0 +1,161 @@
+"""Table and figure runners.
+
+Each function regenerates one of the paper's evaluation artifacts (see
+EXPERIMENTS.md for the per-experiment mapping) and returns plain dict
+rows; :func:`format_table` renders them for terminals.  The pytest
+benches under ``benchmarks/`` call these and additionally time the
+interesting stages.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..conflict import (
+    FG,
+    PCG,
+    build_layout_conflict_graph,
+    detect_conflicts,
+)
+from ..correction import plan_correction
+from ..graph import (
+    build_dual,
+    build_embedding,
+    build_gadget_graph,
+    count_crossings,
+    greedy_planarize,
+    greedy_spanning_tree_bipartization,
+    min_tjoin_gadget,
+)
+from ..layout import Layout, Technology
+
+Row = Dict[str, object]
+
+
+def table1_row(layout: Layout, tech: Technology,
+               time_gadgets: bool = True) -> Row:
+    """One row of the paper's Table 1.
+
+    Columns: polygons; NP (optimal bipartization of the planarized PCG,
+    ignoring the planar-embedding casualties — paper step 2 only); FG
+    and PCG (full flow, steps 2+3, per graph kind); GB (greedy
+    spanning-tree bipartization of the full PCG); and matching runtimes
+    with the optimized (O) versus generalized (G) gadgets.
+    """
+    pcg_report = detect_conflicts(layout, tech, kind=PCG)
+    fg_report = detect_conflicts(layout, tech, kind=FG)
+
+    cg, _shifters, _pairs = build_layout_conflict_graph(layout, tech, PCG)
+    gb = greedy_spanning_tree_bipartization(cg.graph)
+
+    row: Row = {
+        "design": layout.name,
+        "polygons": layout.num_polygons,
+        "NP": pcg_report.step2_edges,
+        "FG": fg_report.num_conflict_edges,
+        "PCG": pcg_report.num_conflict_edges,
+        "GB": gb.num_conflicts,
+    }
+    if time_gadgets:
+        o_time, g_time = gadget_matching_times(layout, tech)
+        row["t_O_gadget_s"] = round(o_time, 4)
+        row["t_G_gadget_s"] = round(g_time, 4)
+    return row
+
+
+def gadget_matching_times(layout: Layout, tech: Technology):
+    """Time the T-join matching with optimized vs generalized gadgets.
+
+    Reproduces Table 1's runtime columns: same dual, same T set, only
+    the gadget construction differs (chunk size 1 = ASP-DAC'01
+    optimized gadgets, single clique = this paper's generalized ones).
+    """
+    cg, _s, _p = build_layout_conflict_graph(layout, tech, PCG)
+    greedy_planarize(cg.graph)
+    dual = build_dual(build_embedding(cg.graph))
+
+    def run(max_clique_size) -> float:
+        start = time.perf_counter()
+        min_tjoin_gadget(dual.graph, dual.tset,
+                         max_clique_size=max_clique_size)
+        return time.perf_counter() - start
+
+    o_time = run(1)
+    g_time = run(None)
+    return o_time, g_time
+
+
+def gadget_size_row(layout: Layout, tech: Technology) -> Row:
+    """Gadget-graph size comparison (the mechanism behind the speedup)."""
+    cg, _s, _p = build_layout_conflict_graph(layout, tech, PCG)
+    greedy_planarize(cg.graph)
+    dual = build_dual(build_embedding(cg.graph))
+    relevant = set()
+    for comp in dual.graph.connected_components():
+        if dual.tset.intersection(comp):
+            relevant.update(comp)
+    sub = dual.graph.subgraph(relevant)
+    tsub = dual.tset & relevant
+    optimized = build_gadget_graph(sub, tsub, max_clique_size=1)
+    generalized = build_gadget_graph(sub, tsub, max_clique_size=None)
+    return {
+        "design": layout.name,
+        "O_nodes": optimized.num_nodes,
+        "O_edges": optimized.num_edges,
+        "G_nodes": generalized.num_nodes,
+        "G_edges": generalized.num_edges,
+    }
+
+
+def table2_row(layout: Layout, tech: Technology,
+               cover: str = "greedy") -> Row:
+    """One row of the paper's Table 2 (layout modification).
+
+    Columns: die area (um^2), conflicts selected, grid-lines used (cuts
+    inserted), max conflicts correctable by a single grid-line, and the
+    percentage area increase.
+    """
+    report = detect_conflicts(layout, tech)
+    conflicts = [c.key for c in report.conflicts]
+    correction = plan_correction(layout, tech, conflicts, cover=cover)
+    return {
+        "design": layout.name,
+        "area_um2": round(layout.die_area_um2(), 1),
+        "conflicts": len(conflicts),
+        "grid": correction.num_cuts,
+        "max": correction.max_cover,
+        "area_incr_pct": round(correction.area_increase_pct, 2),
+        "uncorrectable": len(correction.uncorrectable),
+    }
+
+
+def figure2_row(layout: Layout, tech: Technology) -> Row:
+    """PCG-versus-FG geometry (paper Figure 2, quantified)."""
+    row: Row = {"design": layout.name, "polygons": layout.num_polygons}
+    for kind in (PCG, FG):
+        cg, _s, _p = build_layout_conflict_graph(layout, tech, kind)
+        row[f"{kind}_nodes"] = cg.graph.num_nodes()
+        row[f"{kind}_edges"] = cg.graph.num_edges()
+        row[f"{kind}_crossings"] = count_crossings(cg.graph)
+    return row
+
+
+def format_table(rows: Sequence[Row], title: Optional[str] = None) -> str:
+    """Align dict rows into a monospace table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)),
+                     *(len(str(r.get(c, ""))) for r in rows))
+              for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rows:
+        lines.append("  ".join(str(r.get(c, "")).rjust(widths[c])
+                               for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Command-line interface.
+
+The tool a layout engineer would actually run::
+
+    python -m repro detect  chip.gds           # list AAPSM conflicts
+    python -m repro flow    chip.gds -o fixed.gds
+    python -m repro generate --design D3 -o d3.gds
+    python -m repro table1                     # reproduce paper tables
+    python -m repro table2
+
+GDSII in, GDSII out; everything else is printed as aligned tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import build_design, design_names, format_table, table1_row, table2_row
+from .conflict import detect_conflicts
+from .core import run_aapsm_flow
+from .gdsii import gds_to_layout, layout_to_gds, read_gds, write_gds
+from .layout import Layout, Technology
+
+TECH_PRESETS = {
+    "90nm": Technology.node_90nm,
+    "65nm": Technology.node_65nm,
+}
+
+
+def _load_layout(path: str) -> Layout:
+    layout, skipped = gds_to_layout(read_gds(path))
+    if skipped:
+        print(f"warning: skipped {len(skipped)} non-rectangle shapes",
+              file=sys.stderr)
+    return layout
+
+
+def _add_tech_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tech", choices=sorted(TECH_PRESETS),
+                        default="90nm", help="technology rule preset")
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    layout = _load_layout(args.gds)
+    tech = TECH_PRESETS[args.tech]()
+    report = detect_conflicts(layout, tech, kind=args.graph)
+    print(f"design: {layout.name} ({report.num_features} polygons, "
+          f"{report.num_shifters} shifters)")
+    print(f"phase-assignable: {report.phase_assignable}")
+    print(f"conflicts ({report.num_conflicts}):")
+    for c in report.conflicts:
+        print(f"  shifters {c.a} / {c.b}  (weight {c.weight})")
+    if report.uncorrectable_features:
+        print(f"uncorrectable feature constraints: "
+              f"{report.uncorrectable_features}")
+    return 0 if report.phase_assignable else 1
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    layout = _load_layout(args.gds)
+    tech = TECH_PRESETS[args.tech]()
+    result = run_aapsm_flow(layout, tech, cover=args.cover)
+    print(result.summary())
+    if args.output:
+        write_gds(layout_to_gds(result.corrected_layout), args.output)
+        print(f"wrote {args.output}")
+    if args.report:
+        from .core import save_flow_report
+
+        save_flow_report(result, args.report)
+        print(f"wrote {args.report}")
+    return 0 if result.success else 1
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    layout = build_design(args.design)
+    write_gds(layout_to_gds(layout), args.output)
+    print(f"wrote {args.output} ({layout.num_polygons} polygons)")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    tech = TECH_PRESETS[args.tech]()
+    rows = [table1_row(build_design(name), tech,
+                       time_gadgets=not args.no_timing)
+            for name in design_names(args.subset)]
+    print(format_table(rows, "Table 1 — AAPSM conflict detection"))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    tech = TECH_PRESETS[args.tech]()
+    rows = [table2_row(build_design(name), tech)
+            for name in design_names(args.subset)]
+    print(format_table(rows, "Table 2 — layout modification"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bright-field AAPSM conflict detection and "
+                    "correction (DATE 2005 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("detect", help="detect AAPSM conflicts in a GDS")
+    p.add_argument("gds")
+    p.add_argument("--graph", choices=["pcg", "fg"], default="pcg")
+    _add_tech_argument(p)
+    p.set_defaults(func=cmd_detect)
+
+    p = sub.add_parser("flow", help="detect + correct + verify a GDS")
+    p.add_argument("gds")
+    p.add_argument("-o", "--output", help="write corrected GDS here")
+    p.add_argument("--report", help="write a JSON flow report here")
+    p.add_argument("--cover", choices=["auto", "greedy", "exact"],
+                   default="auto")
+    _add_tech_argument(p)
+    p.set_defaults(func=cmd_flow)
+
+    p = sub.add_parser("generate",
+                       help="write a benchmark-suite design as GDS")
+    p.add_argument("--design", choices=design_names(), default="D2")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=cmd_generate)
+
+    for name, fn, description in (
+            ("table1", cmd_table1, "reproduce the paper's Table 1"),
+            ("table2", cmd_table2, "reproduce the paper's Table 2")):
+        p = sub.add_parser(name, help=description)
+        p.add_argument("--subset", choices=["small", "medium", "large"],
+                       default="small")
+        if name == "table1":
+            p.add_argument("--no-timing", action="store_true",
+                           help="skip the gadget runtime columns")
+        _add_tech_argument(p)
+        p.set_defaults(func=fn)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

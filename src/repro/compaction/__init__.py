@@ -1,0 +1,11 @@
+"""Constraint-graph compaction / spreading (Ooi'93-style corrector)."""
+
+from .constraints import ConstraintCycleError, ConstraintGraph
+from .spread import SpreadResult, spread_conflicts
+
+__all__ = [
+    "ConstraintGraph",
+    "ConstraintCycleError",
+    "SpreadResult",
+    "spread_conflicts",
+]

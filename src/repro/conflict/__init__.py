@@ -1,0 +1,47 @@
+"""Conflict graphs and the AAPSM conflict-detection flow (S9)."""
+
+from .detection import (
+    Conflict,
+    DetectionReport,
+    build_layout_conflict_graph,
+    detect_conflicts,
+)
+from .graphs import (
+    FEATURE_TAG,
+    FG,
+    OVERLAP_TAG,
+    PCG,
+    ConflictGraph,
+    build_conflict_graph,
+    build_feature_graph,
+    build_phase_conflict_graph,
+)
+from .weights import (
+    NAMED_MODELS,
+    WeightModel,
+    facing_span_weight,
+    feature_edge_weight,
+    space_needed_weight,
+    uniform_weight,
+)
+
+__all__ = [
+    "PCG",
+    "FG",
+    "FEATURE_TAG",
+    "OVERLAP_TAG",
+    "ConflictGraph",
+    "build_conflict_graph",
+    "build_phase_conflict_graph",
+    "build_feature_graph",
+    "Conflict",
+    "DetectionReport",
+    "detect_conflicts",
+    "build_layout_conflict_graph",
+    "WeightModel",
+    "uniform_weight",
+    "space_needed_weight",
+    "facing_span_weight",
+    "feature_edge_weight",
+    "NAMED_MODELS",
+]

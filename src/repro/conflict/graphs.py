@@ -1,0 +1,228 @@
+"""Conflict-graph construction: the paper's PCG and the baseline FG.
+
+Both graphs have the property (paper Theorem 1) that the layout is
+phase-assignable iff the graph is bipartite:
+
+* every edge means "endpoints take different phases";
+* a Condition-2 pair ("same phase") becomes an even-length path through
+  an auxiliary node, so its constraint composes to equality;
+* a Condition-1 pair ("opposite phase") becomes an odd-length path.
+
+**Phase conflict graph (PCG, §3.1.1).**  One *edge-shifter node* per
+shifter at the shifter centre; per overlapping pair an *overlap node* at
+the midpoint of the segment joining the two shifter nodes (so the 2-edge
+path renders as a single straight line); per critical feature one direct
+edge between its two shifters.
+
+**Feature graph (FG, baseline).**  The paper cites it without defining
+it; per the stated differences (Fig. 2 discussion) we build: per
+overlapping pair a *conflict node* at the centre of the geometric
+overlap *region* (a bent path — the "detour" that causes extra
+crossings), and per feature a 3-edge path through two *feature nodes*
+near the feature centre (odd parity preserved, extra nodes/edges as the
+paper observes).
+
+Node coordinates are layout nanometres times 4, so midpoints of doubled
+rectangle centres stay integral and the FG's feature-node pair can be
+offset by quarter-nanometre nudges without colliding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Rect
+from ..graph import GeomGraph
+from ..layout import Technology
+from ..shifters import OverlapPair, ShifterSet, region_center2
+from .weights import WeightModel, feature_edge_weight, space_needed_weight
+
+PCG = "pcg"
+FG = "fg"
+
+FEATURE_TAG = "feature"
+OVERLAP_TAG = "overlap"
+
+
+def _node_coord(rect: Rect) -> Tuple[int, int]:
+    """Rect centre in 4x coordinates."""
+    cx2, cy2 = rect.center2
+    return (2 * cx2, 2 * cy2)
+
+
+@dataclass
+class ConflictGraph:
+    """A conflict graph plus the maps back into shifter-land.
+
+    Attributes:
+        graph: the geometric graph (nodes placed at 4x layout coords).
+        kind: "pcg" or "fg".
+        shifters: the shifter set the graph was built from.
+        shifter_node: shifter id -> graph node id.
+        edge_pair: overlap-edge id -> (shifter a, shifter b).
+        edge_feature: feature-edge id -> feature index.
+        pairs: the overlap pairs by key.
+    """
+
+    graph: "GeomGraph"
+    kind: str
+    shifters: ShifterSet
+    shifter_node: Dict[int, int]
+    edge_pair: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    edge_feature: Dict[int, int] = field(default_factory=dict)
+    pairs: Dict[Tuple[int, int], OverlapPair] = field(default_factory=dict)
+
+    def classify_edges(self, edge_ids) -> Tuple[List[Tuple[int, int]],
+                                                List[int]]:
+        """Split removed edge ids into (overlap pairs, feature indices).
+
+        Overlap pairs are deduplicated: deleting either edge of a
+        same-phase path breaks the constraint, and correction always
+        separates the *pair*.
+        """
+        pairs: List[Tuple[int, int]] = []
+        features: List[int] = []
+        seen = set()
+        for eid in edge_ids:
+            if eid in self.edge_pair:
+                key = self.edge_pair[eid]
+                if key not in seen:
+                    seen.add(key)
+                    pairs.append(key)
+            elif eid in self.edge_feature:
+                fi = self.edge_feature[eid]
+                if ("f", fi) not in seen:
+                    seen.add(("f", fi))
+                    features.append(fi)
+        return pairs, features
+
+
+def _base_graph(kind: str, shifters: ShifterSet) -> ConflictGraph:
+    graph = GeomGraph(name=kind)
+    shifter_node: Dict[int, int] = {}
+    for s in shifters:
+        graph.add_node(s.id, _node_coord(s.rect))
+        shifter_node[s.id] = s.id
+    return ConflictGraph(graph=graph, kind=kind, shifters=shifters,
+                         shifter_node=shifter_node)
+
+
+def _pair_weights(pairs: List[OverlapPair], shifters: ShifterSet,
+                  tech: Technology,
+                  weight_model: WeightModel) -> Tuple[List[int], int]:
+    weights = [weight_model(p, shifters, tech) for p in pairs]
+    for w in weights:
+        if w <= 0:
+            raise ValueError("weight model must return positive weights")
+    return weights, feature_edge_weight(weights)
+
+
+def build_phase_conflict_graph(
+        shifters: ShifterSet,
+        pairs: List[OverlapPair],
+        tech: Technology,
+        weight_model: WeightModel = space_needed_weight) -> ConflictGraph:
+    """The paper's phase conflict graph."""
+    cg = _base_graph(PCG, shifters)
+    graph = cg.graph
+    weights, inf_weight = _pair_weights(pairs, shifters, tech, weight_model)
+
+    next_node = len(shifters)
+    for pair, weight in zip(pairs, weights):
+        na = cg.shifter_node[pair.a]
+        nb = cg.shifter_node[pair.b]
+        ax, ay = graph.coord(na)
+        bx, by = graph.coord(nb)
+        overlap_node = next_node
+        next_node += 1
+        # Midpoint of the segment between the two shifter nodes: the
+        # 2-edge same-phase path draws as one straight line (the PCG's
+        # key geometric advantage).
+        graph.add_node(overlap_node, ((ax + bx) // 2, (ay + by) // 2))
+        for endpoint, half in ((na, 0), (nb, 1)):
+            e = graph.add_edge(endpoint, overlap_node, weight=weight,
+                               tag=(OVERLAP_TAG, pair.key, half))
+            cg.edge_pair[e.id] = pair.key
+        cg.pairs[pair.key] = pair
+
+    for sa, sb in shifters.feature_pairs():
+        e = graph.add_edge(cg.shifter_node[sa.id], cg.shifter_node[sb.id],
+                           weight=inf_weight,
+                           tag=(FEATURE_TAG, sa.feature_index))
+        cg.edge_feature[e.id] = sa.feature_index
+    return cg
+
+
+def build_feature_graph(
+        shifters: ShifterSet,
+        pairs: List[OverlapPair],
+        tech: Technology,
+        weight_model: WeightModel = space_needed_weight) -> ConflictGraph:
+    """The baseline feature graph (our reading of ASP-DAC'01)."""
+    cg = _base_graph(FG, shifters)
+    graph = cg.graph
+    weights, inf_weight = _pair_weights(pairs, shifters, tech, weight_model)
+
+    next_node = len(shifters)
+    for pair, weight in zip(pairs, weights):
+        na = cg.shifter_node[pair.a]
+        nb = cg.shifter_node[pair.b]
+        cx2, cy2 = region_center2(shifters[pair.a].rect,
+                                  shifters[pair.b].rect)
+        conflict_node = next_node
+        next_node += 1
+        # Detour through the centre of the overlap *region* — in general
+        # off the straight line between the shifter nodes.
+        graph.add_node(conflict_node, (2 * cx2, 2 * cy2))
+        for endpoint, half in ((na, 0), (nb, 1)):
+            e = graph.add_edge(endpoint, conflict_node, weight=weight,
+                               tag=(OVERLAP_TAG, pair.key, half))
+            cg.edge_pair[e.id] = pair.key
+        cg.pairs[pair.key] = pair
+
+    for sa, sb in shifters.feature_pairs():
+        fi = sa.feature_index
+        cx, cy = _node_coord_center(shifters, fi)
+        # Two feature nodes, nudged a quarter-nm apart along the feature
+        # axis: the 3-edge path keeps the constraint's odd parity.
+        vertical = sa.side in ("left", "right")
+        d = (0, 1) if vertical else (1, 0)
+        f1 = next_node
+        f2 = next_node + 1
+        next_node += 2
+        graph.add_node(f1, (cx - d[0], cy - d[1]))
+        graph.add_node(f2, (cx + d[0], cy + d[1]))
+        for u, v in ((cg.shifter_node[sa.id], f1), (f1, f2),
+                     (f2, cg.shifter_node[sb.id])):
+            e = graph.add_edge(u, v, weight=inf_weight,
+                               tag=(FEATURE_TAG, fi))
+            cg.edge_feature[e.id] = fi
+    return cg
+
+
+def _node_coord_center(shifters: ShifterSet, feature_index: int
+                       ) -> Tuple[int, int]:
+    """4x coordinate of the feature centre, inferred from its shifters.
+
+    The midpoint between the two flanking shifter centres *is* the
+    feature centre, which saves the graph builders from needing the
+    layout object.
+    """
+    sa, sb = shifters.of_feature(feature_index)
+    ax, ay = _node_coord(sa.rect)
+    bx, by = _node_coord(sb.rect)
+    return ((ax + bx) // 2, (ay + by) // 2)
+
+
+def build_conflict_graph(kind: str, shifters: ShifterSet,
+                         pairs: List[OverlapPair], tech: Technology,
+                         weight_model: Optional[WeightModel] = None
+                         ) -> ConflictGraph:
+    """Dispatch on graph kind ("pcg" or "fg")."""
+    model = weight_model or space_needed_weight
+    if kind == PCG:
+        return build_phase_conflict_graph(shifters, pairs, tech, model)
+    if kind == FG:
+        return build_feature_graph(shifters, pairs, tech, model)
+    raise ValueError(f"unknown conflict graph kind {kind!r}")

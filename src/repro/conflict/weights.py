@@ -1,0 +1,68 @@
+"""Edge-weight models for conflict graphs.
+
+The paper weights graph edges "to provide a measure of the layout impact
+caused by increasing the spacing between corresponding features", without
+publishing the exact function.  We provide pluggable models; benches
+ablate them.  All weights are positive integers, and Condition-1 feature
+edges get an effectively infinite weight (they are never correctable by
+spacing — Condition 1 is structural), implemented as a finite bound that
+provably exceeds any sum of overlap-edge weights.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..layout import Technology
+from ..shifters import OverlapPair, ShifterSet
+
+WeightModel = Callable[[OverlapPair, ShifterSet, Technology], int]
+
+
+def uniform_weight(pair: OverlapPair, shifters: ShifterSet,
+                   tech: Technology) -> int:
+    """Every conflict is equally painful — counts conflicts, not cost."""
+    del pair, shifters, tech
+    return 1
+
+
+def space_needed_weight(pair: OverlapPair, shifters: ShifterSet,
+                        tech: Technology) -> int:
+    """1 + missing spacing: separating nearly-legal pairs is cheap.
+
+    This is the model the detection flow defaults to; it makes the
+    minimum-weight bipartization prefer conflicts that the correction
+    step can fix with narrow end-to-end spaces.
+    """
+    del shifters
+    sep = int(pair.separation_sq ** 0.5)
+    return 1 + max(0, tech.shifter_spacing - sep)
+
+
+def facing_span_weight(pair: OverlapPair, shifters: ShifterSet,
+                       tech: Technology) -> int:
+    """1 + length of the facing span: separating long abutments is
+    expensive because the inserted space must clear the whole run."""
+    del tech
+    ra = shifters[pair.a].rect
+    rb = shifters[pair.b].rect
+    xi = ra.xspan.intersection(rb.xspan)
+    yi = ra.yspan.intersection(rb.yspan)
+    span = max(xi.length if xi else 0, yi.length if yi else 0)
+    return 1 + span
+
+
+NAMED_MODELS = {
+    "uniform": uniform_weight,
+    "space": space_needed_weight,
+    "span": facing_span_weight,
+}
+
+
+def feature_edge_weight(overlap_weights: Sequence[int]) -> int:
+    """A weight no combination of overlap edges can reach.
+
+    Any bipartization that can avoid feature edges will: the minimum
+    alternative solution costs at most the sum of all overlap weights.
+    """
+    return 2 * sum(overlap_weights) + 1

@@ -1,0 +1,16 @@
+"""End-to-end AAPSM flow (the paper's proposed system, S13)."""
+
+from .flow import FlowResult, run_aapsm_flow
+from .report import (
+    flow_result_dict,
+    load_flow_report,
+    save_flow_report,
+)
+
+__all__ = [
+    "FlowResult",
+    "run_aapsm_flow",
+    "flow_result_dict",
+    "save_flow_report",
+    "load_flow_report",
+]

@@ -1,0 +1,81 @@
+"""Machine-readable flow reports.
+
+Turns a :class:`repro.core.FlowResult` into a plain JSON-serializable
+dict (and back onto disk), so downstream tooling — regression tracking,
+dashboards, the paper-table generators — can consume flow outcomes
+without touching the object model.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .flow import FlowResult
+
+
+def detection_dict(report) -> Dict[str, Any]:
+    return {
+        "layout": report.layout_name,
+        "graph_kind": report.graph_kind,
+        "num_features": report.num_features,
+        "num_critical": report.num_critical,
+        "num_shifters": report.num_shifters,
+        "num_overlap_pairs": report.num_overlap_pairs,
+        "graph_nodes": report.graph_nodes,
+        "graph_edges": report.graph_edges,
+        "crossings_removed": report.crossings_removed,
+        "step2_edges": report.step2_edges,
+        "step2_weight": report.step2_weight,
+        "step3_edges": report.step3_edges,
+        "phase_assignable": report.phase_assignable,
+        "conflicts": [[c.a, c.b] for c in report.conflicts],
+        "tshape_conflicts": [[c.a, c.b] for c in report.tshape_conflicts],
+        "tshape_features": list(report.tshape_features),
+        "uncorrectable_features": list(report.uncorrectable_features),
+        "detect_seconds": report.detect_seconds,
+    }
+
+
+def correction_dict(report) -> Dict[str, Any]:
+    return {
+        "num_conflicts": report.num_conflicts,
+        "corrected": [list(k) for k in report.corrected],
+        "uncorrectable": [list(k) for k in report.uncorrectable],
+        "cuts": [{"axis": c.axis, "position": c.position,
+                  "width": c.width} for c in report.cuts],
+        "num_grid_candidates": report.num_grid_candidates,
+        "max_cover": report.max_cover,
+        "cover_method": report.cover_method,
+        "area_before": report.area_before,
+        "area_after": report.area_after,
+        "area_increase_pct": report.area_increase_pct,
+        "stretched_critical": list(report.stretched_critical),
+    }
+
+
+def flow_result_dict(result: FlowResult) -> Dict[str, Any]:
+    """The whole flow outcome as one JSON-serializable dict."""
+    out: Dict[str, Any] = {
+        "design": result.layout.name,
+        "success": result.success,
+        "detection": detection_dict(result.detection),
+        "correction": correction_dict(result.correction),
+        "post_detection": detection_dict(result.post_detection),
+    }
+    if result.assignment is not None:
+        out["phases"] = {str(k): v
+                         for k, v in sorted(result.assignment.phases.items())}
+    return out
+
+
+def save_flow_report(result: FlowResult, path: str) -> None:
+    """Write the flow outcome as pretty-printed JSON."""
+    with open(path, "w") as f:
+        json.dump(flow_result_dict(result), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_flow_report(path: str) -> Dict[str, Any]:
+    with open(path) as f:
+        return json.load(f)

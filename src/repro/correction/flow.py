@@ -1,0 +1,241 @@
+"""Layout-modification flow (paper §3.2, steps 3-4).
+
+Grid-lines come from the endpoints of the per-conflict correction
+intervals; each grid-line is a candidate set covering every conflict
+whose interval contains it, weighted by the largest space any of those
+conflicts needs.  A weighted set cover picks the cut positions; the cuts
+are then snapped within their legal bands to avoid widening critical
+features, and applied as end-to-end spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..geometry import Interval
+from ..layout import Layout, Technology
+from ..shifters import ShifterSet, generate_shifters
+from .options import AXIS_X, AXIS_Y, CorrectionOption, conflict_options
+from .setcover import CoverSet, exact_weighted_set_cover, greedy_weighted_set_cover
+from .spacer import SpaceCut, apply_cuts, stretched_feature_indices
+
+ConflictKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CutRestrictions:
+    """Regions where end-to-end cuts may not run.
+
+    The paper's future work: "extensions of the layout modification
+    scheme to handle standard-cell blocks, that can restrict the
+    insertion of cuts to certain regions and exploit the white-space
+    inherent in the layout".  A vertical cut at position x is banned
+    when x falls in any ``forbidden_x`` interval (e.g. the x-extent of
+    a hard macro), and symmetrically for horizontal cuts.
+    """
+
+    forbidden_x: Tuple[Interval, ...] = ()
+    forbidden_y: Tuple[Interval, ...] = ()
+
+    def allows(self, axis: str, position: int) -> bool:
+        bands = self.forbidden_x if axis == AXIS_X else self.forbidden_y
+        return all(position not in band for band in bands)
+
+    @staticmethod
+    def protect_rects(rects, margin: int = 0) -> "CutRestrictions":
+        """Forbid cuts through the given blocks (plus a margin)."""
+        return CutRestrictions(
+            forbidden_x=tuple(
+                Interval(r.x1 - margin, r.x2 + margin) for r in rects),
+            forbidden_y=tuple(
+                Interval(r.y1 - margin, r.y2 + margin) for r in rects),
+        )
+
+
+@dataclass(frozen=True)
+class GridLine:
+    """A candidate cut position and the conflicts it can correct."""
+
+    axis: str
+    position: int
+    covers: Tuple[ConflictKey, ...]
+    width: int  # max `need` over the covered conflicts
+
+
+@dataclass
+class CorrectionReport:
+    """Outcome of the layout-modification step (Table 2 material)."""
+
+    layout_name: str
+    num_conflicts: int
+    corrected: List[ConflictKey] = field(default_factory=list)
+    uncorrectable: List[ConflictKey] = field(default_factory=list)
+    cuts: List[SpaceCut] = field(default_factory=list)
+    num_grid_candidates: int = 0
+    max_cover: int = 0              # Table 2 "Max" column
+    area_before: int = 0
+    area_after: int = 0
+    cover_method: str = "greedy"
+    stretched_critical: List[int] = field(default_factory=list)
+
+    @property
+    def num_cuts(self) -> int:
+        return len(self.cuts)
+
+    @property
+    def area_increase_pct(self) -> float:
+        if self.area_before == 0:
+            return 0.0
+        return 100.0 * (self.area_after - self.area_before) / self.area_before
+
+
+def build_grid_lines(options: Dict[ConflictKey, List[CorrectionOption]]
+                     ) -> List[GridLine]:
+    """Paper step 3: a grid from the interval endpoints.
+
+    Every interval endpoint is a candidate position on its axis (any
+    optimal single-axis cover can be shifted to an endpoint without
+    losing coverage, so endpoints suffice).
+    """
+    per_axis: Dict[str, List[CorrectionOption]] = {AXIS_X: [], AXIS_Y: []}
+    for opts in options.values():
+        for opt in opts:
+            per_axis[opt.axis].append(opt)
+
+    lines: List[GridLine] = []
+    for axis, opts in per_axis.items():
+        positions: Set[int] = set()
+        for opt in opts:
+            positions.add(opt.interval.lo)
+            positions.add(opt.interval.hi)
+        for pos in sorted(positions):
+            covering = [o for o in opts if pos in o.interval]
+            if not covering:
+                continue
+            lines.append(GridLine(
+                axis=axis,
+                position=pos,
+                covers=tuple(sorted({o.conflict for o in covering})),
+                width=max(o.need for o in covering),
+            ))
+    return lines
+
+
+def _snap_cut(layout: Layout, line: GridLine,
+              options: Dict[ConflictKey, List[CorrectionOption]],
+              restrictions: Optional[CutRestrictions] = None
+              ) -> SpaceCut:
+    """Snap a chosen grid-line within its legal band so the cut widens
+    as few critical features as possible while still covering the same
+    conflicts."""
+    band: Optional[Interval] = None
+    for key in line.covers:
+        for opt in options[key]:
+            if opt.axis == line.axis and line.position in opt.interval:
+                band = opt.interval if band is None else band.intersection(
+                    opt.interval)
+    assert band is not None and line.position in band
+
+    candidates: Set[int] = {band.lo, band.hi, line.position}
+    for rect in layout.features:
+        lo, hi = ((rect.x1, rect.x2) if line.axis == AXIS_X
+                  else (rect.y1, rect.y2))
+        for edge in (lo, hi):
+            if edge in band:
+                candidates.add(edge)
+    if restrictions is not None:
+        candidates = {c for c in candidates
+                      if restrictions.allows(line.axis, c)}
+
+    def badness(pos: int) -> Tuple[int, int]:
+        cut = SpaceCut(axis=line.axis, position=pos, width=line.width)
+        return (len(stretched_feature_indices(layout, [cut])), pos)
+
+    best = min(sorted(candidates), key=badness)
+    return SpaceCut(axis=line.axis, position=best, width=line.width)
+
+
+def plan_correction(layout: Layout, tech: Technology,
+                    conflicts: Sequence[ConflictKey],
+                    shifters: Optional[ShifterSet] = None,
+                    cover: str = "auto",
+                    restrictions: Optional[CutRestrictions] = None
+                    ) -> CorrectionReport:
+    """Choose end-to-end cuts correcting the given conflicts.
+
+    Args:
+        cover: "greedy", "exact", or "auto" (exact when the instance is
+            small enough to finish instantly, greedy otherwise).
+        restrictions: optional no-cut regions (hard macros etc.);
+            conflicts only fixable inside them become uncorrectable.
+    """
+    if shifters is None:
+        shifters = generate_shifters(layout, tech)
+    report = CorrectionReport(layout_name=layout.name,
+                              num_conflicts=len(conflicts),
+                              area_before=layout.die_area())
+    report.area_after = report.area_before
+
+    options = conflict_options(list(conflicts), shifters, tech)
+    correctable = {k for k, opts in options.items() if opts}
+
+    lines = build_grid_lines({k: options[k] for k in correctable})
+    if restrictions is not None:
+        lines = [line for line in lines
+                 if restrictions.allows(line.axis, line.position)]
+        correctable = {key for line in lines for key in line.covers}
+
+    report.uncorrectable = sorted(set(conflicts) - correctable)
+    if not correctable:
+        return report
+
+    report.num_grid_candidates = len(lines)
+    report.max_cover = max(len(line.covers) for line in lines)
+
+    cover_sets = [CoverSet(id=i, elements=frozenset(line.covers),
+                           weight=line.width)
+                  for i, line in enumerate(lines)]
+    use_exact = cover == "exact" or (
+        cover == "auto" and len(correctable) <= 16 and len(cover_sets) <= 32)
+    if use_exact:
+        chosen = exact_weighted_set_cover(correctable, cover_sets,
+                                          max_elements=64, max_sets=64)
+        report.cover_method = "exact"
+    else:
+        chosen = greedy_weighted_set_cover(correctable, cover_sets)
+        report.cover_method = "greedy"
+
+    for set_id in sorted(chosen):
+        report.cuts.append(_snap_cut(layout, lines[set_id], options,
+                                     restrictions))
+    report.corrected = sorted(correctable)
+
+    total_x = sum(c.width for c in report.cuts if c.axis == AXIS_X)
+    total_y = sum(c.width for c in report.cuts if c.axis == AXIS_Y)
+    box = layout.bbox()
+    if box is not None:
+        report.area_after = (box.width + total_x) * (box.height + total_y)
+    report.stretched_critical = _stretched_critical(layout, tech,
+                                                    report.cuts)
+    return report
+
+
+def _stretched_critical(layout: Layout, tech: Technology,
+                        cuts: Sequence[SpaceCut]) -> List[int]:
+    stretched = stretched_feature_indices(layout, cuts)
+    return [i for i in stretched
+            if tech.is_critical_width(layout.features[i].min_dimension)]
+
+
+def correct_layout(layout: Layout, tech: Technology,
+                   conflicts: Sequence[ConflictKey],
+                   shifters: Optional[ShifterSet] = None,
+                   cover: str = "auto",
+                   restrictions: Optional[CutRestrictions] = None
+                   ) -> Tuple[Layout, CorrectionReport]:
+    """Plan and apply the correction; returns the modified layout."""
+    report = plan_correction(layout, tech, conflicts, shifters, cover,
+                             restrictions)
+    modified = apply_cuts(layout, report.cuts)
+    return modified, report

@@ -1,0 +1,124 @@
+"""Hybrid correction: layout modification versus mask splitting.
+
+Paper §3.2: "This scheme could also be used to determine the best
+approach for correcting the selected AAPSM conflicts, i.e. to decide
+which conflicts are best corrected by layout modification and which by
+mask splitting.  For instance, if a large number of AAPSM conflicts can
+be corrected by adding an end-to-end space at a single grid-line, it may
+make sense to eliminate all of them using layout modification.  On the
+other hand, if the space added to correct a conflict does not correct
+too many others, it may make sense to correct it using mask splitting."
+
+A *mask split* cuts a shifter into two opposite-phase apertures at the
+conflict point: zero layout area, but each split complicates mask
+manufacture.  We model that as a per-split cost in equivalent
+area-nanometres and let the planner choose, per grid-line, whichever is
+cheaper — exactly the hybrid decision rule the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..layout import Layout, Technology
+from ..shifters import ShifterSet, generate_shifters
+from .flow import ConflictKey, GridLine, build_grid_lines
+from .options import conflict_options
+from .setcover import CoverSet, greedy_weighted_set_cover
+from .spacer import SpaceCut
+
+
+@dataclass(frozen=True)
+class MaskSplit:
+    """A shifter split correcting one conflict on the mask side."""
+
+    conflict: ConflictKey
+    shifter: int  # the shifter that gets cut
+
+    def __str__(self) -> str:
+        return f"split shifter {self.shifter} for conflict {self.conflict}"
+
+
+@dataclass
+class HybridPlan:
+    """Outcome of the hybrid planner."""
+
+    cuts: List[SpaceCut] = field(default_factory=list)
+    splits: List[MaskSplit] = field(default_factory=list)
+    spaced_conflicts: List[ConflictKey] = field(default_factory=list)
+    split_conflicts: List[ConflictKey] = field(default_factory=list)
+    split_cost: int = 0
+    space_cost: int = 0
+
+    @property
+    def total_cost(self) -> int:
+        return self.split_cost + self.space_cost
+
+
+def plan_hybrid_correction(layout: Layout, tech: Technology,
+                           conflicts: Sequence[ConflictKey],
+                           shifters: Optional[ShifterSet] = None,
+                           split_cost: int = 60) -> HybridPlan:
+    """Choose, per conflict, end-to-end spacing or mask splitting.
+
+    Every conflict is splittable (cutting either shifter of the pair
+    breaks the same-phase requirement), so the planner runs one greedy
+    weighted cover where each conflict has a singleton "split" set of
+    weight ``split_cost`` competing against the shared grid-line sets;
+    grid-lines win exactly when they amortize over enough conflicts —
+    the paper's decision rule, made concrete.
+
+    Args:
+        split_cost: mask-complexity penalty per split, in the same
+            weight units as cut widths (nm of end-to-end space an
+            engineer would trade for one extra mask cut).
+    """
+    if shifters is None:
+        shifters = generate_shifters(layout, tech)
+    plan = HybridPlan()
+    if not conflicts:
+        return plan
+
+    options = conflict_options(list(conflicts), shifters, tech)
+    lines = build_grid_lines({k: v for k, v in options.items() if v})
+
+    cover_sets: List[CoverSet] = []
+    payload: Dict[int, Tuple[str, object]] = {}
+    for line in lines:
+        sid = len(cover_sets)
+        cover_sets.append(CoverSet(id=sid,
+                                   elements=frozenset(line.covers),
+                                   weight=line.width))
+        payload[sid] = ("line", line)
+    for key in conflicts:
+        sid = len(cover_sets)
+        cover_sets.append(CoverSet(id=sid, elements=frozenset([key]),
+                                   weight=split_cost))
+        payload[sid] = ("split", key)
+
+    chosen = greedy_weighted_set_cover(set(conflicts), cover_sets)
+
+    covered_by_space: set = set()
+    for sid in chosen:
+        kind, item = payload[sid]
+        if kind != "line":
+            continue
+        line: GridLine = item  # type: ignore[assignment]
+        plan.cuts.append(SpaceCut(axis=line.axis, position=line.position,
+                                  width=line.width))
+        plan.space_cost += line.width
+        covered_by_space.update(line.covers)
+    for sid in chosen:
+        kind, item = payload[sid]
+        if kind != "split":
+            continue
+        key: ConflictKey = item  # type: ignore[assignment]
+        if key in covered_by_space:
+            continue  # a chosen grid-line already fixes it
+        plan.splits.append(MaskSplit(conflict=key, shifter=key[0]))
+        plan.split_cost += split_cost
+
+    plan.spaced_conflicts = sorted(covered_by_space & set(conflicts))
+    plan.split_conflicts = sorted(s.conflict for s in plan.splits)
+    return plan

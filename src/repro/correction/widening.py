@@ -1,0 +1,140 @@
+"""Feature widening — the paper's stated future work.
+
+"We are currently investigating approaches to ... incorporate feature
+widening as an option for correcting AAPSM conflicts in our scheme."
+
+Widening a critical feature to the critical-width threshold removes the
+need to phase-shift it at all: its shifters disappear, and with them
+every Condition-1/2 constraint they participate in.  Applicability is
+gated by geometry (room to widen without violating poly spacing) and by
+intent (widening changes the drawn transistor, so it is only offered
+for features the caller marks as non-gate, e.g. routing wires).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..geometry import Rect
+from ..layout import Layout, Technology
+from ..shifters import ShifterSet, generate_shifters
+
+ConflictKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class WideningMove:
+    """Widen one feature so it stops being critical.
+
+    The widened rect grows symmetrically across its critical dimension
+    (half the delta on each side, odd remainder to the high side).
+    """
+
+    feature_index: int
+    old_rect: Rect
+    new_rect: Rect
+
+    @property
+    def area_delta(self) -> int:
+        return self.new_rect.area - self.old_rect.area
+
+
+def widened_rect(rect: Rect, target_width: int) -> Rect:
+    """Grow the critical dimension of ``rect`` to ``target_width``."""
+    delta = target_width - rect.min_dimension
+    if delta <= 0:
+        return rect
+    low = delta // 2
+    high = delta - low
+    if rect.height >= rect.width:  # vertical: widen in x
+        return Rect(rect.x1 - low, rect.y1, rect.x2 + high, rect.y2)
+    return Rect(rect.x1, rect.y1 - low, rect.x2, rect.y2 + high)
+
+
+def widening_is_legal(layout: Layout, feature_index: int,
+                      new_rect: Rect, tech: Technology) -> bool:
+    """Would the widened feature still clear poly spacing?"""
+    for i, other in enumerate(layout.features):
+        if i == feature_index:
+            continue
+        if new_rect.within_distance(other, tech.min_feature_spacing):
+            return False
+    return True
+
+
+def widening_candidates(layout: Layout, tech: Technology,
+                        conflicts: Sequence[ConflictKey],
+                        shifters: Optional[ShifterSet] = None,
+                        allowed_features: Optional[Set[int]] = None
+                        ) -> Dict[int, List[ConflictKey]]:
+    """Features whose widening would dissolve at least one conflict.
+
+    Returns feature index -> conflicts it would remove.  A conflict
+    dissolves when one of its two shifters belongs to the widened
+    feature (the shifter ceases to exist).  ``allowed_features``
+    restricts the search (pass the set of non-gate features).
+    """
+    if shifters is None:
+        shifters = generate_shifters(layout, tech)
+    out: Dict[int, List[ConflictKey]] = {}
+    for key in conflicts:
+        for sid in key:
+            fi = shifters[sid].feature_index
+            if allowed_features is not None and fi not in allowed_features:
+                continue
+            new_rect = widened_rect(layout.features[fi],
+                                    tech.critical_width)
+            if widening_is_legal(layout, fi, new_rect, tech):
+                out.setdefault(fi, []).append(key)
+    return out
+
+
+def apply_widening(layout: Layout, moves: Sequence[WideningMove]
+                   ) -> Layout:
+    """Return a copy of the layout with the widening moves applied."""
+    out = layout.copy(name=f"{layout.name}+widened")
+    for move in moves:
+        if out.features[move.feature_index] != move.old_rect:
+            raise ValueError(
+                f"feature {move.feature_index} changed since the move "
+                "was planned")
+        out.features[move.feature_index] = move.new_rect
+    return out
+
+
+def plan_widening(layout: Layout, tech: Technology,
+                  conflicts: Sequence[ConflictKey],
+                  allowed_features: Optional[Set[int]] = None
+                  ) -> Tuple[List[WideningMove], List[ConflictKey]]:
+    """Greedy widening plan: repeatedly widen the feature dissolving
+    the most remaining conflicts per unit of added area.
+
+    Returns (moves, conflicts still unresolved) — the residue goes to
+    the spacing or mask-splitting correctors.
+    """
+    remaining: Set[ConflictKey] = set(conflicts)
+    moves: List[WideningMove] = []
+    while remaining:
+        candidates = widening_candidates(layout, tech, sorted(remaining),
+                                         allowed_features=allowed_features)
+        best: Optional[Tuple[float, int, WideningMove, Set[ConflictKey]]]
+        best = None
+        for fi, fixed in sorted(candidates.items()):
+            new_rect = widened_rect(layout.features[fi],
+                                    tech.critical_width)
+            move = WideningMove(feature_index=fi,
+                                old_rect=layout.features[fi],
+                                new_rect=new_rect)
+            gain = set(fixed) & remaining
+            if not gain:
+                continue
+            score = (move.area_delta / len(gain), fi)
+            if best is None or score < (best[0], best[1]):
+                best = (*score, move, gain)
+        if best is None:
+            break
+        moves.append(best[2])
+        remaining -= best[3]
+        layout = apply_widening(layout, [best[2]])
+    return moves, sorted(remaining)

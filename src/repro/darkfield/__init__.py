@@ -1,0 +1,19 @@
+"""Dark-field AAPSM baseline (the paper's reference [5] system)."""
+
+from .flow import (
+    DarkFieldGraph,
+    DarkFieldReport,
+    build_darkfield_graph,
+    correct_darkfield_conflicts,
+    detect_darkfield_conflicts,
+    interaction_distance,
+)
+
+__all__ = [
+    "DarkFieldGraph",
+    "DarkFieldReport",
+    "build_darkfield_graph",
+    "detect_darkfield_conflicts",
+    "correct_darkfield_conflicts",
+    "interaction_distance",
+]

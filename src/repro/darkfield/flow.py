@@ -1,0 +1,182 @@
+"""Dark-field AAPSM conflict detection and correction.
+
+The system the paper builds on (Kahng–Mantik–Markov–Zelikovsky, TCAD
+1999, the paper's reference [5]): in *dark-field* AAPSM the critical
+features themselves are the clear apertures, so each critical feature
+carries a single phase and any two critical features closer than the
+interaction distance ``B`` must take **opposite** phases.  The conflict
+graph is therefore directly on features — one node per critical
+feature, one "must differ" edge per close pair — and the layout is
+phase-assignable iff that graph is bipartite.
+
+Everything downstream is shared with the bright-field flow: greedy
+planarization of the straight-line drawing, optimal bipartization via
+the dual T-join, residual-conflict recheck, and end-to-end-space
+correction (a conflict is fixed by separating the two *features* to at
+least ``B``).  Having both variants side by side lets the benches
+compare conflict densities across the two mask styles on identical
+layouts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..correction.flow import CorrectionReport
+from ..correction.options import rect_pair_options
+from ..correction.setcover import CoverSet, greedy_weighted_set_cover
+from ..correction.spacer import SpaceCut, apply_cuts
+from ..geometry import neighbor_pairs
+from ..graph import (
+    GeomGraph,
+    greedy_planarize,
+    is_bipartite,
+    optimal_planar_bipartization,
+    residual_conflicts,
+    two_color,
+)
+from ..layout import CriticalFeature, Layout, Technology, extract_critical_features
+
+FeaturePair = Tuple[int, int]
+
+
+def interaction_distance(tech: Technology) -> int:
+    """Default dark-field interaction distance B.
+
+    Two clear features interfere when their separation is below the
+    shifter-spacing rule plus the optical margin the shifter extension
+    models; this keeps the two variants' rule decks comparable.
+    """
+    return tech.shifter_spacing + 2 * tech.shifter_extension
+
+
+@dataclass
+class DarkFieldGraph:
+    """Dark-field conflict graph plus feature bookkeeping."""
+
+    graph: GeomGraph
+    features: List[CriticalFeature]
+    node_feature: Dict[int, int]          # graph node -> feature index
+    edge_pair: Dict[int, FeaturePair]     # edge id -> feature-index pair
+
+
+def build_darkfield_graph(layout: Layout, tech: Technology,
+                          distance: Optional[int] = None
+                          ) -> DarkFieldGraph:
+    """One node per critical feature, one edge per interacting pair."""
+    if distance is None:
+        distance = interaction_distance(tech)
+    features = extract_critical_features(layout, tech)
+    graph = GeomGraph(name="darkfield")
+    node_feature: Dict[int, int] = {}
+    for node, feat in enumerate(features):
+        cx2, cy2 = feat.rect.center2
+        graph.add_node(node, (2 * cx2, 2 * cy2))
+        node_feature[node] = feat.index
+
+    edge_pair: Dict[int, FeaturePair] = {}
+    rects = [f.rect for f in features]
+    for i, j in neighbor_pairs(rects, distance):
+        sep = int(rects[i].separation_sq(rects[j]) ** 0.5)
+        weight = 1 + max(0, distance - sep)
+        edge = graph.add_edge(i, j, weight=weight,
+                              tag=("pair", (features[i].index,
+                                            features[j].index)))
+        edge_pair[edge.id] = (features[i].index, features[j].index)
+    return DarkFieldGraph(graph=graph, features=features,
+                          node_feature=node_feature, edge_pair=edge_pair)
+
+
+@dataclass
+class DarkFieldReport:
+    """Outcome of dark-field detection."""
+
+    layout_name: str
+    num_critical: int
+    num_edges: int
+    phase_assignable: bool
+    crossings_removed: int
+    conflicts: List[FeaturePair] = field(default_factory=list)
+    phases: Optional[Dict[int, int]] = None  # feature index -> 0/180
+    detect_seconds: float = 0.0
+
+
+def detect_darkfield_conflicts(layout: Layout, tech: Technology,
+                               distance: Optional[int] = None
+                               ) -> DarkFieldReport:
+    """Dark-field analogue of :func:`repro.conflict.detect_conflicts`."""
+    start = time.perf_counter()
+    df = build_darkfield_graph(layout, tech, distance)
+    graph = df.graph
+    report = DarkFieldReport(
+        layout_name=layout.name,
+        num_critical=len(df.features),
+        num_edges=graph.num_edges(),
+        phase_assignable=is_bipartite(graph),
+        crossings_removed=0,
+    )
+
+    potential = greedy_planarize(graph)
+    report.crossings_removed = len(potential)
+    bip = optimal_planar_bipartization(graph)
+    extra = residual_conflicts(graph, bip.removed, potential)
+    removed = sorted(set(bip.removed) | set(extra))
+    report.conflicts = sorted({df.edge_pair[eid] for eid in removed})
+
+    colors = two_color(graph, skip_edges=removed)
+    if colors is not None:
+        report.phases = {df.node_feature[n]: (0 if c == 0 else 180)
+                         for n, c in colors.items()
+                         if n in df.node_feature}
+    report.detect_seconds = time.perf_counter() - start
+    return report
+
+
+def correct_darkfield_conflicts(layout: Layout, tech: Technology,
+                                conflicts: List[FeaturePair],
+                                distance: Optional[int] = None
+                                ) -> Tuple[Layout, CorrectionReport]:
+    """Separate conflicting *feature* pairs with end-to-end spaces.
+
+    Same grid/set-cover machinery as the bright-field corrector, but
+    intervals come from feature (not shifter) geometry and the target
+    separation is the interaction distance.
+    """
+    if distance is None:
+        distance = interaction_distance(tech)
+    report = CorrectionReport(layout_name=layout.name,
+                              num_conflicts=len(conflicts),
+                              area_before=layout.die_area())
+    report.area_after = report.area_before
+
+    keyed = {key: (layout.features[key[0]], layout.features[key[1]])
+             for key in conflicts}
+    options = rect_pair_options(keyed, distance)
+    correctable = {k for k, opts in options.items() if opts}
+    report.uncorrectable = sorted(set(conflicts) - correctable)
+    if not correctable:
+        return layout.copy(), report
+
+    from ..correction.flow import build_grid_lines
+
+    lines = build_grid_lines({k: options[k] for k in correctable})
+    report.num_grid_candidates = len(lines)
+    report.max_cover = max(len(line.covers) for line in lines)
+    cover_sets = [CoverSet(id=i, elements=frozenset(line.covers),
+                           weight=line.width)
+                  for i, line in enumerate(lines)]
+    chosen = greedy_weighted_set_cover(correctable, cover_sets)
+    report.cuts = [SpaceCut(axis=lines[i].axis,
+                            position=lines[i].position,
+                            width=lines[i].width)
+                   for i in sorted(chosen)]
+    report.corrected = sorted(correctable)
+
+    total_x = sum(c.width for c in report.cuts if c.axis == "x")
+    total_y = sum(c.width for c in report.cuts if c.axis == "y")
+    box = layout.bbox()
+    if box is not None:
+        report.area_after = (box.width + total_x) * (box.height + total_y)
+    return apply_cuts(layout, report.cuts), report

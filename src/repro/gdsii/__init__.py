@@ -1,0 +1,26 @@
+"""Pure-Python GDSII stream reader/writer (substrate S2)."""
+
+from .bridge import gds_to_layout, layout_to_gds
+from .model import ARef, Boundary, GdsLibrary, GdsStructure, Path, SRef, Text
+from .reader import loads, read_gds
+from .records import GdsFormatError, decode_real8, encode_real8
+from .writer import dumps, write_gds
+
+__all__ = [
+    "GdsLibrary",
+    "GdsStructure",
+    "Boundary",
+    "Path",
+    "SRef",
+    "ARef",
+    "Text",
+    "read_gds",
+    "loads",
+    "write_gds",
+    "dumps",
+    "layout_to_gds",
+    "gds_to_layout",
+    "GdsFormatError",
+    "encode_real8",
+    "decode_real8",
+]

@@ -1,0 +1,147 @@
+"""Bridge between the GDSII object model and the flat layout database.
+
+Export draws every layer of a :class:`repro.layout.Layout` as rectangle
+boundaries in a single structure.  Import flattens hierarchy (SREF/AREF
+with 90-degree-multiple rotations and X reflection), converts
+Manhattan paths to rectangles where possible, and keeps only
+axis-aligned rectangle boundaries — the paper's layout model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Rect
+from ..layout import Layout
+from .model import ARef, Boundary, GdsLibrary, GdsStructure, Path, SRef
+
+Point = Tuple[int, int]
+
+
+def layout_to_gds(layout: Layout, libname: str = "REPRO") -> GdsLibrary:
+    """Export a flat layout as a one-structure GDSII library."""
+    lib = GdsLibrary(name=libname)
+    top = GdsStructure(name=layout.name.upper()[:32] or "TOP")
+    for layer in sorted(layout.layers):
+        for r in layout.layers[layer]:
+            top.boundaries.append(Boundary(
+                layer=layer, datatype=0,
+                points=[(r.x1, r.y1), (r.x2, r.y1), (r.x2, r.y2),
+                        (r.x1, r.y2), (r.x1, r.y1)]))
+    lib.add(top)
+    return lib
+
+
+def _transform_point(p: Point, origin: Point, reflect_x: bool,
+                     angle: float) -> Point:
+    x, y = p
+    if reflect_x:
+        y = -y
+    quarter = int(round(angle / 90.0)) % 4
+    if quarter == 1:
+        x, y = -y, x
+    elif quarter == 2:
+        x, y = -x, -y
+    elif quarter == 3:
+        x, y = y, -x
+    return (x + origin[0], y + origin[1])
+
+
+def _check_transform(ref) -> None:
+    if ref.mag != 1.0:
+        raise ValueError(f"magnification {ref.mag} not supported "
+                         f"(reference to {ref.sname})")
+    if abs(ref.angle / 90.0 - round(ref.angle / 90.0)) > 1e-9:
+        raise ValueError(f"non-orthogonal angle {ref.angle} "
+                         f"(reference to {ref.sname})")
+
+
+def _path_to_rects(path: Path) -> List[Rect]:
+    """Manhattan path segments as rectangles (pathtype 0 butt ends)."""
+    half = path.width // 2
+    rects: List[Rect] = []
+    for (x1, y1), (x2, y2) in zip(path.points, path.points[1:]):
+        if x1 == x2:
+            lo, hi = sorted((y1, y2))
+            rects.append(Rect(x1 - half, lo, x1 + half, hi))
+        elif y1 == y2:
+            lo, hi = sorted((x1, x2))
+            rects.append(Rect(lo, y1 - half, hi, y1 + half))
+        else:
+            raise ValueError("non-Manhattan path segment")
+    return rects
+
+
+def _flatten(lib: GdsLibrary, structure: GdsStructure,
+             origin: Point, reflect_x: bool, angle: float,
+             out: Dict[int, List[Rect]],
+             skipped: List[str], depth: int) -> None:
+    if depth > 64:
+        raise ValueError("reference recursion too deep (cycle?)")
+
+    def place(points: List[Point], layer: int, what: str) -> None:
+        moved = [_transform_point(p, origin, reflect_x, angle)
+                 for p in points]
+        b = Boundary(layer=layer, datatype=0, points=moved)
+        rect = b.is_rectangle()
+        if rect is None:
+            skipped.append(f"{structure.name}: non-rectangle {what}")
+        else:
+            out.setdefault(layer, []).append(Rect(*rect))
+
+    for b in structure.boundaries:
+        place(b.points, b.layer, "boundary")
+    for p in structure.paths:
+        for r in _path_to_rects(p):
+            place([(r.x1, r.y1), (r.x2, r.y1), (r.x2, r.y2),
+                   (r.x1, r.y2), (r.x1, r.y1)], p.layer, "path")
+
+    for ref in structure.srefs:
+        _check_transform(ref)
+        child = lib.structures[ref.sname]
+        child_origin = _transform_point(ref.origin, origin, reflect_x,
+                                        angle)
+        _flatten(lib, child, child_origin,
+                 reflect_x ^ ref.reflect_x,
+                 (angle + (-ref.angle if reflect_x else ref.angle))
+                 % 360.0,
+                 out, skipped, depth + 1)
+    for ref in structure.arefs:
+        _check_transform(ref)
+        child = lib.structures[ref.sname]
+        for col in range(ref.cols):
+            for row in range(ref.rows):
+                pos = (ref.origin[0] + col * ref.col_step[0]
+                       + row * ref.row_step[0],
+                       ref.origin[1] + col * ref.col_step[1]
+                       + row * ref.row_step[1])
+                child_origin = _transform_point(pos, origin, reflect_x,
+                                                angle)
+                _flatten(lib, child, child_origin,
+                         reflect_x ^ ref.reflect_x,
+                         (angle + (-ref.angle if reflect_x
+                                   else ref.angle)) % 360.0,
+                         out, skipped, depth + 1)
+
+
+def gds_to_layout(lib: GdsLibrary, top: Optional[str] = None
+                  ) -> Tuple[Layout, List[str]]:
+    """Flatten a library into a layout; returns (layout, skipped notes).
+
+    ``skipped`` lists non-rectangle shapes that were dropped (the flow's
+    layout model is rectangles, per the paper's assumption).
+    """
+    if top is None:
+        tops = lib.top_structures()
+        if not tops:
+            raise ValueError("library has no top structure")
+        structure = tops[0]
+    else:
+        structure = lib.structures[top]
+
+    out: Dict[int, List[Rect]] = {}
+    skipped: List[str] = []
+    _flatten(lib, structure, (0, 0), False, 0.0, out, skipped, 0)
+    layout = Layout(name=structure.name.lower())
+    layout.layers.update(out)
+    return layout, skipped

@@ -1,0 +1,175 @@
+"""GDSII stream reader."""
+
+from __future__ import annotations
+
+from typing import BinaryIO, List, Optional, Union
+
+from . import records as rec
+from .model import ARef, Boundary, GdsLibrary, GdsStructure, Path, SRef, Text
+from .records import GdsFormatError
+
+
+class _Parser:
+    """Single-pass recursive-descent parser over the record stream."""
+
+    def __init__(self, data: bytes):
+        self.records = list(rec.iter_records(data))
+        self.pos = 0
+
+    def peek(self):
+        if self.pos >= len(self.records):
+            raise GdsFormatError("unexpected end of stream")
+        return self.records[self.pos]
+
+    def take(self, expected: Optional[int] = None):
+        rtype, dtype, payload = self.peek()
+        if expected is not None and rtype != expected:
+            raise GdsFormatError(
+                f"expected {rec.RECORD_NAMES.get(expected, expected)}, "
+                f"got {rec.RECORD_NAMES.get(rtype, rtype)}")
+        self.pos += 1
+        return rtype, dtype, payload
+
+    # ------------------------------------------------------------------
+    def parse_library(self) -> GdsLibrary:
+        _, _, payload = self.take(rec.HEADER)
+        del payload  # version ignored
+        self.take(rec.BGNLIB)
+        _, _, name_payload = self.take(rec.LIBNAME)
+        lib = GdsLibrary(name=rec.unpack_ascii(name_payload))
+        _, _, units_payload = self.take(rec.UNITS)
+        units = rec.unpack_real8(units_payload)
+        if len(units) != 2:
+            raise GdsFormatError("UNITS must hold two reals")
+        lib.unit_user, lib.unit_meters = units
+
+        while True:
+            rtype, _, _ = self.peek()
+            if rtype == rec.ENDLIB:
+                self.take()
+                return lib
+            lib.add(self.parse_structure())
+
+    def parse_structure(self) -> GdsStructure:
+        self.take(rec.BGNSTR)
+        _, _, payload = self.take(rec.STRNAME)
+        structure = GdsStructure(name=rec.unpack_ascii(payload))
+        while True:
+            rtype, _, _ = self.peek()
+            if rtype == rec.ENDSTR:
+                self.take()
+                return structure
+            if rtype == rec.BOUNDARY:
+                structure.boundaries.append(self.parse_boundary())
+            elif rtype == rec.PATH:
+                structure.paths.append(self.parse_path())
+            elif rtype == rec.SREF:
+                structure.srefs.append(self.parse_sref())
+            elif rtype == rec.AREF:
+                structure.arefs.append(self.parse_aref())
+            elif rtype == rec.TEXT:
+                structure.texts.append(self.parse_text())
+            else:
+                # Unknown element: skip to its ENDEL for forward compat.
+                self._skip_element()
+
+    def _skip_element(self) -> None:
+        while True:
+            rtype, _, _ = self.take()
+            if rtype == rec.ENDEL:
+                return
+
+    def _element_fields(self):
+        """Collect records of one element until ENDEL, keyed by type."""
+        fields = {}
+        while True:
+            rtype, dtype, payload = self.take()
+            if rtype == rec.ENDEL:
+                return fields
+            fields[rtype] = (dtype, payload)
+
+    def parse_boundary(self) -> Boundary:
+        self.take(rec.BOUNDARY)
+        f = self._element_fields()
+        return Boundary(
+            layer=rec.unpack_int16(f[rec.LAYER][1])[0],
+            datatype=rec.unpack_int16(f.get(rec.DATATYPE,
+                                            (0, b"\x00\x00"))[1])[0],
+            points=rec.unpack_xy(f[rec.XY][1]),
+        )
+
+    def parse_path(self) -> Path:
+        self.take(rec.PATH)
+        f = self._element_fields()
+        return Path(
+            layer=rec.unpack_int16(f[rec.LAYER][1])[0],
+            datatype=rec.unpack_int16(f.get(rec.DATATYPE,
+                                            (0, b"\x00\x00"))[1])[0],
+            width=(rec.unpack_int32(f[rec.WIDTH][1])[0]
+                   if rec.WIDTH in f else 0),
+            pathtype=(rec.unpack_int16(f[rec.PATHTYPE][1])[0]
+                      if rec.PATHTYPE in f else 0),
+            points=rec.unpack_xy(f[rec.XY][1]),
+        )
+
+    def _strans_fields(self, f):
+        reflect_x = False
+        mag = 1.0
+        angle = 0.0
+        if rec.STRANS in f:
+            bits = int.from_bytes(f[rec.STRANS][1], "big")
+            reflect_x = bool(bits & 0x8000)
+        if rec.MAG in f:
+            mag = rec.unpack_real8(f[rec.MAG][1])[0]
+        if rec.ANGLE in f:
+            angle = rec.unpack_real8(f[rec.ANGLE][1])[0]
+        return reflect_x, mag, angle
+
+    def parse_sref(self) -> SRef:
+        self.take(rec.SREF)
+        f = self._element_fields()
+        reflect_x, mag, angle = self._strans_fields(f)
+        (origin,) = rec.unpack_xy(f[rec.XY][1])
+        return SRef(sname=rec.unpack_ascii(f[rec.SNAME][1]),
+                    origin=origin, reflect_x=reflect_x, mag=mag,
+                    angle=angle)
+
+    def parse_aref(self) -> ARef:
+        self.take(rec.AREF)
+        f = self._element_fields()
+        reflect_x, mag, angle = self._strans_fields(f)
+        cols, rows = rec.unpack_int16(f[rec.COLROW][1])
+        origin, col_corner, row_corner = rec.unpack_xy(f[rec.XY][1])
+        col_step = ((col_corner[0] - origin[0]) // cols,
+                    (col_corner[1] - origin[1]) // cols)
+        row_step = ((row_corner[0] - origin[0]) // rows,
+                    (row_corner[1] - origin[1]) // rows)
+        return ARef(sname=rec.unpack_ascii(f[rec.SNAME][1]),
+                    cols=cols, rows=rows, origin=origin,
+                    col_step=col_step, row_step=row_step,
+                    reflect_x=reflect_x, mag=mag, angle=angle)
+
+    def parse_text(self) -> Text:
+        self.take(rec.TEXT)
+        f = self._element_fields()
+        (origin,) = rec.unpack_xy(f[rec.XY][1])
+        return Text(layer=rec.unpack_int16(f[rec.LAYER][1])[0],
+                    texttype=(rec.unpack_int16(f[rec.TEXTTYPE][1])[0]
+                              if rec.TEXTTYPE in f else 0),
+                    origin=origin,
+                    string=rec.unpack_ascii(f[rec.STRING][1]))
+
+
+def loads(data: bytes) -> GdsLibrary:
+    """Parse GDSII stream bytes into a library."""
+    return _Parser(data).parse_library()
+
+
+def read_gds(source: Union[str, BinaryIO]) -> GdsLibrary:
+    """Read a library from a path or binary stream."""
+    if isinstance(source, (str, bytes)):
+        with open(source, "rb") as f:
+            data = f.read()
+    else:
+        data = source.read()
+    return loads(data)

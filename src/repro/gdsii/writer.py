@@ -1,0 +1,121 @@
+"""GDSII stream writer."""
+
+from __future__ import annotations
+
+import io
+from typing import BinaryIO, List, Union
+
+from . import records as rec
+from .model import ARef, Boundary, GdsLibrary, GdsStructure, Path, SRef, Text
+
+# A fixed, valid timestamp (year, month, day, hour, minute, second) x2;
+# deterministic output makes byte-level round-trip tests trivial.
+_TIMESTAMP = [2005, 3, 7, 0, 0, 0]
+
+
+def _xy(points) -> bytes:
+    flat: List[int] = []
+    for x, y in points:
+        flat.append(x)
+        flat.append(y)
+    return rec.pack_int32(rec.XY, flat)
+
+
+def _strans(reflect_x: bool, mag: float, angle: float) -> bytes:
+    out = b""
+    if reflect_x or mag != 1.0 or angle != 0.0:
+        bits = 0x8000 if reflect_x else 0
+        out += rec.pack_record(rec.STRANS, rec.DT_BITARRAY,
+                               bits.to_bytes(2, "big"))
+        if mag != 1.0:
+            out += rec.pack_real8(rec.MAG, [mag])
+        if angle != 0.0:
+            out += rec.pack_real8(rec.ANGLE, [angle])
+    return out
+
+
+def _boundary(b: Boundary) -> bytes:
+    return (rec.pack_record(rec.BOUNDARY, rec.DT_NONE)
+            + rec.pack_int16(rec.LAYER, [b.layer])
+            + rec.pack_int16(rec.DATATYPE, [b.datatype])
+            + _xy(b.points)
+            + rec.pack_record(rec.ENDEL, rec.DT_NONE))
+
+
+def _path(p: Path) -> bytes:
+    return (rec.pack_record(rec.PATH, rec.DT_NONE)
+            + rec.pack_int16(rec.LAYER, [p.layer])
+            + rec.pack_int16(rec.DATATYPE, [p.datatype])
+            + rec.pack_int16(rec.PATHTYPE, [p.pathtype])
+            + rec.pack_int32(rec.WIDTH, [p.width])
+            + _xy(p.points)
+            + rec.pack_record(rec.ENDEL, rec.DT_NONE))
+
+
+def _sref(r: SRef) -> bytes:
+    return (rec.pack_record(rec.SREF, rec.DT_NONE)
+            + rec.pack_ascii(rec.SNAME, r.sname)
+            + _strans(r.reflect_x, r.mag, r.angle)
+            + _xy([r.origin])
+            + rec.pack_record(rec.ENDEL, rec.DT_NONE))
+
+
+def _aref(r: ARef) -> bytes:
+    ox, oy = r.origin
+    col_corner = (ox + r.cols * r.col_step[0],
+                  oy + r.cols * r.col_step[1])
+    row_corner = (ox + r.rows * r.row_step[0],
+                  oy + r.rows * r.row_step[1])
+    return (rec.pack_record(rec.AREF, rec.DT_NONE)
+            + rec.pack_ascii(rec.SNAME, r.sname)
+            + _strans(r.reflect_x, r.mag, r.angle)
+            + rec.pack_int16(rec.COLROW, [r.cols, r.rows])
+            + _xy([r.origin, col_corner, row_corner])
+            + rec.pack_record(rec.ENDEL, rec.DT_NONE))
+
+
+def _text(t: Text) -> bytes:
+    return (rec.pack_record(rec.TEXT, rec.DT_NONE)
+            + rec.pack_int16(rec.LAYER, [t.layer])
+            + rec.pack_int16(rec.TEXTTYPE, [t.texttype])
+            + _xy([t.origin])
+            + rec.pack_ascii(rec.STRING, t.string)
+            + rec.pack_record(rec.ENDEL, rec.DT_NONE))
+
+
+def _structure(s: GdsStructure) -> bytes:
+    chunks = [rec.pack_int16(rec.BGNSTR, _TIMESTAMP * 2),
+              rec.pack_ascii(rec.STRNAME, s.name)]
+    chunks.extend(_boundary(b) for b in s.boundaries)
+    chunks.extend(_path(p) for p in s.paths)
+    chunks.extend(_sref(r) for r in s.srefs)
+    chunks.extend(_aref(r) for r in s.arefs)
+    chunks.extend(_text(t) for t in s.texts)
+    chunks.append(rec.pack_record(rec.ENDSTR, rec.DT_NONE))
+    return b"".join(chunks)
+
+
+def dumps(library: GdsLibrary) -> bytes:
+    """Serialize a library to GDSII stream bytes."""
+    chunks = [
+        rec.pack_int16(rec.HEADER, [600]),  # stream version 6
+        rec.pack_int16(rec.BGNLIB, _TIMESTAMP * 2),
+        rec.pack_ascii(rec.LIBNAME, library.name),
+        rec.pack_real8(rec.UNITS, [library.unit_user,
+                                   library.unit_meters]),
+    ]
+    for name in sorted(library.structures):
+        chunks.append(_structure(library.structures[name]))
+    chunks.append(rec.pack_record(rec.ENDLIB, rec.DT_NONE))
+    return b"".join(chunks)
+
+
+def write_gds(library: GdsLibrary,
+              target: Union[str, BinaryIO]) -> None:
+    """Write a library to a path or binary stream."""
+    data = dumps(library)
+    if isinstance(target, (str, bytes)):
+        with open(target, "wb") as f:
+            f.write(data)
+    else:
+        target.write(data)

@@ -1,0 +1,135 @@
+"""Closed integer intervals on a single axis.
+
+All layout arithmetic in :mod:`repro` is done in integer database units
+(1 dbu = 1 nm by convention), so intervals are closed ``[lo, hi]`` ranges
+with integer endpoints.  An interval with ``lo == hi`` is a single point
+and is considered non-empty; emptiness is only produced by operations such
+as :meth:`Interval.intersection` and is represented by ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"Interval lo={self.lo} > hi={self.hi}")
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Extent of the interval (0 for a single point)."""
+        return self.hi - self.lo
+
+    @property
+    def center2(self) -> int:
+        """Twice the centre coordinate (kept integral)."""
+        return self.lo + self.hi
+
+    def __contains__(self, x: int) -> bool:
+        return self.lo <= x <= self.hi
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the closed intervals share at least one point."""
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def strictly_overlaps(self, other: "Interval") -> bool:
+        """True if the open interiors intersect (more than a point touch)."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def gap_to(self, other: "Interval") -> int:
+        """Distance between the intervals; ``<= 0`` when they overlap.
+
+        A negative result is minus the overlap length, which is often a
+        useful quantity for spacing computations.
+        """
+        if other.lo > self.hi:
+            return other.lo - self.hi
+        if self.lo > other.hi:
+            return self.lo - other.hi
+        return -min(self.hi, other.hi) + max(self.lo, other.lo)
+
+    # ------------------------------------------------------------------
+    # Constructions
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Interval") -> Optional["Interval"]:
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def expanded(self, amount: int) -> "Interval":
+        """Grow (or shrink, if negative) both ends by ``amount``."""
+        return Interval(self.lo - amount, self.hi + amount)
+
+    def shifted(self, delta: int) -> "Interval":
+        return Interval(self.lo + delta, self.hi + delta)
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Merge overlapping/touching closed intervals into a disjoint list."""
+    merged: List[Interval] = []
+    for iv in sorted(intervals):
+        if merged and iv.lo <= merged[-1].hi:
+            if iv.hi > merged[-1].hi:
+                merged[-1] = Interval(merged[-1].lo, iv.hi)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def total_length(intervals: Sequence[Interval]) -> int:
+    """Total measure of a set of intervals counting overlaps once."""
+    return sum(iv.length for iv in merge_intervals(intervals))
+
+
+def interval_point_cover(intervals: Sequence[Interval]) -> List[int]:
+    """Return a minimal set of points stabbing every interval.
+
+    Classic greedy: sort by right endpoint, pick it whenever the current
+    interval is not yet stabbed.  Used by the correction grid-line
+    pre-selection and in tests as a lower-bound oracle for set cover.
+    """
+    points: List[int] = []
+    for iv in sorted(intervals, key=lambda i: i.hi):
+        if not points or points[-1] < iv.lo:
+            points.append(iv.hi)
+    return points
+
+
+def endpoints(intervals: Iterable[Interval]) -> List[int]:
+    """Sorted unique endpoints of a collection of intervals."""
+    pts = set()
+    for iv in intervals:
+        pts.add(iv.lo)
+        pts.add(iv.hi)
+    return sorted(pts)
+
+
+def stab_count(intervals: Sequence[Interval], x: int) -> int:
+    """Number of intervals containing the point ``x``."""
+    return sum(1 for iv in intervals if x in iv)
+
+
+Span = Tuple[int, int]

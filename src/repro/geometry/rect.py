@@ -1,0 +1,243 @@
+"""Axis-aligned integer rectangles.
+
+Rectangles are the primitive of the whole reproduction: layout features,
+phase shifters, overlap regions and inserted spaces are all ``Rect``
+instances in integer database units (nm).  The class is immutable so rects
+can be dict keys and set members, which the conflict-graph construction
+relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from .interval import Interval
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """Closed axis-aligned rectangle ``[x1, x2] x [y1, y2]``.
+
+    Degenerate (zero width or height) rectangles are rejected: layout
+    features always have positive area.
+    """
+
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+
+    def __post_init__(self) -> None:
+        if self.x1 >= self.x2 or self.y1 >= self.y2:
+            raise ValueError(
+                f"Degenerate rect ({self.x1},{self.y1},{self.x2},{self.y2})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_center(cx: int, cy: int, width: int, height: int) -> "Rect":
+        """Rect centred on (cx, cy); width/height must be even to stay
+        on the integer grid."""
+        if width <= 0 or height <= 0:
+            raise ValueError("width/height must be positive")
+        return Rect(cx - width // 2, cy - height // 2,
+                    cx - width // 2 + width, cy - height // 2 + height)
+
+    @staticmethod
+    def from_spans(xspan: Interval, yspan: Interval) -> "Rect":
+        return Rect(xspan.lo, yspan.lo, xspan.hi, yspan.hi)
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> int:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def min_dimension(self) -> int:
+        """The critical dimension of the shape (its drawn line width)."""
+        return min(self.width, self.height)
+
+    @property
+    def max_dimension(self) -> int:
+        return max(self.width, self.height)
+
+    @property
+    def xspan(self) -> Interval:
+        return Interval(self.x1, self.x2)
+
+    @property
+    def yspan(self) -> Interval:
+        return Interval(self.y1, self.y2)
+
+    @property
+    def center2(self) -> Tuple[int, int]:
+        """Twice the centre point, kept integral for exact geometry."""
+        return (self.x1 + self.x2, self.y1 + self.y2)
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
+
+    @property
+    def is_vertical(self) -> bool:
+        """True when the shape runs vertically (height >= width)."""
+        return self.height >= self.width
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def intersects(self, other: "Rect") -> bool:
+        """Closed intersection test (touching rects intersect)."""
+        return (self.x1 <= other.x2 and other.x1 <= self.x2 and
+                self.y1 <= other.y2 and other.y1 <= self.y2)
+
+    def strictly_intersects(self, other: "Rect") -> bool:
+        """Open intersection test (positive-area overlap)."""
+        return (self.x1 < other.x2 and other.x1 < self.x2 and
+                self.y1 < other.y2 and other.y1 < self.y2)
+
+    def contains_point(self, x: int, y: int) -> bool:
+        return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (self.x1 <= other.x1 and other.x2 <= self.x2 and
+                self.y1 <= other.y1 and other.y2 <= self.y2)
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """Positive-area intersection, or None."""
+        x1 = max(self.x1, other.x1)
+        y1 = max(self.y1, other.y1)
+        x2 = min(self.x2, other.x2)
+        y2 = min(self.y2, other.y2)
+        if x1 >= x2 or y1 >= y2:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def x_gap(self, other: "Rect") -> int:
+        """Gap between x-projections (``<= 0`` when they overlap in x)."""
+        return self.xspan.gap_to(other.xspan)
+
+    def y_gap(self, other: "Rect") -> int:
+        return self.yspan.gap_to(other.yspan)
+
+    def separation_sq(self, other: "Rect") -> int:
+        """Squared Euclidean separation between the two closed rects.
+
+        Standard DRC semantics: 0 if the rects touch or overlap; the gap
+        in the free axis if their projections overlap in the other axis;
+        corner-to-corner Euclidean distance otherwise.  Returned squared
+        so callers can compare against ``rule*rule`` exactly in ints.
+        """
+        dx = max(0, self.x_gap(other))
+        dy = max(0, self.y_gap(other))
+        return dx * dx + dy * dy
+
+    def separation(self, other: "Rect") -> float:
+        return math.sqrt(self.separation_sq(other))
+
+    def within_distance(self, other: "Rect", dist: int) -> bool:
+        """True if the rect separation is strictly less than ``dist``."""
+        return self.separation_sq(other) < dist * dist
+
+    # ------------------------------------------------------------------
+    # Constructions
+    # ------------------------------------------------------------------
+    def inflated(self, amount: int) -> "Rect":
+        """Grow all four sides outward by ``amount`` (may be negative)."""
+        return Rect(self.x1 - amount, self.y1 - amount,
+                    self.x2 + amount, self.y2 + amount)
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def hull(self, other: "Rect") -> "Rect":
+        return Rect(min(self.x1, other.x1), min(self.y1, other.y1),
+                    max(self.x2, other.x2), max(self.y2, other.y2))
+
+    def between_region(self, other: "Rect") -> Optional["Rect"]:
+        """The open region separating two disjoint rects, if box-like.
+
+        For two rects whose x-projections overlap but y-projections do
+        not, this is the rectangle spanning the y-gap over the common
+        x-range (and symmetrically).  Used by the feature-graph builder
+        to place "conflict nodes" at the centre of the overlap *region*,
+        which is the geometric detour the paper criticises.  Returns
+        None for corner-to-corner or intersecting configurations.
+        """
+        xi = self.xspan.intersection(other.xspan)
+        yi = self.yspan.intersection(other.yspan)
+        if xi is not None and yi is None and xi.length > 0:
+            lo, hi = ((self, other) if self.y2 <= other.y1 else (other, self))
+            if lo.y2 < hi.y1:
+                return Rect(xi.lo, lo.y2, xi.hi, hi.y1)
+            return None
+        if yi is not None and xi is None and yi.length > 0:
+            lo, hi = ((self, other) if self.x2 <= other.x1 else (other, self))
+            if lo.x2 < hi.x1:
+                return Rect(lo.x2, yi.lo, hi.x1, yi.hi)
+            return None
+        return None
+
+
+def bounding_box(rects: Iterable[Rect]) -> Optional[Rect]:
+    """Hull of a collection of rects (None for an empty collection)."""
+    it = iter(rects)
+    try:
+        box = next(it)
+    except StopIteration:
+        return None
+    for r in it:
+        box = box.hull(r)
+    return box
+
+
+def union_area(rects: Iterable[Rect]) -> int:
+    """Exact area of the union of rectangles (coordinate-compression sweep).
+
+    O(n^2) in the worst case but n here is a layout window or a shifter
+    neighbourhood, not a full chip; the full-chip statistics use layer
+    bookkeeping instead.
+    """
+    rects = list(rects)
+    if not rects:
+        return 0
+    xs = sorted({r.x1 for r in rects} | {r.x2 for r in rects})
+    total = 0
+    for xa, xb in zip(xs, xs[1:]):
+        if xa == xb:
+            continue
+        spans = [r.yspan for r in rects if r.x1 <= xa and r.x2 >= xb]
+        if not spans:
+            continue
+        covered = 0
+        last = None
+        for iv in sorted(spans):
+            lo = iv.lo if last is None else max(iv.lo, last)
+            if iv.hi > lo:
+                covered += iv.hi - lo
+            last = iv.hi if last is None else max(last, iv.hi)
+        total += covered * (xb - xa)
+    return total
+
+
+def pairwise_disjoint(rects: List[Rect]) -> bool:
+    """True when no two rects have a positive-area overlap."""
+    for i, a in enumerate(rects):
+        for b in rects[i + 1:]:
+            if a.strictly_intersects(b):
+                return False
+    return True

@@ -1,0 +1,100 @@
+"""Uniform-grid spatial index for rectangles and segments.
+
+Conflict detection repeatedly asks "which shifters are within the spacing
+rule of this one?" and planarization asks "which edges might cross this
+one?".  Both are answered with a simple bucket grid — predictable,
+allocation-light and easily fast enough for the tens of thousands of
+shapes in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, Iterator, List, Set, Tuple, TypeVar
+
+from .rect import Rect
+
+T = TypeVar("T")
+
+
+class GridIndex(Generic[T]):
+    """Bucket grid mapping cells to the items whose bbox touches them."""
+
+    def __init__(self, cell_size: int):
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = cell_size
+        self._cells: Dict[Tuple[int, int], List[T]] = defaultdict(list)
+        self._bboxes: Dict[T, Tuple[int, int, int, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._bboxes)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._bboxes
+
+    def _cells_for(self, x1: int, y1: int, x2: int, y2: int
+                   ) -> Iterator[Tuple[int, int]]:
+        cs = self.cell_size
+        for cx in range(x1 // cs, x2 // cs + 1):
+            for cy in range(y1 // cs, y2 // cs + 1):
+                yield (cx, cy)
+
+    # ------------------------------------------------------------------
+    def insert(self, item: T, bbox: Tuple[int, int, int, int]) -> None:
+        if item in self._bboxes:
+            raise KeyError(f"duplicate item {item!r}")
+        self._bboxes[item] = bbox
+        for cell in self._cells_for(*bbox):
+            self._cells[cell].append(item)
+
+    def insert_rect(self, item: T, rect: Rect) -> None:
+        self.insert(item, (rect.x1, rect.y1, rect.x2, rect.y2))
+
+    def remove(self, item: T) -> None:
+        bbox = self._bboxes.pop(item)
+        for cell in self._cells_for(*bbox):
+            bucket = self._cells[cell]
+            bucket.remove(item)
+            if not bucket:
+                del self._cells[cell]
+
+    # ------------------------------------------------------------------
+    def query(self, x1: int, y1: int, x2: int, y2: int) -> Set[T]:
+        """Items whose bbox overlaps the query window."""
+        out: Set[T] = set()
+        for cell in self._cells_for(x1, y1, x2, y2):
+            for item in self._cells.get(cell, ()):
+                bx1, by1, bx2, by2 = self._bboxes[item]
+                if bx1 <= x2 and x1 <= bx2 and by1 <= y2 and y1 <= by2:
+                    out.add(item)
+        return out
+
+    def query_rect(self, rect: Rect, margin: int = 0) -> Set[T]:
+        return self.query(rect.x1 - margin, rect.y1 - margin,
+                          rect.x2 + margin, rect.y2 + margin)
+
+    def items(self) -> Iterable[T]:
+        return self._bboxes.keys()
+
+
+def neighbor_pairs(rects: List[Rect], dist: int) -> List[Tuple[int, int]]:
+    """Indices ``(i, j), i < j`` of rect pairs with separation < ``dist``.
+
+    The workhorse of shifter-overlap extraction.  The grid cell size is
+    tied to the typical shape size plus the interaction distance so each
+    query touches O(1) buckets on realistic layouts.
+    """
+    if not rects:
+        return []
+    avg_dim = max(1, sum(r.max_dimension for r in rects) // len(rects))
+    index: GridIndex[int] = GridIndex(cell_size=max(avg_dim + dist, 1))
+    for i, r in enumerate(rects):
+        index.insert_rect(i, r)
+    pairs: List[Tuple[int, int]] = []
+    for i, r in enumerate(rects):
+        for j in index.query_rect(r, margin=dist):
+            if j > i and rects[j].within_distance(r, dist):
+                pairs.append((i, j))
+    pairs.sort()
+    return pairs

@@ -1,0 +1,80 @@
+"""Geometric graph stack (substrates S5-S8).
+
+Construction (:class:`GeomGraph`), planarization by greedy crossing
+removal, exact face tracing, geometric duals, T-join solvers (reference
+shortest-path reduction and the paper's generalized-gadget reduction),
+minimum-weight perfect matching, and the bipartization algorithms the
+paper compares.
+"""
+
+from .bipartize import (
+    METHOD_GADGET,
+    METHOD_PATHS,
+    BipartizationResult,
+    greedy_odd_cycle_bipartization,
+    greedy_spanning_tree_bipartization,
+    optimal_planar_bipartization,
+)
+from .coloring import ParityDSU, is_bipartite, residual_conflicts, two_color
+from .crossings import count_crossings, find_crossing_pairs, greedy_planarize
+from .dual import DualGraph, build_dual
+from .embedding import PlanarEmbedding, build_embedding
+from .gadgets import (
+    GadgetGraph,
+    build_gadget_graph,
+    extract_tjoin,
+    min_tjoin_gadget,
+)
+from .geomgraph import Edge, GeomGraph
+from .matching import (
+    NoPerfectMatchingError,
+    brute_force_perfect_matching,
+    is_perfect_matching,
+    min_weight_perfect_matching,
+)
+from .odd_cycles import (
+    moniwa_iterative_bipartization,
+    shortest_odd_cycle,
+)
+from .tjoin import (
+    TJoinInfeasibleError,
+    is_tjoin,
+    min_tjoin_brute_force,
+    min_tjoin_shortest_paths,
+)
+
+__all__ = [
+    "GeomGraph",
+    "Edge",
+    "find_crossing_pairs",
+    "count_crossings",
+    "greedy_planarize",
+    "PlanarEmbedding",
+    "build_embedding",
+    "DualGraph",
+    "build_dual",
+    "min_weight_perfect_matching",
+    "brute_force_perfect_matching",
+    "is_perfect_matching",
+    "NoPerfectMatchingError",
+    "min_tjoin_shortest_paths",
+    "min_tjoin_brute_force",
+    "is_tjoin",
+    "TJoinInfeasibleError",
+    "GadgetGraph",
+    "build_gadget_graph",
+    "extract_tjoin",
+    "min_tjoin_gadget",
+    "two_color",
+    "is_bipartite",
+    "residual_conflicts",
+    "ParityDSU",
+    "BipartizationResult",
+    "optimal_planar_bipartization",
+    "greedy_spanning_tree_bipartization",
+    "greedy_odd_cycle_bipartization",
+    "METHOD_GADGET",
+    "METHOD_PATHS",
+    "shortest_odd_cycle",
+    "moniwa_iterative_bipartization",
+]

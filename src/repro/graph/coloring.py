@@ -1,0 +1,134 @@
+"""Two-coloring and parity bookkeeping.
+
+Every edge of a phase conflict graph means "endpoints take different
+colors" (overlap constraints are expanded into two such edges through
+the overlap node), so phase assignment is exactly 2-coloring.  The
+parity union-find here also powers the greedy bipartization baseline and
+step 3 of the detection flow.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .geomgraph import GeomGraph
+
+
+class ParityDSU:
+    """Union-find where every element knows its color parity to the root."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+        self._parity: Dict[int, int] = {}
+        self._rank: Dict[int, int] = {}
+
+    def add(self, x: int) -> None:
+        if x not in self._parent:
+            self._parent[x] = x
+            self._parity[x] = 0
+            self._rank[x] = 0
+
+    def find(self, x: int) -> Tuple[int, int]:
+        """Returns (root, parity of x relative to root)."""
+        self.add(x)
+        path: List[int] = []
+        while self._parent[x] != x:
+            path.append(x)
+            x = self._parent[x]
+        parity = 0
+        for node in reversed(path):
+            parity ^= self._parity[node]
+            self._parent[node] = x
+            self._parity[node] = parity
+        return x, self._parity[path[0]] if path else 0
+
+    def union_unequal(self, a: int, b: int) -> bool:
+        """Record "a and b have different colors".
+
+        Returns False (and changes nothing) if that contradicts the
+        constraints recorded so far, i.e. the edge would close an odd
+        cycle.
+        """
+        ra, pa = self.find(a)
+        rb, pb = self.find(b)
+        if ra == rb:
+            return pa != pb
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+            pa, pb = pb, pa
+        self._parent[rb] = ra
+        self._parity[rb] = pa ^ pb ^ 1
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return True
+
+
+def two_color(graph: GeomGraph,
+              skip_edges: Iterable[int] = ()) -> Optional[Dict[int, int]]:
+    """Proper 2-coloring of the live graph minus ``skip_edges``.
+
+    Returns node -> {0, 1}, or None when the remaining graph is not
+    bipartite.  Deterministic: BFS from nodes in sorted order, color 0
+    at every BFS root.
+    """
+    skip = set(skip_edges)
+    colors: Dict[int, int] = {}
+    for start in sorted(graph.nodes):
+        if start in colors:
+            continue
+        colors[start] = 0
+        queue = [start]
+        while queue:
+            node = queue.pop()
+            for e in graph.incident(node):
+                if e.id in skip:
+                    continue
+                if e.is_self_loop:
+                    return None
+                nxt = e.other(node)
+                if nxt not in colors:
+                    colors[nxt] = colors[node] ^ 1
+                    queue.append(nxt)
+                elif colors[nxt] == colors[node]:
+                    return None
+    return colors
+
+
+def is_bipartite(graph: GeomGraph,
+                 skip_edges: Iterable[int] = ()) -> bool:
+    return two_color(graph, skip_edges) is not None
+
+
+def residual_conflicts(graph: GeomGraph, deleted: Sequence[int],
+                       candidates: Sequence[int]) -> List[int]:
+    """Step 3 of the paper flow: which planarization casualties matter?
+
+    Colors the graph without ``deleted`` and ``candidates``, then re-adds
+    the candidate edges — heaviest first, so expensive edges are kept
+    whenever the parity structure allows — returning those that would
+    close an odd cycle (the endpoints already have equal colors).  A
+    parity union-find generalizes the paper's single 2-coloring: it also
+    handles candidates that reconnect separate components, which a fixed
+    coloring would misclassify.
+    """
+    deleted_set = set(deleted)
+    candidate_set = set(candidates)
+    dsu = ParityDSU()
+    for node in graph.nodes:
+        dsu.add(node)
+    for e in graph.edges():
+        if e.id in deleted_set or e.id in candidate_set:
+            continue
+        if not dsu.union_unequal(e.u, e.v):
+            raise ValueError(
+                "graph minus deleted edges is not bipartite; "
+                "bipartization output is inconsistent")
+
+    ordered = sorted(candidate_set,
+                     key=lambda eid: (-graph.edge(eid).weight, eid))
+    conflicts: List[int] = []
+    for eid in ordered:
+        e = graph.edge(eid)
+        if not dsu.union_unequal(e.u, e.v):
+            conflicts.append(eid)
+    return sorted(conflicts)

@@ -1,0 +1,93 @@
+"""Straight-line crossing detection and greedy planarization.
+
+Paper §3, step 1(b): the phase conflict graph "is converted to an
+embedded planar graph by applying the planar embedding algorithm [a
+straight-line drawing at the layout coordinates] and greedily removing
+minimum weight edges that cross other edges.  These edges are added to a
+potential set of AAPSM conflicts P."
+
+Two edges *conflict* when their segments share any point that is not a
+common endpoint (proper crossings, T-junctions, collinear overlaps, and
+distinct nodes drawn at the same point) — see
+:func:`repro.geometry.segments_conflict`.  After planarization the
+drawing is a valid plane straight-line graph, so face tracing by angular
+order is exact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from ..geometry import GridIndex, segment_bbox, segments_conflict
+from .geomgraph import GeomGraph
+
+
+def find_crossing_pairs(graph: GeomGraph) -> List[Tuple[int, int]]:
+    """All conflicting live edge pairs ``(i, j), i < j``.
+
+    Uses a uniform grid over segment bounding boxes; exact integer
+    predicates decide each candidate pair.
+    """
+    edges = [e for e in graph.edges() if not e.is_self_loop]
+    if not edges:
+        return []
+    boxes = {e.id: segment_bbox(*graph.segment(e.id)) for e in edges}
+    spans = [max(b[2] - b[0], b[3] - b[1]) for b in boxes.values()]
+    cell = max(1, sorted(spans)[len(spans) // 2] + 1)
+    index: GridIndex[int] = GridIndex(cell_size=cell)
+    for e in edges:
+        index.insert(e.id, boxes[e.id])
+
+    pairs: Set[Tuple[int, int]] = set()
+    for e in edges:
+        a, b = graph.segment(e.id)
+        for other_id in index.query(*boxes[e.id]):
+            if other_id <= e.id:
+                continue
+            other = graph.edge(other_id)
+            if other.u == other.v:
+                continue
+            c, d = graph.segment(other_id)
+            if segments_conflict(a, b, c, d):
+                pairs.add((e.id, other_id))
+    return sorted(pairs)
+
+
+def count_crossings(graph: GeomGraph) -> int:
+    """Number of conflicting edge pairs in the current drawing."""
+    return len(find_crossing_pairs(graph))
+
+
+def greedy_planarize(graph: GeomGraph) -> List[int]:
+    """Remove minimum-weight crossing edges until the drawing is planar.
+
+    Mutates ``graph`` (soft removal) and returns the removed edge ids —
+    the paper's potential-conflict set ``P``.  Greedy rule: while any
+    conflicts remain, delete the minimum-weight edge involved in at
+    least one conflict (ties broken by most conflicts, then by id, so
+    runs are deterministic).
+    """
+    pairs = find_crossing_pairs(graph)
+    if not pairs:
+        return []
+    conflicts: Dict[int, Set[int]] = defaultdict(set)
+    for a, b in pairs:
+        conflicts[a].add(b)
+        conflicts[b].add(a)
+
+    removed: List[int] = []
+    while conflicts:
+        victim = min(
+            conflicts,
+            key=lambda eid: (graph.edge(eid).weight, -len(conflicts[eid]),
+                             eid),
+        )
+        graph.remove_edge(victim)
+        removed.append(victim)
+        for other in conflicts.pop(victim):
+            peers = conflicts[other]
+            peers.discard(victim)
+            if not peers:
+                del conflicts[other]
+    return removed

@@ -1,0 +1,53 @@
+"""Geometric dual graphs.
+
+The minimum-weight bipartization of an embedded planar graph equals a
+minimum-weight T-join on its geometric dual, where T is the set of
+odd-length faces (paper §2, after Kahng et al. TCAD'99): deleting a
+primal edge merges its two faces, and a set of deletions kills all odd
+faces iff its dual edges form a T-join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from .embedding import PlanarEmbedding
+from .geomgraph import GeomGraph
+
+PRIMAL_TAG = "primal"
+
+
+@dataclass
+class DualGraph:
+    """Dual multigraph plus the odd-face T set.
+
+    Dual nodes are face indices of the embedding.  Every live primal
+    edge becomes one dual edge carrying the primal weight; a primal
+    bridge becomes a dual self-loop (which no minimum T-join ever uses,
+    since w >= 0 and a self-loop cannot change degree parity).
+    """
+
+    graph: GeomGraph
+    tset: Set[int]
+    primal_of: Dict[int, int]  # dual edge id -> primal edge id
+
+    def primal_edges(self, dual_edge_ids) -> List[int]:
+        return sorted(self.primal_of[eid] for eid in dual_edge_ids)
+
+
+def build_dual(embedding: PlanarEmbedding) -> DualGraph:
+    """Construct the dual of an embedded planar graph."""
+    dual = GeomGraph(name=f"{embedding.graph.name}#dual")
+    for face_index in range(embedding.num_faces):
+        dual.add_node(face_index)
+
+    primal_of: Dict[int, int] = {}
+    for e in embedding.graph.edges():
+        f1, f2 = embedding.edge_faces(e.id)
+        dual_edge = dual.add_edge(f1, f2, weight=e.weight,
+                                  tag=(PRIMAL_TAG, e.id))
+        primal_of[dual_edge.id] = e.id
+
+    return DualGraph(graph=dual, tset=set(embedding.odd_faces()),
+                     primal_of=primal_of)

@@ -1,0 +1,157 @@
+"""Planar embedding of a crossing-free straight-line drawing.
+
+After greedy planarization the graph drawing is a plane straight-line
+graph, so its combinatorial embedding is simply the angular order of
+edges around every node.  Faces are the orbits of the classic
+next-dart permutation; the geometric dual and the odd-face set T fall
+out of the face table.
+
+All angle comparisons are exact (integer cross products), so the face
+structure is deterministic and independent of floating-point behaviour.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .geomgraph import GeomGraph
+
+# A dart is a directed copy of an edge: (edge_id, 0) runs u -> v,
+# (edge_id, 1) runs v -> u.
+Dart = Tuple[int, int]
+
+
+def _half(dx: int, dy: int) -> int:
+    """0 for directions in [0, pi), 1 for [pi, 2*pi) — exact."""
+    if dy > 0 or (dy == 0 and dx > 0):
+        return 0
+    return 1
+
+
+def _direction_cmp(d1: Tuple[int, int], d2: Tuple[int, int]) -> int:
+    """Exact counter-clockwise comparison of two nonzero directions."""
+    h1 = _half(*d1)
+    h2 = _half(*d2)
+    if h1 != h2:
+        return -1 if h1 < h2 else 1
+    cross = d1[0] * d2[1] - d1[1] * d2[0]
+    if cross > 0:
+        return -1
+    if cross < 0:
+        return 1
+    return 0
+
+
+@dataclass
+class PlanarEmbedding:
+    """Rotation system + face table of a plane straight-line graph.
+
+    Attributes:
+        graph: the underlying (crossing-free) geometric graph.
+        rotations: per node, incident darts in CCW angular order.
+        faces: list of faces, each a list of darts forming the boundary
+            walk; a bridge contributes both of its darts to the same
+            face.
+        face_of: face index of every dart.
+    """
+
+    graph: GeomGraph
+    rotations: Dict[int, List[Dart]]
+    faces: List[List[Dart]]
+    face_of: Dict[Dart, int]
+
+    @property
+    def num_faces(self) -> int:
+        return len(self.faces)
+
+    def face_length(self, face_index: int) -> int:
+        return len(self.faces[face_index])
+
+    def odd_faces(self) -> List[int]:
+        """Faces with an odd boundary walk — the T set for the dual T-join.
+
+        A (component of a) plane graph is bipartite iff it has no odd
+        face, because face boundaries generate the cycle space over
+        GF(2) and a bridge appears twice in its face walk (contributing
+        even length).
+        """
+        return [i for i, f in enumerate(self.faces) if len(f) % 2 == 1]
+
+    def edge_faces(self, edge_id: int) -> Tuple[int, int]:
+        """The two (possibly equal) faces bordering an edge."""
+        return (self.face_of[(edge_id, 0)], self.face_of[(edge_id, 1)])
+
+    def euler_check(self) -> bool:
+        """V - E + F == 1 + C (Euler's formula with C components)."""
+        v = self.graph.num_nodes()
+        e = self.graph.num_edges()
+        components = self.graph.connected_components()
+        # Each component has its own unbounded face in our per-component
+        # face accounting; isolated nodes contribute no face.
+        c_with_edges = sum(
+            1 for comp in components
+            if any(True for n in comp for _ in self.graph.incident(n)))
+        expected_f = e - v + len(components) + c_with_edges
+        return len(self.faces) == expected_f
+
+
+def build_embedding(graph: GeomGraph) -> PlanarEmbedding:
+    """Compute rotations and faces of a crossing-free drawing.
+
+    Requires coordinates on every node and no self-loops; callers run
+    :func:`repro.graph.crossings.greedy_planarize` first, which also
+    guarantees no two darts at a node share a direction.
+    """
+    rotations: Dict[int, List[Dart]] = {}
+    for node in graph.nodes:
+        darts: List[Dart] = []
+        for e in graph.incident(node):
+            if e.is_self_loop:
+                raise ValueError("embedding does not support self-loops")
+            darts.append((e.id, 0 if e.u == node else 1))
+
+        def direction(dart: Dart, origin: int = node) -> Tuple[int, int]:
+            e = graph.edge(dart[0])
+            ox, oy = graph.coord(origin)
+            tx, ty = graph.coord(e.other(origin))
+            return (tx - ox, ty - oy)
+
+        darts.sort(key=functools.cmp_to_key(
+            lambda a, b: _direction_cmp(direction(a), direction(b))))
+        rotations[node] = darts
+
+    # Position of each dart within its origin's rotation.
+    position: Dict[Dart, int] = {}
+    for node, darts in rotations.items():
+        for i, dart in enumerate(darts):
+            position[dart] = i
+
+    def next_dart(dart: Dart) -> Dart:
+        """Face-walk successor: reverse the dart, then step clockwise."""
+        edge_id, direction_bit = dart
+        reverse = (edge_id, 1 - direction_bit)
+        e = graph.edge(edge_id)
+        head = e.v if direction_bit == 0 else e.u
+        ring = rotations[head]
+        i = position[reverse]
+        return ring[(i - 1) % len(ring)]
+
+    faces: List[List[Dart]] = []
+    face_of: Dict[Dart, int] = {}
+    for node in graph.nodes:
+        for start in rotations[node]:
+            if start in face_of:
+                continue
+            walk = [start]
+            face_of[start] = len(faces)
+            cur = next_dart(start)
+            while cur != start:
+                face_of[cur] = len(faces)
+                walk.append(cur)
+                cur = next_dart(cur)
+            faces.append(walk)
+
+    return PlanarEmbedding(graph=graph, rotations=rotations,
+                           faces=faces, face_of=face_of)

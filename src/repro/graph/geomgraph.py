@@ -1,0 +1,184 @@
+"""Weighted geometric multigraphs.
+
+The conflict-detection flow manipulates graphs whose nodes carry exact
+integer coordinates (doubled layout coordinates so rectangle centres stay
+integral) and whose edges are straight segments.  The same structure,
+minus the coordinates, also represents the dual graphs and gadget graphs,
+so it supports parallel edges and self-loops with stable integer edge
+ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+Point = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected weighted edge with a stable id and an opaque tag."""
+
+    id: int
+    u: int
+    v: int
+    weight: int
+    tag: Any = None
+
+    def other(self, node: int) -> int:
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"node {node} not an endpoint of edge {self.id}")
+
+    @property
+    def is_self_loop(self) -> bool:
+        return self.u == self.v
+
+
+@dataclass
+class GeomGraph:
+    """Undirected multigraph with optional node coordinates.
+
+    Nodes are integers.  Edge removal is *soft* (edges keep their ids and
+    are flagged removed) so flows can report exactly which edges each
+    stage deleted.
+    """
+
+    name: str = "graph"
+    _coords: Dict[int, Point] = field(default_factory=dict)
+    _edges: List[Edge] = field(default_factory=list)
+    _adj: Dict[int, List[int]] = field(default_factory=dict)
+    _removed: Set[int] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: int, coord: Optional[Point] = None) -> int:
+        if node not in self._adj:
+            self._adj[node] = []
+        if coord is not None:
+            self._coords[node] = coord
+        return node
+
+    def add_edge(self, u: int, v: int, weight: int = 1,
+                 tag: Any = None) -> Edge:
+        self.add_node(u)
+        self.add_node(v)
+        edge = Edge(id=len(self._edges), u=u, v=v, weight=weight, tag=tag)
+        self._edges.append(edge)
+        self._adj[u].append(edge.id)
+        if v != u:
+            self._adj[v].append(edge.id)
+        return edge
+
+    def remove_edge(self, edge_id: int) -> None:
+        """Soft-remove an edge (it stays addressable by id)."""
+        self._removed.add(edge_id)
+
+    def restore_edge(self, edge_id: int) -> None:
+        self._removed.discard(edge_id)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[int]:
+        return list(self._adj)
+
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        """Count of live (non-removed) edges."""
+        return len(self._edges) - len(self._removed)
+
+    def coord(self, node: int) -> Point:
+        return self._coords[node]
+
+    def has_coords(self) -> bool:
+        return len(self._coords) == len(self._adj)
+
+    def edge(self, edge_id: int) -> Edge:
+        return self._edges[edge_id]
+
+    def is_removed(self, edge_id: int) -> bool:
+        return edge_id in self._removed
+
+    def edges(self, include_removed: bool = False) -> Iterator[Edge]:
+        for e in self._edges:
+            if include_removed or e.id not in self._removed:
+                yield e
+
+    def incident(self, node: int, include_removed: bool = False
+                 ) -> Iterator[Edge]:
+        for eid in self._adj.get(node, ()):
+            if include_removed or eid not in self._removed:
+                yield self._edges[eid]
+
+    def degree(self, node: int) -> int:
+        """Degree counting self-loops twice (graph-theoretic degree)."""
+        d = 0
+        for e in self.incident(node):
+            d += 2 if e.is_self_loop else 1
+        return d
+
+    def segment(self, edge_id: int) -> Tuple[Point, Point]:
+        e = self._edges[edge_id]
+        return (self._coords[e.u], self._coords[e.v])
+
+    def total_weight(self, edge_ids: Iterable[int]) -> int:
+        return sum(self._edges[eid].weight for eid in edge_ids)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def connected_components(self) -> List[List[int]]:
+        """Components over live edges, each sorted; includes isolated nodes."""
+        seen: Set[int] = set()
+        components: List[List[int]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            stack = [start]
+            seen.add(start)
+            comp = []
+            while stack:
+                node = stack.pop()
+                comp.append(node)
+                for e in self.incident(node):
+                    nxt = e.other(node)
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            components.append(sorted(comp))
+        return components
+
+    def subgraph(self, nodes: Iterable[int]) -> "GeomGraph":
+        """Live-edge induced subgraph (edge ids are re-numbered; original
+        ids preserved in each edge's tag as ``("orig", id, tag)``)."""
+        node_set = set(nodes)
+        out = GeomGraph(name=f"{self.name}#sub")
+        for n in sorted(node_set):
+            out.add_node(n, self._coords.get(n))
+        for e in self.edges():
+            if e.u in node_set and e.v in node_set:
+                out.add_edge(e.u, e.v, e.weight, tag=("orig", e.id, e.tag))
+        return out
+
+    def to_networkx(self):
+        """Lossy export (min-weight parallel edge wins) for cross-checks."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self._adj)
+        for e in self.edges():
+            if e.is_self_loop:
+                continue
+            if g.has_edge(e.u, e.v):
+                if g[e.u][e.v]["weight"] <= e.weight:
+                    continue
+            g.add_edge(e.u, e.v, weight=e.weight, eid=e.id)
+        return g

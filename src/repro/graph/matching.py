@@ -1,0 +1,124 @@
+"""Minimum-weight perfect matching.
+
+The production path wraps networkx's blossom implementation (the one
+piece of graph machinery we do not re-derive — the paper treats the
+matcher as a black box too, citing off-the-shelf solvers).  A brute-force
+exact matcher validates it on small graphs in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .geomgraph import GeomGraph
+
+
+class NoPerfectMatchingError(ValueError):
+    """Raised when the graph admits no perfect matching."""
+
+
+def min_weight_perfect_matching(graph: GeomGraph) -> List[int]:
+    """Edge ids of a minimum-weight perfect matching.
+
+    Parallel edges are collapsed to the cheapest representative (a more
+    expensive parallel edge can never appear in a minimum matching) and
+    self-loops are ignored (they can never be matched).  The problem
+    decomposes over connected components, and blossom is cubic-ish, so
+    each component is matched separately — a large win on the highly
+    fragmented gadget graphs the detection flow produces.
+    """
+    n = graph.num_nodes()
+    if n % 2 == 1:
+        raise NoPerfectMatchingError(f"odd node count {n}")
+    if n == 0:
+        return []
+
+    best: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for e in graph.edges():
+        if e.is_self_loop:
+            continue
+        key = (min(e.u, e.v), max(e.u, e.v))
+        if key not in best or e.weight < best[key][0]:
+            best[key] = (e.weight, e.id)
+
+    g = nx.Graph()
+    g.add_nodes_from(graph.nodes)
+    if best:
+        max_w = max(w for w, _ in best.values())
+        for (u, v), (w, eid) in best.items():
+            # Max-weight max-cardinality matching on (max_w + 1 - w)
+            # is min-weight perfect matching on w, because all perfect
+            # matchings have the same cardinality.
+            g.add_edge(u, v, weight=max_w + 1 - w, eid=eid)
+
+    matched: List[int] = []
+    for component in nx.connected_components(g):
+        if len(component) % 2 == 1:
+            raise NoPerfectMatchingError(
+                f"odd component of {len(component)} nodes")
+        sub = g.subgraph(component)
+        mate = nx.max_weight_matching(sub, maxcardinality=True)
+        if 2 * len(mate) != len(component):
+            raise NoPerfectMatchingError(
+                f"matched {2 * len(mate)} of {len(component)} nodes "
+                "in a component")
+        matched.extend(sub[u][v]["eid"] for u, v in mate)
+    return sorted(matched)
+
+
+def brute_force_perfect_matching(graph: GeomGraph) -> Optional[List[int]]:
+    """Exact min-weight perfect matching by recursion (tests only).
+
+    Returns None when no perfect matching exists.  Exponential — keep it
+    under ~12 nodes.
+    """
+    nodes = sorted(graph.nodes)
+    if len(nodes) % 2 == 1:
+        return None
+    adj: Dict[int, List[Tuple[int, int, int]]] = {v: [] for v in nodes}
+    for e in graph.edges():
+        if e.is_self_loop:
+            continue
+        adj[e.u].append((e.v, e.weight, e.id))
+        adj[e.v].append((e.u, e.weight, e.id))
+
+    best_cost: List[Optional[int]] = [None]
+    best_edges: List[List[int]] = [[]]
+
+    def solve(remaining: frozenset, cost: int, chosen: List[int]) -> None:
+        if not remaining:
+            if best_cost[0] is None or cost < best_cost[0]:
+                best_cost[0] = cost
+                best_edges[0] = list(chosen)
+            return
+        if best_cost[0] is not None and cost >= best_cost[0]:
+            return
+        v = min(remaining)
+        for u, w, eid in adj[v]:
+            if u in remaining and u != v:
+                chosen.append(eid)
+                solve(remaining - {v, u}, cost + w, chosen)
+                chosen.pop()
+
+    solve(frozenset(nodes), 0, [])
+    if best_cost[0] is None:
+        return None
+    return sorted(best_edges[0])
+
+
+def matching_weight(graph: GeomGraph, edge_ids: List[int]) -> int:
+    return graph.total_weight(edge_ids)
+
+
+def is_perfect_matching(graph: GeomGraph, edge_ids: List[int]) -> bool:
+    """Validator: every node covered exactly once."""
+    seen = set()
+    for eid in edge_ids:
+        e = graph.edge(eid)
+        if e.u in seen or e.v in seen or e.is_self_loop:
+            return False
+        seen.add(e.u)
+        seen.add(e.v)
+    return len(seen) == graph.num_nodes()

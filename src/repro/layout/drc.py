@@ -1,0 +1,62 @@
+"""Minimal design-rule checker.
+
+Two rule classes matter to this reproduction:
+
+* poly width/spacing — used to validate generated workloads and, more
+  importantly, to demonstrate the paper's claim that *end-to-end* space
+  insertion cannot introduce spacing violations (§3.2);
+* shifter spacing — the Condition-2 rule, checked against a concrete
+  phase assignment by :mod:`repro.phase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..geometry import Rect, neighbor_pairs
+from .layout import Layout
+from .technology import Technology
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single DRC violation."""
+
+    kind: str          # "width" | "spacing"
+    indices: tuple     # offending feature indices (1 for width, 2 for spacing)
+    value: int         # measured width or squared distance
+    limit: int         # rule value
+
+    def __str__(self) -> str:
+        which = ",".join(str(i) for i in self.indices)
+        return f"{self.kind}[{which}]: {self.value} < {self.limit}"
+
+
+def check_width(features: Sequence[Rect], min_width: int) -> List[Violation]:
+    """Every feature must be at least ``min_width`` wide."""
+    return [
+        Violation("width", (i,), r.min_dimension, min_width)
+        for i, r in enumerate(features)
+        if r.min_dimension < min_width
+    ]
+
+
+def check_spacing(features: Sequence[Rect], min_space: int) -> List[Violation]:
+    """No two features may be closer than ``min_space`` (touching counts)."""
+    out: List[Violation] = []
+    for i, j in neighbor_pairs(list(features), min_space):
+        sep_sq = features[i].separation_sq(features[j])
+        out.append(Violation("spacing", (i, j), sep_sq, min_space * min_space))
+    return out
+
+
+def check_layout(layout: Layout, tech: Technology) -> List[Violation]:
+    """Full poly-layer DRC for a layout."""
+    feats = layout.features
+    return (check_width(feats, tech.min_feature_width) +
+            check_spacing(feats, tech.min_feature_spacing))
+
+
+def is_drc_clean(layout: Layout, tech: Technology) -> bool:
+    return not check_layout(layout, tech)

@@ -1,0 +1,243 @@
+"""Synthetic layout generators (substrate for the paper's experiments).
+
+The paper evaluates on proprietary 90 nm industrial designs.  We cannot
+redistribute those, so this module generates standard-cell-like poly
+layouts whose *statistics* (critical-feature fraction, shifter-overlap
+density, conflict density) are tunable to land in the ranges the paper
+reports.  Every generator is deterministic given a seed.
+
+Geometry of a generated design::
+
+    row r:   | gate | gate | gate | pad | gate | ...      (vertical poly)
+             ~~~~~~~~~ wire ~~~~~~~~                       (horizontal poly)
+
+Vertical *gates* at sub-410 nm pitch produce Condition-2 ("same phase")
+chains between facing shifters.  A horizontal *wire* whose top shifter
+reaches both shifters of a gate above it closes an odd cycle through that
+gate's feature edge — the canonical bright-field AAPSM conflict (the
+paper's Figure 1).  Wires are placed at a "safe" vertical gap by default
+and at a "risky" gap with probability ``risky_wire_fraction``, which is
+the knob controlling conflict density.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..geometry import Rect
+from .layout import Layout
+from .technology import Technology
+
+
+@dataclass(frozen=True)
+class GeneratorParams:
+    """Tunable parameters for :func:`standard_cell_layout`.
+
+    The defaults are calibrated for :meth:`Technology.node_90nm`; the
+    derived bounds below explain the magic numbers:
+
+    * gate gap in [160, 360]: >= 140 keeps poly spacing DRC-clean, and
+      gaps < 320 put the facing shifters (2 x 100 nm wide) within the
+      120 nm shifter-spacing rule, so phase chains form;
+    * risky wire gap in [140, 230]: >= 140 is poly spacing, < 240 puts
+      the wire's top shifter within shifter-spacing of the gate shifters
+      above it;
+    * safe wire gap >= 260 guarantees no wire-gate shifter interaction.
+    """
+
+    rows: int = 4
+    cols: int = 10
+    gate_width_choices: tuple = (90, 110, 130)
+    gate_height_range: tuple = (600, 1100)
+    gate_gap_range: tuple = (160, 360)
+    pad_probability: float = 0.08
+    pad_size: int = 220
+    wire_width_choices: tuple = (90, 100)
+    wires_per_row: float = 0.30        # expected wires per gate column
+    risky_wire_fraction: float = 0.15
+    risky_wire_gap: tuple = (150, 225)
+    safe_wire_gap: tuple = (280, 420)
+    wire_span_gates: tuple = (1, 3)    # how many gates a wire runs under
+    row_margin: int = 700              # extra space between rows
+    tshape_probability: float = 0.0    # per-row chance of a T abutment
+
+
+def standard_cell_layout(params: GeneratorParams = GeneratorParams(),
+                         seed: int = 0,
+                         tech: Optional[Technology] = None,
+                         name: str = "stdcell") -> Layout:
+    """Generate a standard-cell-like poly layout.
+
+    The result is DRC-clean by construction for the default 90 nm deck
+    (verified by the test suite across seeds).
+    """
+    del tech  # geometry is calibrated for the 90 nm deck; kept for API symmetry
+    rng = random.Random(seed)
+    layout = Layout(name=name)
+    row_height = params.gate_height_range[1] + params.row_margin
+
+    for row in range(params.rows):
+        base_y = row * (row_height + params.safe_wire_gap[1] + 200)
+        x = 0
+        gate_cells: List[Rect] = []
+        for _col in range(params.cols):
+            gap = rng.randint(*params.gate_gap_range)
+            if rng.random() < params.pad_probability:
+                # A wide, non-critical landing pad between gates.
+                pad = Rect(x, base_y, x + params.pad_size,
+                           base_y + params.pad_size)
+                layout.add_feature(pad)
+                x += params.pad_size + max(gap, 200)
+                continue
+            width = rng.choice(params.gate_width_choices)
+            height = rng.randint(*params.gate_height_range)
+            gate = Rect(x, base_y, x + width, base_y + height)
+            layout.add_feature(gate)
+            gate_cells.append(gate)
+            x += width + gap
+
+        _add_row_wires(layout, gate_cells, params, rng)
+        # Guarded so the default (0.0) consumes no RNG draws, keeping
+        # the seeded suite layouts stable across library versions.
+        if (params.tshape_probability > 0 and gate_cells
+                and rng.random() < params.tshape_probability):
+            # A horizontal stub abutting the last gate's right side: a
+            # T-shape, whose conflicts spacing cannot correct (paper
+            # §4 excludes these; our flow reports them separately).
+            gate = gate_cells[-1]
+            y = gate.y1 + (gate.height - 90) // 2
+            layout.add_feature(Rect(gate.x2, y, gate.x2 + 350, y + 90))
+    return layout
+
+
+def _add_row_wires(layout: Layout, gates: List[Rect],
+                   params: GeneratorParams, rng: random.Random) -> None:
+    """Place horizontal wires below a row of gates.
+
+    A wire spans from just left of gate ``i`` to just short of gate
+    ``i+span``'s left shifter, so a *risky* wire interacts with both
+    shifters of the covered gates but only the left shifter of the next
+    gate — exactly the Figure-1 odd-cycle pattern.
+    """
+    if not gates:
+        return
+    n_wires = max(0, round(params.wires_per_row * len(gates)))
+    if n_wires == 0:
+        return
+    base_y = gates[0].y1
+    used_spans: List[Rect] = []
+    for _ in range(n_wires):
+        i = rng.randrange(len(gates))
+        span = rng.randint(*params.wire_span_gates)
+        j = min(i + span, len(gates) - 1)
+        x1 = gates[i].x1 - rng.randint(0, 60)
+        x2 = gates[j].x2 + rng.randint(0, 60)
+        if x2 - x1 < 200:
+            x2 = x1 + 200
+        width = rng.choice(params.wire_width_choices)
+        risky = rng.random() < params.risky_wire_fraction
+        gap = rng.randint(*(params.risky_wire_gap if risky
+                            else params.safe_wire_gap))
+        wire = Rect(x1, base_y - gap - width, x2, base_y - gap)
+        # Keep wires well clear of each other (poly spacing + shifter
+        # spacing margin) so conflicts only come from wire-gate cycles.
+        if any(wire.within_distance(w, 360) for w in used_spans):
+            continue
+        used_spans.append(wire)
+        layout.add_feature(wire)
+
+
+# ----------------------------------------------------------------------
+# Deterministic pattern layouts
+# ----------------------------------------------------------------------
+def grating_layout(n_lines: int, pitch: int = 300, width: int = 90,
+                   height: int = 1000, name: str = "grating") -> Layout:
+    """A 1-D grating: a same-phase chain with no cycles.
+
+    Always phase-assignable — the standard negative control.
+    """
+    layout = Layout(name=name)
+    for i in range(n_lines):
+        x = i * pitch
+        layout.add_feature(Rect(x, 0, x + width, height))
+    return layout
+
+
+def figure1_layout(name: str = "figure1") -> Layout:
+    """The paper's Figure-1 situation: an odd phase cycle.
+
+    Two vertical gates at interacting pitch plus a horizontal wire whose
+    top shifter reaches both shifters of the left gate, closing an odd
+    cycle through the gate's feature edge.  Not phase-assignable.
+    """
+    layout = Layout(name=name)
+    layout.add_feature(Rect(0, 0, 90, 1000))        # gate A
+    layout.add_feature(Rect(340, 0, 430, 1000))     # gate B (A.R ~ B.L)
+    layout.add_feature(Rect(-150, -290, 300, -200))  # wire under A only
+    return layout
+
+
+def odd_cycle_chain(n_gates: int, pitch: int = 340,
+                    name: str = "oddchain") -> Layout:
+    """``n_gates`` interacting gates with a risky wire under the first.
+
+    Generalises :func:`figure1_layout`; exactly one odd cycle regardless
+    of ``n_gates``, with an increasingly long even tail.  Used to check
+    that detection selects exactly one conflict however long the chain.
+    """
+    layout = Layout(name=name)
+    for i in range(n_gates):
+        x = i * pitch
+        layout.add_feature(Rect(x, 0, x + 90, 1000))
+    layout.add_feature(Rect(-150, -290, 300, -200))
+    return layout
+
+
+def conflict_grid_layout(clusters_x: int, clusters_y: int,
+                         cluster_pitch: int = 3000,
+                         name: str = "conflictgrid") -> Layout:
+    """A grid of independent Figure-1 clusters: exactly one conflict each.
+
+    Gives workloads with a *known* optimal conflict count
+    (= clusters_x * clusters_y), which the detection tests use as ground
+    truth for optimality checks at scale.
+    """
+    layout = Layout(name=name)
+    for cx in range(clusters_x):
+        for cy in range(clusters_y):
+            ox = cx * cluster_pitch
+            oy = cy * cluster_pitch
+            layout.add_feature(Rect(ox, oy, ox + 90, oy + 1000))
+            layout.add_feature(Rect(ox + 340, oy, ox + 430, oy + 1000))
+            layout.add_feature(Rect(ox - 150, oy - 290, ox + 300, oy - 200))
+    return layout
+
+
+def random_rect_layout(n_rects: int, seed: int = 0,
+                       region: int = 20000,
+                       name: str = "random") -> Layout:
+    """Random non-overlapping rects by rejection sampling.
+
+    Not DRC-clean in general; used by property tests that only need
+    "a bag of disjoint rectangles".
+    """
+    rng = random.Random(seed)
+    layout = Layout(name=name)
+    placed: List[Rect] = []
+    attempts = 0
+    while len(placed) < n_rects and attempts < 50 * n_rects:
+        attempts += 1
+        w = rng.choice((90, 110, 200, 90, 100))
+        h = rng.randint(300, 1200)
+        if rng.random() < 0.5:
+            w, h = h, w
+        x = rng.randrange(0, region)
+        y = rng.randrange(0, region)
+        rect = Rect(x, y, x + w, y + h)
+        if any(rect.within_distance(p, 140) for p in placed):
+            continue
+        placed.append(rect)
+        layout.add_feature(rect)
+    return layout

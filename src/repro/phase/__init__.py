@@ -1,0 +1,19 @@
+"""Phase assignment and geometric verification (substrate S11)."""
+
+from .assignment import (
+    PHASE_0,
+    PHASE_180,
+    PhaseAssignment,
+    assign_and_verify,
+    assign_phases,
+    verify_assignment,
+)
+
+__all__ = [
+    "PHASE_0",
+    "PHASE_180",
+    "PhaseAssignment",
+    "assign_phases",
+    "verify_assignment",
+    "assign_and_verify",
+]

@@ -1,0 +1,104 @@
+"""Phase assignment and verification.
+
+Once a layout is phase-assignable (its conflict graph is bipartite), the
+actual 0/180 assignment is a 2-coloring of the shifter nodes.  The
+verifier re-checks both paper conditions straight from geometry — it
+does not trust the graph — which makes it the independent oracle for the
+whole flow's integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..graph import two_color
+from ..layout import (
+    Layout,
+    SHIFTER_0_LAYER,
+    SHIFTER_180_LAYER,
+    Technology,
+)
+from ..shifters import ShifterSet, find_overlap_pairs, generate_shifters
+
+PHASE_0 = 0
+PHASE_180 = 180
+
+
+@dataclass
+class PhaseAssignment:
+    """Phases per shifter id."""
+
+    phases: Dict[int, int] = field(default_factory=dict)
+
+    def phase(self, shifter_id: int) -> int:
+        return self.phases[shifter_id]
+
+    def annotate_layout(self, layout: Layout,
+                        shifters: ShifterSet) -> Layout:
+        """Copy the layout with shifters drawn on phase layers."""
+        out = layout.copy(name=f"{layout.name}+phases")
+        for s in shifters:
+            layer = (SHIFTER_0_LAYER if self.phases[s.id] == PHASE_0
+                     else SHIFTER_180_LAYER)
+            out.add_shape(layer, s.rect)
+        return out
+
+
+def assign_phases(conflict_graph) -> Optional[PhaseAssignment]:
+    """2-color a conflict graph; None when it is not bipartite.
+
+    Works for both PCG and FG: shifter nodes occupy ids
+    ``0..len(shifters)-1`` by construction; auxiliary node colors are
+    discarded.
+    """
+    colors = two_color(conflict_graph.graph)
+    if colors is None:
+        return None
+    assignment = PhaseAssignment()
+    for shifter_id, node in conflict_graph.shifter_node.items():
+        assignment.phases[shifter_id] = (
+            PHASE_0 if colors[node] == 0 else PHASE_180)
+    return assignment
+
+
+def verify_assignment(shifters: ShifterSet, assignment: PhaseAssignment,
+                      tech: Technology) -> List[str]:
+    """Check Conditions 1 and 2 directly from geometry.
+
+    Returns human-readable violation strings (empty = valid).
+    """
+    problems: List[str] = []
+    for sa, sb in shifters.feature_pairs():
+        if assignment.phases[sa.id] == assignment.phases[sb.id]:
+            problems.append(
+                f"condition1: feature {sa.feature_index} shifters "
+                f"{sa.id}/{sb.id} share phase "
+                f"{assignment.phases[sa.id]}")
+    for pair in find_overlap_pairs(shifters, tech):
+        if assignment.phases[pair.a] != assignment.phases[pair.b]:
+            problems.append(
+                f"condition2: overlapping shifters {pair.a}/{pair.b} "
+                f"have opposite phases")
+    return problems
+
+
+def assign_and_verify(layout: Layout, tech: Technology
+                      ) -> Optional[PhaseAssignment]:
+    """Convenience: build the PCG, assign, verify; None if unassignable.
+
+    Raises if the graph said "assignable" but geometry disagrees —
+    that would falsify Theorem 1 and means a bug.
+    """
+    from ..conflict import build_layout_conflict_graph
+
+    cg, shifters, _pairs = build_layout_conflict_graph(layout, tech)
+    assignment = assign_phases(cg)
+    if assignment is None:
+        return None
+    problems = verify_assignment(shifters, assignment, tech)
+    if problems:
+        raise AssertionError(
+            "Theorem 1 violated — bipartite graph but invalid phases: "
+            + "; ".join(problems[:5]))
+    return assignment

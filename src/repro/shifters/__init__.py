@@ -1,0 +1,29 @@
+"""Shifter generation and Condition-2 overlap analysis (substrate S4)."""
+
+from .generation import generate_shifters, shifter_rects_for_feature
+from .overlap import OverlapPair, find_overlap_pairs, needed_space, region_center2
+from .shifter import (
+    BOTTOM,
+    LEFT,
+    OPPOSING_SIDES,
+    RIGHT,
+    TOP,
+    Shifter,
+    ShifterSet,
+)
+
+__all__ = [
+    "Shifter",
+    "ShifterSet",
+    "LEFT",
+    "RIGHT",
+    "TOP",
+    "BOTTOM",
+    "OPPOSING_SIDES",
+    "generate_shifters",
+    "shifter_rects_for_feature",
+    "OverlapPair",
+    "find_overlap_pairs",
+    "needed_space",
+    "region_center2",
+]

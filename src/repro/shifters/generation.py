@@ -1,0 +1,47 @@
+"""Shifter generation.
+
+For every critical feature we create two shifters abutting the feature on
+the two sides of its critical dimension, extended past the line ends by
+the technology's shifter extension — the standard bright-field recipe the
+paper assumes as input ("given a layout with shifters inserted around each
+critical feature").
+"""
+
+from __future__ import annotations
+
+from ..geometry import Rect
+from ..layout import Layout, Technology, extract_critical_features
+from .shifter import BOTTOM, LEFT, RIGHT, TOP, Shifter, ShifterSet
+
+
+def shifter_rects_for_feature(rect: Rect, vertical: bool,
+                              tech: Technology):
+    """The two flanking shifter rects of one critical feature.
+
+    Returns ``((side, rect), (side, rect))`` ordered left/right for
+    vertical features and bottom/top for horizontal ones, which fixes a
+    deterministic shifter numbering.
+    """
+    w = tech.shifter_width
+    e = tech.shifter_extension
+    if vertical:
+        left = Rect(rect.x1 - w, rect.y1 - e, rect.x1, rect.y2 + e)
+        right = Rect(rect.x2, rect.y1 - e, rect.x2 + w, rect.y2 + e)
+        return ((LEFT, left), (RIGHT, right))
+    bottom = Rect(rect.x1 - e, rect.y1 - w, rect.x2 + e, rect.y1)
+    top = Rect(rect.x1 - e, rect.y2, rect.x2 + e, rect.y2 + w)
+    return ((BOTTOM, bottom), (TOP, top))
+
+
+def generate_shifters(layout: Layout, tech: Technology) -> ShifterSet:
+    """Generate the full shifter set of a layout.
+
+    Shifter ids are dense and deterministic: features in index order,
+    left-before-right / bottom-before-top within a feature.
+    """
+    shifters = ShifterSet()
+    for feat in extract_critical_features(layout, tech):
+        for side, rect in shifter_rects_for_feature(feat.rect, feat.vertical,
+                                                    tech):
+            shifters.add(feat.index, side, rect)
+    return shifters

@@ -1,0 +1,116 @@
+"""Overlapping-shifter extraction (Condition 2 analysis).
+
+Two shifters separated by less than the minimum shifter spacing are
+"overlapping" and must carry the same phase (paper §1, Condition 2).  The
+pair of shifters flanking one feature is exempt: they are separated by the
+feature itself, and Condition 1 forces them to *opposite* phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..geometry import Rect, neighbor_pairs
+from ..layout import Technology
+from .shifter import Shifter, ShifterSet
+
+
+@dataclass(frozen=True)
+class OverlapPair:
+    """A Condition-2 constraint between two shifters.
+
+    Attributes:
+        a, b: shifter ids with ``a < b``.
+        separation_sq: squared Euclidean separation of the two rects.
+        x_gap / y_gap: per-axis gaps (negative when the projections
+            overlap) — the raw material for the correction step's
+            interval analysis.
+    """
+
+    a: int
+    b: int
+    separation_sq: int
+    x_gap: int
+    y_gap: int
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.a, self.b)
+
+
+def region_center2(ra: Rect, rb: Rect) -> Tuple[int, int]:
+    """Doubled centre of the geometric *overlap region* of two rects.
+
+    This is where the feature graph places its conflict nodes (the
+    "detour" of paper Fig. 2): the centre of the intersection when the
+    rects overlap, the centre of the gap box when they are separated
+    along one axis, and the centre of the hull for corner cases.
+    """
+    inter = ra.intersection(rb)
+    if inter is not None:
+        return inter.center2
+    between = ra.between_region(rb)
+    if between is not None:
+        return between.center2
+    return ra.hull(rb).center2
+
+
+def find_overlap_pairs(shifters: ShifterSet,
+                       tech: Technology) -> List[OverlapPair]:
+    """All Condition-2 pairs of a shifter set, sorted by id pair."""
+    rects = shifters.rects
+    pairs: List[OverlapPair] = []
+    for i, j in neighbor_pairs(rects, tech.shifter_spacing):
+        si: Shifter = shifters[i]
+        sj: Shifter = shifters[j]
+        if si.feature_index == sj.feature_index:
+            continue  # Condition-1 pair, exempt from Condition 2.
+        pairs.append(OverlapPair(
+            a=i, b=j,
+            separation_sq=rects[i].separation_sq(rects[j]),
+            x_gap=rects[i].x_gap(rects[j]),
+            y_gap=rects[i].y_gap(rects[j]),
+        ))
+    return pairs
+
+
+def needed_space(pair: OverlapPair, tech: Technology,
+                 axis: str) -> Optional[int]:
+    """Extra spacing along ``axis`` to legalise an overlapping pair.
+
+    Returns the minimal integer widening of the pair's gap along the
+    axis ("x" → a vertical end-to-end space, "y" → horizontal) so the
+    Euclidean separation reaches the shifter spacing rule, or ``None``
+    when no widening along that axis can fix the pair (their projections
+    overlap on the axis, so pulling them apart would require moving
+    geometry that an end-to-end cut cannot move independently).
+    """
+    rule = tech.shifter_spacing
+    if axis == "x":
+        gap, other = pair.x_gap, pair.y_gap
+    elif axis == "y":
+        gap, other = pair.y_gap, pair.x_gap
+    else:
+        raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+    if gap < 0:
+        return None
+    if other >= rule:
+        return 0  # already legal through the other axis
+    other = max(0, other)
+    # Smallest integer g with g*g + other*other >= rule*rule.
+    need_sq = rule * rule - other * other
+    target = _isqrt_ceil(need_sq)
+    return max(0, target - gap)
+
+
+def _isqrt_ceil(n: int) -> int:
+    """Smallest integer x with x*x >= n."""
+    if n <= 0:
+        return 0
+    x = int(n ** 0.5)
+    while x * x >= n:
+        x -= 1
+    while x * x < n:
+        x += 1
+    return x

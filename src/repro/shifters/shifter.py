@@ -1,0 +1,95 @@
+"""Phase-shifter model.
+
+A *shifter* is a clear quartz aperture etched to shift the exposure phase
+by 180 degrees; in bright-field AAPSM every critical feature is flanked by
+two of them on opposite sides of its critical dimension.  This module
+only models geometry and identity; phases live in :mod:`repro.phase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..geometry import Rect
+
+LEFT = "left"
+RIGHT = "right"
+TOP = "top"
+BOTTOM = "bottom"
+
+OPPOSING_SIDES = {LEFT: RIGHT, RIGHT: LEFT, TOP: BOTTOM, BOTTOM: TOP}
+
+
+@dataclass(frozen=True)
+class Shifter:
+    """One phase shifter.
+
+    Attributes:
+        id: dense index into the owning :class:`ShifterSet`.
+        feature_index: index of the guarded feature in the layout.
+        side: which side of the feature this shifter sits on.
+        rect: shifter geometry.
+    """
+
+    id: int
+    feature_index: int
+    side: str
+    rect: Rect
+
+    @property
+    def center2(self) -> Tuple[int, int]:
+        """Twice the shifter centre (exact integer node coordinate)."""
+        return self.rect.center2
+
+
+class ShifterSet:
+    """All shifters of a layout, with per-feature lookup.
+
+    Invariant (tested): the shifters of one feature come in opposing
+    pairs, so the feature edges of the phase conflict graph form a
+    perfect matching on the shifter nodes.
+    """
+
+    def __init__(self) -> None:
+        self._shifters: List[Shifter] = []
+        self._by_feature: Dict[int, List[int]] = {}
+
+    def add(self, feature_index: int, side: str, rect: Rect) -> Shifter:
+        shifter = Shifter(id=len(self._shifters),
+                          feature_index=feature_index, side=side, rect=rect)
+        self._shifters.append(shifter)
+        self._by_feature.setdefault(feature_index, []).append(shifter.id)
+        return shifter
+
+    def __len__(self) -> int:
+        return len(self._shifters)
+
+    def __iter__(self) -> Iterator[Shifter]:
+        return iter(self._shifters)
+
+    def __getitem__(self, shifter_id: int) -> Shifter:
+        return self._shifters[shifter_id]
+
+    @property
+    def rects(self) -> List[Rect]:
+        return [s.rect for s in self._shifters]
+
+    def feature_indices(self) -> List[int]:
+        return sorted(self._by_feature)
+
+    def of_feature(self, feature_index: int) -> List[Shifter]:
+        return [self._shifters[i]
+                for i in self._by_feature.get(feature_index, [])]
+
+    def feature_pairs(self) -> List[Tuple[Shifter, Shifter]]:
+        """The opposing shifter pair of every critical feature."""
+        pairs = []
+        for feature_index in self.feature_indices():
+            members = self.of_feature(feature_index)
+            if len(members) != 2:
+                raise ValueError(
+                    f"feature {feature_index} has {len(members)} shifters, "
+                    "expected exactly 2")
+            pairs.append((members[0], members[1]))
+        return pairs

@@ -1,0 +1,13 @@
+"""ASCII and SVG rendering (substrate S14)."""
+
+from .ascii_art import AsciiCanvas, render_layout, render_summary_bar
+from .svg import SvgCanvas, conflict_graph_svg, layout_svg
+
+__all__ = [
+    "AsciiCanvas",
+    "render_layout",
+    "render_summary_bar",
+    "SvgCanvas",
+    "layout_svg",
+    "conflict_graph_svg",
+]

@@ -1,0 +1,95 @@
+"""ASCII rendering of layouts and conflict graphs.
+
+Terminal-friendly output for the examples: features are ``#``, shifters
+``+``/``-`` (by phase) or ``s`` (unassigned), conflict pairs ``X``.
+Coarse by nature — one character covers many nanometres — but enough to
+*see* a Figure-1 odd cycle without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..geometry import Rect, bounding_box
+from ..layout import Layout
+from ..shifters import ShifterSet
+
+FEATURE_CHAR = "#"
+SHIFTER_CHAR = "s"
+PHASE0_CHAR = "+"
+PHASE180_CHAR = "-"
+CONFLICT_CHAR = "X"
+
+
+class AsciiCanvas:
+    """A character grid mapped onto a layout window."""
+
+    def __init__(self, window: Rect, width: int = 78,
+                 height: Optional[int] = None):
+        self.window = window
+        self.width = max(8, width)
+        if height is None:
+            aspect = window.height / max(1, window.width)
+            # Terminal cells are ~2x taller than wide.
+            height = max(4, int(self.width * aspect / 2))
+        self.height = min(height, 200)
+        self._grid: List[List[str]] = [
+            [" "] * self.width for _ in range(self.height)]
+
+    def _to_cell(self, x: int, y: int) -> Tuple[int, int]:
+        fx = (x - self.window.x1) / max(1, self.window.width)
+        fy = (y - self.window.y1) / max(1, self.window.height)
+        cx = min(self.width - 1, max(0, int(fx * self.width)))
+        cy = min(self.height - 1, max(0, int(fy * self.height)))
+        return cx, self.height - 1 - cy  # y grows upward in layouts
+
+    def draw_rect(self, rect: Rect, char: str) -> None:
+        cx1, cy2 = self._to_cell(rect.x1, rect.y1)
+        cx2, cy1 = self._to_cell(rect.x2, rect.y2)
+        for cy in range(min(cy1, cy2), max(cy1, cy2) + 1):
+            for cx in range(cx1, cx2 + 1):
+                self._grid[cy][cx] = char
+
+    def draw_point(self, x: int, y: int, char: str) -> None:
+        cx, cy = self._to_cell(x, y)
+        self._grid[cy][cx] = char
+
+    def render(self) -> str:
+        return "\n".join("".join(row).rstrip() for row in self._grid)
+
+
+def render_layout(layout: Layout, width: int = 78,
+                  shifters: Optional[ShifterSet] = None,
+                  phases: Optional[Dict[int, int]] = None,
+                  conflicts: Iterable[Tuple[int, int]] = ()) -> str:
+    """Render a layout (optionally with shifters/phases/conflicts)."""
+    rects = list(layout.features)
+    if shifters is not None:
+        rects += shifters.rects
+    window = bounding_box(rects)
+    if window is None:
+        return "(empty layout)"
+    canvas = AsciiCanvas(window.inflated(window.max_dimension // 20 + 1),
+                         width=width)
+
+    if shifters is not None:
+        for s in shifters:
+            char = SHIFTER_CHAR
+            if phases is not None and s.id in phases:
+                char = PHASE0_CHAR if phases[s.id] == 0 else PHASE180_CHAR
+            canvas.draw_rect(s.rect, char)
+    for rect in layout.features:
+        canvas.draw_rect(rect, FEATURE_CHAR)
+    if shifters is not None:
+        for a, b in conflicts:
+            for sid in (a, b):
+                cx2, cy2 = shifters[sid].rect.center2
+                canvas.draw_point(cx2 // 2, cy2 // 2, CONFLICT_CHAR)
+    return canvas.render()
+
+
+def render_summary_bar(label: str, value: float, max_value: float,
+                       width: int = 40) -> str:
+    """One bar of a terminal bar chart (benchmark result display)."""
+    filled = 0 if max_value <= 0 else int(round(width * value / max_value))
+    return f"{label:>16} | {'█' * filled}{' ' * (width - filled)} {value:g}"

@@ -1,0 +1,84 @@
+"""Benchmark suite and table-runner tests."""
+
+import pytest
+
+from repro.bench import (
+    SUITE,
+    build_design,
+    design_names,
+    figure2_row,
+    format_table,
+    get_design,
+    table1_row,
+    table2_row,
+)
+from repro.layout import Technology, check_layout
+
+
+class TestSuite:
+    def test_names_unique_and_ordered(self):
+        names = [d.name for d in SUITE]
+        assert names == sorted(set(names))
+
+    def test_sizes_monotone(self):
+        sizes = [build_design(d.name).num_polygons for d in SUITE[:5]]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < 100 < sizes[-1]
+
+    def test_build_is_cached(self):
+        assert build_design("D1") is build_design("D1")
+        assert build_design("D1", cache=False) is not build_design("D1")
+
+    def test_designs_deterministic(self):
+        a = build_design("D2", cache=False)
+        b = build_design("D2", cache=False)
+        assert a.features == b.features
+
+    def test_designs_drc_clean(self, tech):
+        for name in design_names("small"):
+            assert check_layout(build_design(name), tech) == []
+
+    def test_get_design(self):
+        d = get_design("D3")
+        assert d.name == "D3"
+        with pytest.raises(KeyError):
+            get_design("D99")
+
+    def test_subsets_nest(self):
+        small = design_names("small")
+        medium = design_names("medium")
+        large = design_names("large")
+        assert set(small) < set(medium) < set(large)
+
+
+class TestTableRunners:
+    def test_table1_row_shape(self, tech):
+        row = table1_row(build_design("D1"), tech, time_gadgets=False)
+        assert set(row) == {"design", "polygons", "NP", "FG", "PCG", "GB"}
+        assert row["NP"] <= row["PCG"] <= row["GB"]
+
+    def test_table1_gadget_timing(self, tech):
+        row = table1_row(build_design("D1"), tech, time_gadgets=True)
+        assert row["t_O_gadget_s"] >= 0
+        assert row["t_G_gadget_s"] >= 0
+
+    def test_table2_row_shape(self, tech):
+        row = table2_row(build_design("D1"), tech)
+        assert row["conflicts"] >= 0
+        assert row["area_um2"] > 0
+        assert 0 <= row["area_incr_pct"] < 20
+
+    def test_figure2_row_shape(self, tech):
+        row = figure2_row(build_design("D1"), tech)
+        assert row["pcg_nodes"] <= row["fg_nodes"]
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "bb": 22}, {"a": 333, "bb": 4}],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(l) for l in lines[2:]}) <= 2  # aligned
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"

@@ -1,0 +1,75 @@
+"""Constraint-graph solver tests."""
+
+import pytest
+
+from repro.compaction import ConstraintCycleError, ConstraintGraph
+
+
+class TestConstraintGraph:
+    def test_lower_bounds_only(self):
+        g = ConstraintGraph()
+        g.add_node(0, 5)
+        g.add_node(1, -3)
+        assert g.solve() == {0: 5, 1: -3}
+
+    def test_chain_propagates(self):
+        g = ConstraintGraph()
+        for i in range(3):
+            g.add_node(i, 0)
+        g.add_constraint(0, 1, 10)
+        g.add_constraint(1, 2, 10)
+        assert g.solve() == {0: 0, 1: 10, 2: 20}
+
+    def test_lower_bound_wins_over_constraint(self):
+        g = ConstraintGraph()
+        g.add_node(0, 0)
+        g.add_node(1, 100)
+        g.add_constraint(0, 1, 10)
+        assert g.solve()[1] == 100
+
+    def test_longest_of_two_paths(self):
+        g = ConstraintGraph()
+        for i in range(4):
+            g.add_node(i, 0)
+        g.add_constraint(0, 3, 5)
+        g.add_constraint(0, 1, 3)
+        g.add_constraint(1, 3, 4)
+        assert g.solve()[3] == 7
+
+    def test_duplicate_node_keeps_max_bound(self):
+        g = ConstraintGraph()
+        g.add_node(0, 5)
+        g.add_node(0, 9)
+        g.add_node(0, 2)
+        assert g.solve() == {0: 9}
+
+    def test_cycle_detected(self):
+        g = ConstraintGraph()
+        g.add_node(0, 0)
+        g.add_node(1, 0)
+        g.add_constraint(0, 1, 1)
+        g.add_constraint(1, 0, 1)
+        with pytest.raises(ConstraintCycleError):
+            g.solve()
+
+    def test_self_constraint_rejected(self):
+        g = ConstraintGraph()
+        g.add_node(0, 0)
+        with pytest.raises(ConstraintCycleError):
+            g.add_constraint(0, 0, 1)
+
+    def test_unknown_node_rejected(self):
+        g = ConstraintGraph()
+        g.add_node(0, 0)
+        g.add_constraint(0, 99, 1)
+        with pytest.raises(KeyError):
+            g.solve()
+
+    def test_solution_is_minimal(self):
+        g = ConstraintGraph()
+        for i in range(5):
+            g.add_node(i, i * 2)
+        g.add_constraint(0, 4, 3)
+        pos = g.solve()
+        # Nothing forces movement: 4's bound (8) exceeds 0+3.
+        assert pos == {i: i * 2 for i in range(5)}

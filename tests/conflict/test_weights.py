@@ -1,0 +1,63 @@
+"""Edge-weight model tests."""
+
+import pytest
+
+from repro.conflict import (
+    NAMED_MODELS,
+    facing_span_weight,
+    feature_edge_weight,
+    space_needed_weight,
+    uniform_weight,
+)
+from repro.layout import layout_from_rects
+from repro.geometry import Rect
+from repro.shifters import find_overlap_pairs, generate_shifters
+
+
+@pytest.fixture
+def facing_pair(tech):
+    lay = layout_from_rects([Rect(0, 0, 90, 1000), Rect(390, 0, 480, 1000)])
+    shifters = generate_shifters(lay, tech)
+    (pair,) = find_overlap_pairs(shifters, tech)
+    return shifters, pair
+
+
+class TestModels:
+    def test_uniform(self, tech, facing_pair):
+        shifters, pair = facing_pair
+        assert uniform_weight(pair, shifters, tech) == 1
+
+    def test_space_needed(self, tech, facing_pair):
+        shifters, pair = facing_pair
+        # Separation 100, rule 120 -> 1 + 20.
+        assert space_needed_weight(pair, shifters, tech) == 21
+
+    def test_space_needed_shrinks_with_distance(self, tech):
+        def weight(gap):
+            lay = layout_from_rects([
+                Rect(0, 0, 90, 1000),
+                Rect(90 + gap, 0, 180 + gap, 1000)])
+            shifters = generate_shifters(lay, tech)
+            (pair,) = find_overlap_pairs(shifters, tech)
+            return space_needed_weight(pair, shifters, tech)
+
+        assert weight(280) > weight(300) > weight(310)
+
+    def test_facing_span(self, tech, facing_pair):
+        shifters, pair = facing_pair
+        # Both shifters span y in [-20, 1020]: facing span 1040.
+        assert facing_span_weight(pair, shifters, tech) == 1 + 1040
+
+    def test_named_models_positive(self, tech, facing_pair):
+        shifters, pair = facing_pair
+        for name, model in NAMED_MODELS.items():
+            assert model(pair, shifters, tech) >= 1, name
+
+
+class TestFeatureEdgeWeight:
+    def test_exceeds_any_combination(self):
+        weights = [5, 7, 100]
+        assert feature_edge_weight(weights) > sum(weights)
+
+    def test_empty(self):
+        assert feature_edge_weight([]) == 1

@@ -1,0 +1,78 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.geometry import Rect
+from repro.layout import Layout, Technology, layout_from_rects
+from repro.shifters import find_overlap_pairs, generate_shifters
+
+
+@pytest.fixture
+def tech() -> Technology:
+    return Technology.node_90nm()
+
+
+def make_random_small_layout(seed: int, max_features: int = 5) -> Layout:
+    """A tiny random layout of vertical gates and horizontal wires.
+
+    Geometry is drawn from a coarse grid so shifter interactions (and
+    odd cycles) happen often; used by Theorem-1 property tests where we
+    brute-force all phase assignments.
+    """
+    rng = random.Random(seed)
+    rects: List[Rect] = []
+    n = rng.randint(1, max_features)
+    attempts = 0
+    while len(rects) < n and attempts < 100:
+        attempts += 1
+        if rng.random() < 0.6:
+            w = rng.choice((90, 110))
+            h = rng.randint(400, 900)
+        else:
+            h = rng.choice((90, 110))
+            w = rng.randint(400, 900)
+        x = rng.randrange(-2, 10) * 170
+        y = rng.randrange(-2, 10) * 170
+        rect = Rect(x, y, x + w, y + h)
+        if any(rect.separation_sq(r) < 140 * 140 for r in rects):
+            continue
+        rects.append(rect)
+    return layout_from_rects(rects, name=f"rand{seed}")
+
+
+def brute_force_phase_assignable(layout: Layout,
+                                 tech: Technology) -> Optional[dict]:
+    """Ground-truth oracle: try every 0/1 phase vector.
+
+    Returns a valid assignment dict or None.  Exponential in the number
+    of shifters — only for tiny layouts.
+    """
+    shifters = generate_shifters(layout, tech)
+    n = len(shifters)
+    assert n <= 16, "layout too large for brute force"
+    pairs = find_overlap_pairs(shifters, tech)
+    feature_pairs = [(a.id, b.id) for a, b in shifters.feature_pairs()]
+    for bits in itertools.product((0, 1), repeat=n):
+        if any(bits[a] == bits[b] for a, b in feature_pairs):
+            continue
+        if any(bits[p.a] != bits[p.b] for p in pairs):
+            continue
+        return {i: bits[i] for i in range(n)}
+    return None
+
+
+def min_separation(rects: List[Rect]) -> Optional[int]:
+    """Smallest squared pairwise separation (None for < 2 rects)."""
+    best: Optional[int] = None
+    for i, a in enumerate(rects):
+        for b in rects[i + 1:]:
+            s = a.separation_sq(b)
+            if best is None or s < best:
+                best = s
+    return best

@@ -1,0 +1,68 @@
+"""End-to-end flow integration tests."""
+
+import pytest
+
+from repro.core import run_aapsm_flow
+from repro.layout import (
+    GeneratorParams,
+    conflict_grid_layout,
+    figure1_layout,
+    grating_layout,
+    standard_cell_layout,
+)
+
+
+class TestFlowOutcomes:
+    def test_clean_layout_trivial_success(self, tech):
+        result = run_aapsm_flow(grating_layout(6), tech)
+        assert result.success
+        assert result.detection.num_conflicts == 0
+        assert result.correction.num_cuts == 0
+        assert result.correction.area_increase_pct == 0.0
+        assert result.assignment is not None
+
+    def test_figure1_full_cycle(self, tech):
+        result = run_aapsm_flow(figure1_layout(), tech)
+        assert result.success
+        assert result.detection.num_conflicts == 1
+        assert result.post_detection.num_conflicts == 0
+        assert result.correction.area_increase_pct > 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_standard_cells_across_seeds(self, tech, seed):
+        lay = standard_cell_layout(GeneratorParams(rows=4, cols=15),
+                                   seed=seed)
+        result = run_aapsm_flow(lay, tech)
+        if result.correction.uncorrectable:
+            pytest.skip("spacing-uncorrectable conflict in workload")
+        assert result.success
+        assert result.post_detection.phase_assignable
+        assert 0.0 <= result.correction.area_increase_pct < 15.0
+
+    def test_conflict_grid(self, tech):
+        result = run_aapsm_flow(conflict_grid_layout(2, 2), tech)
+        assert result.success
+        assert result.detection.num_conflicts == 4
+
+    def test_summary_mentions_key_numbers(self, tech):
+        result = run_aapsm_flow(figure1_layout(), tech)
+        text = result.summary()
+        assert "figure1" in text
+        assert "1 conflicts" in text
+        assert "success: True" in text
+
+    def test_original_layout_untouched(self, tech):
+        lay = figure1_layout()
+        before = list(lay.features)
+        run_aapsm_flow(lay, tech)
+        assert lay.features == before
+
+    def test_corrected_layout_preserves_polygon_count(self, tech):
+        result = run_aapsm_flow(figure1_layout(), tech)
+        assert (result.corrected_layout.num_polygons
+                == result.layout.num_polygons)
+
+    def test_fg_flow_also_succeeds(self, tech):
+        from repro.conflict import FG
+        result = run_aapsm_flow(figure1_layout(), tech, kind=FG)
+        assert result.success

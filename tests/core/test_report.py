@@ -1,0 +1,56 @@
+"""Flow-report serialization tests."""
+
+import json
+
+from repro.core import (
+    flow_result_dict,
+    load_flow_report,
+    run_aapsm_flow,
+    save_flow_report,
+)
+from repro.layout import figure1_layout, grating_layout
+
+
+class TestFlowReport:
+    def test_dict_is_json_serializable(self, tech):
+        result = run_aapsm_flow(figure1_layout(), tech)
+        data = flow_result_dict(result)
+        text = json.dumps(data)
+        assert json.loads(text) == data
+
+    def test_key_fields_present(self, tech):
+        result = run_aapsm_flow(figure1_layout(), tech)
+        data = flow_result_dict(result)
+        assert data["design"] == "figure1"
+        assert data["success"] is True
+        assert data["detection"]["conflicts"] == [[0, 5]]
+        assert data["correction"]["cuts"][0]["width"] > 0
+        assert data["post_detection"]["phase_assignable"] is True
+        assert "phases" in data
+
+    def test_no_phases_when_unassignable(self, tech):
+        from repro.layout import GeneratorParams, standard_cell_layout
+        lay = standard_cell_layout(
+            GeneratorParams(rows=2, cols=6, tshape_probability=1.0),
+            seed=0)
+        result = run_aapsm_flow(lay, tech)
+        data = flow_result_dict(result)
+        # T-shape conflicts survive spacing correction, so the post
+        # layout may be unassignable; either way the dict must build.
+        assert "detection" in data
+
+    def test_save_and_load(self, tech, tmp_path):
+        result = run_aapsm_flow(grating_layout(4), tech)
+        path = str(tmp_path / "report.json")
+        save_flow_report(result, path)
+        loaded = load_flow_report(path)
+        assert loaded == flow_result_dict(result)
+
+    def test_tshape_conflicts_surface_in_report(self, tech):
+        from repro.layout import GeneratorParams, standard_cell_layout
+        lay = standard_cell_layout(
+            GeneratorParams(rows=3, cols=8, tshape_probability=1.0),
+            seed=1)
+        result = run_aapsm_flow(lay, tech)
+        data = flow_result_dict(result)
+        assert data["detection"]["tshape_features"]

@@ -1,0 +1,131 @@
+"""Correction-flow tests: grid-lines, covers, and actual fixes."""
+
+import pytest
+
+from repro.conflict import detect_conflicts
+from repro.correction import (
+    apply_cuts,
+    build_grid_lines,
+    conflict_options,
+    correct_layout,
+    plan_correction,
+)
+from repro.layout import (
+    GeneratorParams,
+    conflict_grid_layout,
+    figure1_layout,
+    standard_cell_layout,
+)
+from repro.shifters import generate_shifters
+
+
+def conflicts_of(layout, tech):
+    report = detect_conflicts(layout, tech)
+    return [c.key for c in report.conflicts]
+
+
+class TestGridLines:
+    def test_figure1_grid(self, tech):
+        lay = figure1_layout()
+        shifters = generate_shifters(lay, tech)
+        conflicts = conflicts_of(lay, tech)
+        options = conflict_options(conflicts, shifters, tech)
+        lines = build_grid_lines(options)
+        assert lines  # at least the interval endpoints
+        covered = set()
+        for line in lines:
+            covered |= set(line.covers)
+        assert covered == set(conflicts)
+
+    def test_shared_line_covers_multiple(self, tech):
+        """Figure 5's point: one end-to-end space can fix a whole row
+        of conflicts at once."""
+        lay = conflict_grid_layout(3, 1, cluster_pitch=3000)
+        conflicts = conflicts_of(lay, tech)
+        assert len(conflicts) == 3
+        report = plan_correction(lay, tech, conflicts)
+        # All three clusters share the wire-gate cut corridor.
+        assert report.max_cover == 3
+        assert report.num_cuts == 1
+
+    def test_misaligned_clusters_need_separate_cuts(self, tech):
+        """Counterpart: vertically stacked clusters have disjoint
+        horizontal-cut corridors, so each needs its own space."""
+        lay = conflict_grid_layout(1, 3, cluster_pitch=3000)
+        conflicts = conflicts_of(lay, tech)
+        assert len(conflicts) == 3
+        report = plan_correction(lay, tech, conflicts)
+        assert report.max_cover == 1
+        assert report.num_cuts == 3
+
+
+class TestPlanCorrection:
+    def test_figure1_plan(self, tech):
+        lay = figure1_layout()
+        report = plan_correction(lay, tech, conflicts_of(lay, tech))
+        assert report.num_conflicts == 1
+        assert report.uncorrectable == []
+        assert report.num_cuts == 1
+        assert report.area_increase_pct > 0
+
+    def test_empty_conflicts(self, tech):
+        lay = figure1_layout()
+        report = plan_correction(lay, tech, [])
+        assert report.cuts == []
+        assert report.area_increase_pct == 0.0
+
+    def test_cover_methods_agree_on_feasibility(self, tech):
+        lay = conflict_grid_layout(2, 2)
+        conflicts = conflicts_of(lay, tech)
+        for cover in ("greedy", "exact"):
+            report = plan_correction(lay, tech, conflicts, cover=cover)
+            assert set(report.corrected) == set(conflicts)
+            assert report.cover_method == cover
+
+    def test_exact_never_wider_than_greedy(self, tech):
+        lay = conflict_grid_layout(2, 3)
+        conflicts = conflicts_of(lay, tech)
+        greedy = plan_correction(lay, tech, conflicts, cover="greedy")
+        exact = plan_correction(lay, tech, conflicts, cover="exact")
+        assert (sum(c.width for c in exact.cuts)
+                <= sum(c.width for c in greedy.cuts))
+
+
+class TestCorrectLayout:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_correction_fixes_layout(self, tech, seed):
+        """The whole point of the paper: after the cuts, the layout is
+        phase-assignable (unless something was uncorrectable)."""
+        lay = standard_cell_layout(GeneratorParams(rows=4, cols=15),
+                                   seed=seed)
+        conflicts = conflicts_of(lay, tech)
+        fixed, report = correct_layout(lay, tech, conflicts)
+        if report.uncorrectable:
+            pytest.skip("workload produced a spacing-uncorrectable pair")
+        post = detect_conflicts(fixed, tech)
+        assert post.phase_assignable
+
+    def test_correction_no_new_drc_violations(self, tech):
+        from repro.layout import check_layout
+
+        lay = standard_cell_layout(GeneratorParams(rows=4, cols=15),
+                                   seed=1)
+        fixed, _report = correct_layout(lay, tech, conflicts_of(lay, tech))
+        assert len(check_layout(fixed, tech)) <= len(check_layout(lay,
+                                                                  tech))
+
+    def test_area_increase_in_paper_range(self, tech):
+        """Paper Table 2: 0.7% - 11.8% area increase.  Generated
+        workloads should land in (0, ~15%)."""
+        lay = standard_cell_layout(GeneratorParams(rows=4, cols=15),
+                                   seed=2)
+        _fixed, report = correct_layout(lay, tech,
+                                        conflicts_of(lay, tech))
+        assert 0.0 < report.area_increase_pct < 15.0
+
+    def test_no_critical_widening(self, tech):
+        lay = standard_cell_layout(GeneratorParams(rows=4, cols=15),
+                                   seed=3)
+        _fixed, report = correct_layout(lay, tech,
+                                        conflicts_of(lay, tech))
+        assert report.stretched_critical == []

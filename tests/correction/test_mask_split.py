@@ -1,0 +1,78 @@
+"""Hybrid mask-splitting planner tests."""
+
+import pytest
+
+from repro.conflict import detect_conflicts
+from repro.correction import plan_hybrid_correction
+from repro.layout import (
+    conflict_grid_layout,
+    figure1_layout,
+    standard_cell_layout,
+    GeneratorParams,
+)
+
+
+def conflicts_of(layout, tech):
+    return [c.key for c in detect_conflicts(layout, tech).conflicts]
+
+
+class TestHybridPlanner:
+    def test_empty(self, tech):
+        plan = plan_hybrid_correction(figure1_layout(), tech, [])
+        assert plan.cuts == [] and plan.splits == []
+        assert plan.total_cost == 0
+
+    def test_everything_covered(self, tech):
+        lay = standard_cell_layout(GeneratorParams(rows=4, cols=15),
+                                   seed=5)
+        conflicts = conflicts_of(lay, tech)
+        plan = plan_hybrid_correction(lay, tech, conflicts)
+        covered = set(plan.spaced_conflicts) | set(plan.split_conflicts)
+        assert covered == set(conflicts)
+
+    def test_shared_line_beats_splits(self, tech):
+        """A row of aligned conflicts: one cheap space amortizes over
+        all of them, so the planner must prefer layout modification."""
+        lay = conflict_grid_layout(3, 1)
+        conflicts = conflicts_of(lay, tech)
+        plan = plan_hybrid_correction(lay, tech, conflicts,
+                                      split_cost=60)
+        assert len(plan.spaced_conflicts) == 3
+        assert plan.splits == []
+
+    def test_isolated_conflicts_prefer_split(self, tech):
+        """Misaligned conflicts each needing their own 40nm space: with
+        a cheap split cost the planner should split instead."""
+        lay = conflict_grid_layout(1, 3)
+        conflicts = conflicts_of(lay, tech)
+        plan = plan_hybrid_correction(lay, tech, conflicts,
+                                      split_cost=10)
+        assert len(plan.split_conflicts) == 3
+        assert plan.cuts == []
+
+    def test_expensive_splits_force_spaces(self, tech):
+        lay = conflict_grid_layout(1, 3)
+        conflicts = conflicts_of(lay, tech)
+        plan = plan_hybrid_correction(lay, tech, conflicts,
+                                      split_cost=10_000)
+        assert plan.split_conflicts == []
+        assert len(plan.cuts) == 3
+
+    def test_costs_accounted(self, tech):
+        lay = conflict_grid_layout(2, 2)
+        conflicts = conflicts_of(lay, tech)
+        plan = plan_hybrid_correction(lay, tech, conflicts,
+                                      split_cost=25)
+        assert plan.space_cost == sum(c.width for c in plan.cuts)
+        assert plan.split_cost == 25 * len(plan.splits)
+
+    @pytest.mark.parametrize("split_cost", [1, 60, 500])
+    def test_monotone_in_split_cost(self, tech, split_cost):
+        """Raising the split cost can only shift work toward spaces."""
+        lay = standard_cell_layout(GeneratorParams(rows=3, cols=12),
+                                   seed=2)
+        conflicts = conflicts_of(lay, tech)
+        plan = plan_hybrid_correction(lay, tech, conflicts,
+                                      split_cost=split_cost)
+        covered = set(plan.spaced_conflicts) | set(plan.split_conflicts)
+        assert covered == set(conflicts)

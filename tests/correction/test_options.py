@@ -1,0 +1,58 @@
+"""Per-conflict correction-option tests."""
+
+from repro.correction import AXIS_X, AXIS_Y, conflict_options
+from repro.geometry import Interval, Rect
+from repro.layout import layout_from_rects
+from repro.shifters import generate_shifters
+
+
+def options_for(rects, conflict, tech):
+    shifters = generate_shifters(layout_from_rects(rects), tech)
+    return shifters, conflict_options([conflict], shifters, tech)[conflict]
+
+
+class TestAxisFeasibility:
+    def test_side_by_side_needs_vertical_cut(self, tech):
+        # Facing gate shifters: y-projections overlap, only x works.
+        _s, opts = options_for(
+            [Rect(0, 0, 90, 1000), Rect(390, 0, 480, 1000)], (1, 2), tech)
+        assert [o.axis for o in opts] == [AXIS_X]
+        opt = opts[0]
+        assert opt.interval.lo == 190   # right edge of left shifter
+        assert opt.interval.hi == 290   # left edge of right shifter
+        assert opt.need == 20           # 120 rule - 100 current gap
+
+    def test_stacked_needs_horizontal_cut(self, tech):
+        # A gate above a wire: x-projections overlap, only y works.
+        # Shifter ids: 0/1 = gate left/right, 2/3 = wire bottom/top.
+        _s, opts = options_for(
+            [Rect(0, 0, 90, 1000), Rect(-150, -290, 300, -200)], (0, 3),
+            tech)
+        assert [o.axis for o in opts] == [AXIS_Y]
+        # Wire top shifter ends at y=-100; gate shifter starts at -20.
+        assert opts[0].interval == Interval(-100, -20)
+        assert opts[0].need == 40       # 120 - 80 current y-gap
+
+    def test_diagonal_pair_has_both(self, tech):
+        _s, opts = options_for(
+            [Rect(0, 0, 90, 500), Rect(290, 600, 380, 1100)], (1, 2), tech)
+        assert sorted(o.axis for o in opts) == [AXIS_X, AXIS_Y]
+
+    def test_uncorrectable_when_projections_overlap_both_ways(self, tech):
+        # Two shifters of intersecting geometry: no separating cut.
+        from repro.shifters import ShifterSet
+        shifters = ShifterSet()
+        shifters.add(0, "left", Rect(0, 0, 100, 100))
+        shifters.add(1, "left", Rect(50, 50, 150, 150))
+        opts = conflict_options([(0, 1)], shifters, tech)[(0, 1)]
+        assert opts == []
+
+    def test_need_accounts_for_other_axis(self, tech):
+        # Diagonal pair: the x-cut need shrinks because dy contributes.
+        _s, opts = options_for(
+            [Rect(0, 0, 90, 500), Rect(290, 600, 380, 1100)], (1, 2), tech)
+        by_axis = {o.axis: o for o in opts}
+        # dy = 60 fixed -> need total dx 104, gap 0 -> need 104.
+        assert by_axis[AXIS_X].need == 104
+        # dx = 0 -> need dy 120, have 60 -> need 60.
+        assert by_axis[AXIS_Y].need == 60

@@ -1,0 +1,78 @@
+"""Cut-restriction tests (the paper's standard-cell-block future work)."""
+
+from repro.conflict import detect_conflicts
+from repro.correction import CutRestrictions, plan_correction
+from repro.geometry import Interval, Rect
+from repro.layout import conflict_grid_layout, figure1_layout
+
+
+def conflicts_of(layout, tech):
+    return [c.key for c in detect_conflicts(layout, tech).conflicts]
+
+
+class TestCutRestrictions:
+    def test_allows(self):
+        r = CutRestrictions(forbidden_x=(Interval(0, 100),),
+                            forbidden_y=(Interval(50, 60),))
+        assert not r.allows("x", 50)
+        assert r.allows("x", 101)
+        assert not r.allows("y", 55)
+        assert r.allows("y", 0)
+
+    def test_protect_rects(self):
+        r = CutRestrictions.protect_rects([Rect(0, 0, 100, 200)],
+                                          margin=10)
+        assert not r.allows("x", -5)
+        assert r.allows("x", 120)
+        assert not r.allows("y", 205)
+
+    def test_no_restrictions_is_baseline(self, tech):
+        lay = figure1_layout()
+        conflicts = conflicts_of(lay, tech)
+        base = plan_correction(lay, tech, conflicts)
+        open_r = plan_correction(lay, tech, conflicts,
+                                 restrictions=CutRestrictions())
+        assert [c.position for c in base.cuts] == [
+            c.position for c in open_r.cuts]
+
+    def test_blocking_the_only_corridor_fails_conflict(self, tech):
+        lay = figure1_layout()
+        conflicts = conflicts_of(lay, tech)
+        base = plan_correction(lay, tech, conflicts)
+        (cut,) = base.cuts
+        # Forbid a generous band around the only legal cut corridor.
+        band = Interval(cut.position - 500, cut.position + 500)
+        restricted = CutRestrictions(
+            forbidden_x=(band,) if cut.axis == "x" else (),
+            forbidden_y=(band,) if cut.axis == "y" else ())
+        report = plan_correction(lay, tech, conflicts,
+                                 restrictions=restricted)
+        assert report.uncorrectable == conflicts
+        assert report.cuts == []
+
+    def test_partial_block_shifts_cut(self, tech):
+        lay = conflict_grid_layout(3, 1)
+        conflicts = conflicts_of(lay, tech)
+        base = plan_correction(lay, tech, conflicts)
+        (cut,) = base.cuts
+        # Forbid exactly the chosen position; the corridor is wider
+        # than one point, so planning must still succeed elsewhere.
+        restricted = CutRestrictions(
+            forbidden_y=(Interval(cut.position, cut.position),))
+        report = plan_correction(lay, tech, conflicts,
+                                 restrictions=restricted)
+        assert report.uncorrectable == []
+        assert all(c.position != cut.position for c in report.cuts
+                   if c.axis == "y")
+
+    def test_snapping_respects_restrictions(self, tech):
+        lay = conflict_grid_layout(3, 1)
+        conflicts = conflicts_of(lay, tech)
+        base = plan_correction(lay, tech, conflicts)
+        (cut,) = base.cuts
+        restricted = CutRestrictions(
+            forbidden_y=(Interval(cut.position, cut.position),))
+        report = plan_correction(lay, tech, conflicts,
+                                 restrictions=restricted)
+        for c in report.cuts:
+            assert restricted.allows(c.axis, c.position)

@@ -1,0 +1,115 @@
+"""Weighted set cover tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correction import (
+    CoverSet,
+    UncoverableError,
+    cover_cost,
+    exact_weighted_set_cover,
+    greedy_weighted_set_cover,
+    is_cover,
+)
+
+
+def make_sets(specs):
+    return [CoverSet(id=i, elements=frozenset(els), weight=w)
+            for i, (els, w) in enumerate(specs)]
+
+
+class TestGreedy:
+    def test_single_set(self):
+        sets = make_sets([({1, 2}, 3)])
+        assert greedy_weighted_set_cover({1, 2}, sets) == [0]
+
+    def test_prefers_cheap_per_element(self):
+        sets = make_sets([({1, 2, 3}, 3), ({1}, 2), ({2}, 2), ({3}, 2)])
+        assert greedy_weighted_set_cover({1, 2, 3}, sets) == [0]
+
+    def test_uncoverable_raises(self):
+        sets = make_sets([({1}, 1)])
+        with pytest.raises(UncoverableError):
+            greedy_weighted_set_cover({1, 2}, sets)
+
+    def test_result_is_cover(self):
+        rng = random.Random(0)
+        universe = set(range(12))
+        sets = make_sets([
+            (set(rng.sample(range(12), rng.randint(1, 5))),
+             rng.randint(1, 9))
+            for _ in range(15)] + [({i}, 10) for i in range(12)])
+        chosen = greedy_weighted_set_cover(universe, sets)
+        assert is_cover(universe, sets, chosen)
+
+    def test_empty_universe(self):
+        assert greedy_weighted_set_cover(set(), make_sets([({1}, 1)])) == []
+
+
+class TestExact:
+    def test_beats_or_matches_greedy_classic_trap(self):
+        # Classic greedy trap: one big cheap set vs chained small ones.
+        sets = make_sets([
+            ({1, 2, 3, 4}, 5),
+            ({1, 2}, 2), ({3, 4}, 2),
+        ])
+        exact = exact_weighted_set_cover({1, 2, 3, 4}, sets)
+        assert cover_cost(sets, exact) == 4
+
+    def test_instance_size_guard(self):
+        sets = make_sets([({i}, 1) for i in range(30)])
+        with pytest.raises(ValueError):
+            exact_weighted_set_cover(set(range(30)), sets,
+                                     max_elements=10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000), st.integers(1, 8), st.integers(1, 10))
+    def test_exact_optimal_vs_brute_force(self, seed, n_elems, n_sets):
+        rng = random.Random(seed)
+        universe = set(range(n_elems))
+        specs = []
+        for _ in range(n_sets):
+            k = rng.randint(1, n_elems)
+            specs.append((set(rng.sample(range(n_elems), k)),
+                          rng.randint(1, 9)))
+        # Guarantee coverability.
+        specs.append((set(universe), 50))
+        sets = make_sets(specs)
+        exact = exact_weighted_set_cover(universe, sets)
+        assert is_cover(universe, sets, exact)
+
+        import itertools
+        best = None
+        for r in range(1, len(sets) + 1):
+            for combo in itertools.combinations(sets, r):
+                if is_cover(universe, sets, [s.id for s in combo]):
+                    c = sum(s.weight for s in combo)
+                    best = c if best is None else min(best, c)
+        assert cover_cost(sets, exact) == best
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_exact_never_worse_than_greedy(self, seed):
+        rng = random.Random(seed)
+        universe = set(range(10))
+        sets = make_sets(
+            [(set(rng.sample(range(10), rng.randint(1, 6))),
+              rng.randint(1, 9)) for _ in range(12)]
+            + [(set(universe), 40)])
+        greedy = greedy_weighted_set_cover(universe, sets)
+        exact = exact_weighted_set_cover(universe, sets)
+        assert cover_cost(sets, exact) <= cover_cost(sets, greedy)
+
+
+class TestValidation:
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CoverSet(id=0, elements=frozenset({1}), weight=0)
+
+    def test_is_cover(self):
+        sets = make_sets([({1, 2}, 1), ({3}, 1)])
+        assert is_cover({1, 2, 3}, sets, [0, 1])
+        assert not is_cover({1, 2, 3}, sets, [0])

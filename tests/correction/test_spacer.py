@@ -1,0 +1,139 @@
+"""End-to-end space insertion tests, including the no-new-violations
+property the paper argues for in §3.2."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.correction import SpaceCut, apply_cuts, stretched_feature_indices
+from repro.geometry import Rect
+from repro.layout import check_spacing, layout_from_rects
+from repro.layout.generator import random_rect_layout
+
+from ..conftest import min_separation
+
+
+class TestSingleCut:
+    def test_shifts_right_of_cut(self):
+        lay = layout_from_rects([Rect(0, 0, 10, 10), Rect(50, 0, 60, 10)])
+        out = apply_cuts(lay, [SpaceCut("x", 30, 100)])
+        assert out.features == [Rect(0, 0, 10, 10), Rect(150, 0, 160, 10)]
+
+    def test_stretches_spanning_rect(self):
+        lay = layout_from_rects([Rect(0, 0, 100, 10)])
+        out = apply_cuts(lay, [SpaceCut("x", 50, 7)])
+        assert out.features == [Rect(0, 0, 107, 10)]
+
+    def test_cut_at_edge_shifts_not_stretches(self):
+        lay = layout_from_rects([Rect(0, 0, 10, 10), Rect(10, 20, 20, 30)])
+        out = apply_cuts(lay, [SpaceCut("x", 10, 5)])
+        # First rect ends exactly at the cut: untouched.
+        # Second starts exactly at the cut: shifted.
+        assert out.features == [Rect(0, 0, 10, 10), Rect(15, 20, 25, 30)]
+
+    def test_horizontal_cut(self):
+        lay = layout_from_rects([Rect(0, 0, 10, 10), Rect(0, 50, 10, 60)])
+        out = apply_cuts(lay, [SpaceCut("y", 20, 40)])
+        assert out.features == [Rect(0, 0, 10, 10), Rect(0, 90, 10, 100)]
+
+    def test_other_layers_transformed_too(self):
+        lay = layout_from_rects([Rect(0, 0, 10, 10)])
+        lay.add_shape(42, Rect(50, 0, 60, 10))
+        out = apply_cuts(lay, [SpaceCut("x", 30, 10)])
+        assert out.layers[42] == [Rect(60, 0, 70, 10)]
+
+    def test_invalid_cut(self):
+        with pytest.raises(ValueError):
+            SpaceCut("z", 0, 10)
+        with pytest.raises(ValueError):
+            SpaceCut("x", 0, 0)
+
+
+class TestMultipleCuts:
+    def test_two_cuts_compose(self):
+        lay = layout_from_rects([Rect(100, 0, 110, 10)])
+        out = apply_cuts(lay, [SpaceCut("x", 10, 5), SpaceCut("x", 50, 7)])
+        assert out.features == [Rect(112, 0, 122, 10)]
+
+    def test_positions_refer_to_original_coords(self):
+        # Both cuts at original positions; order must not matter.
+        lay = layout_from_rects([Rect(100, 0, 110, 10)])
+        a = apply_cuts(lay, [SpaceCut("x", 10, 5), SpaceCut("x", 50, 7)])
+        b = apply_cuts(lay, [SpaceCut("x", 50, 7), SpaceCut("x", 10, 5)])
+        assert a.features == b.features
+
+    def test_mixed_axes(self):
+        lay = layout_from_rects([Rect(100, 100, 110, 110)])
+        out = apply_cuts(lay, [SpaceCut("x", 0, 3), SpaceCut("y", 0, 4)])
+        assert out.features == [Rect(103, 104, 113, 114)]
+
+
+class TestNoNewViolations:
+    """The paper's key safety argument, as executable properties."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000), st.integers(1, 3))
+    def test_separations_never_shrink(self, seed, n_cuts):
+        rng = random.Random(seed)
+        lay = random_rect_layout(15, seed=seed, region=5000)
+        if len(lay.features) < 2:
+            return
+        cuts = []
+        for _ in range(n_cuts):
+            cuts.append(SpaceCut(rng.choice("xy"),
+                                 rng.randrange(0, 5000),
+                                 rng.randint(1, 300)))
+        before = min_separation(lay.features)
+        after_lay = apply_cuts(lay, cuts)
+        after = min_separation(after_lay.features)
+        assert after >= before
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_drc_violation_count_never_grows(self, seed):
+        rng = random.Random(seed)
+        lay = random_rect_layout(12, seed=seed + 7, region=4000)
+        cuts = [SpaceCut(rng.choice("xy"), rng.randrange(0, 4000),
+                         rng.randint(10, 200))]
+        before = len(check_spacing(lay.features, 140))
+        after = len(check_spacing(apply_cuts(lay, cuts).features, 140))
+        assert after <= before
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_widths_preserved_for_non_spanning(self, seed):
+        rng = random.Random(seed)
+        lay = random_rect_layout(12, seed=seed + 3, region=4000)
+        cut = SpaceCut("x", rng.randrange(0, 4000), rng.randint(10, 200))
+        out = apply_cuts(lay, [cut])
+        stretched = set(stretched_feature_indices(lay, [cut]))
+        for i, (a, b) in enumerate(zip(lay.features, out.features)):
+            if a.x1 < cut.position < a.x2:
+                assert b.width == a.width + cut.width
+            else:
+                assert b.width == a.width
+            assert b.height == a.height
+            if i not in stretched:
+                # Not flagged means the critical dimension is safe.
+                vertical = a.height >= a.width
+                if vertical:
+                    assert b.width == a.width
+
+
+class TestStretchedDetector:
+    def test_vertical_feature_widened_flagged(self):
+        lay = layout_from_rects([Rect(0, 0, 90, 1000)])
+        assert stretched_feature_indices(
+            lay, [SpaceCut("x", 45, 10)]) == [0]
+
+    def test_vertical_feature_lengthened_ok(self):
+        lay = layout_from_rects([Rect(0, 0, 90, 1000)])
+        assert stretched_feature_indices(
+            lay, [SpaceCut("y", 500, 10)]) == []
+
+    def test_cut_at_boundary_ok(self):
+        lay = layout_from_rects([Rect(0, 0, 90, 1000)])
+        assert stretched_feature_indices(
+            lay, [SpaceCut("x", 90, 10)]) == []

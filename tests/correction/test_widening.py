@@ -1,0 +1,101 @@
+"""Feature-widening extension tests."""
+
+import pytest
+
+from repro.conflict import detect_conflicts
+from repro.correction import (
+    apply_widening,
+    plan_widening,
+    widened_rect,
+    widening_candidates,
+    widening_is_legal,
+)
+from repro.geometry import Rect
+from repro.layout import figure1_layout, layout_from_rects
+
+
+class TestWidenedRect:
+    def test_vertical_feature_widens_in_x(self, tech):
+        rect = Rect(0, 0, 90, 1000)
+        wide = widened_rect(rect, tech.critical_width)
+        assert wide.min_dimension == tech.critical_width
+        assert wide.height == rect.height
+        assert wide.x1 == -30 and wide.x2 == 120  # 60 split 30/30
+
+    def test_horizontal_feature_widens_in_y(self, tech):
+        rect = Rect(0, 0, 1000, 90)
+        wide = widened_rect(rect, tech.critical_width)
+        assert wide.min_dimension == tech.critical_width
+        assert wide.width == rect.width
+
+    def test_odd_delta_goes_high(self):
+        rect = Rect(0, 0, 90, 1000)
+        wide = widened_rect(rect, 91)
+        assert (rect.x1 - wide.x1, wide.x2 - rect.x2) == (0, 1)
+
+    def test_already_wide_noop(self, tech):
+        rect = Rect(0, 0, 200, 1000)
+        assert widened_rect(rect, tech.critical_width) == rect
+
+
+class TestLegality:
+    def test_widening_into_neighbor_illegal(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 90, 1000),
+                                 Rect(240, 0, 440, 1000)])
+        wide = widened_rect(lay.features[0], tech.critical_width)
+        # New gap would be 240 - 120 = 120 < 140.
+        assert not widening_is_legal(lay, 0, wide, tech)
+
+    def test_widening_with_room_legal(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 90, 1000),
+                                 Rect(500, 0, 700, 1000)])
+        wide = widened_rect(lay.features[0], tech.critical_width)
+        assert widening_is_legal(lay, 0, wide, tech)
+
+
+class TestPlanning:
+    def test_candidates_found_for_figure1(self, tech):
+        lay = figure1_layout()
+        conflicts = [c.key for c in detect_conflicts(lay, tech).conflicts]
+        candidates = widening_candidates(lay, tech, conflicts)
+        # The wire (feature 2) has room below; widening it removes its
+        # shifters and the conflict.
+        assert 2 in candidates
+
+    def test_plan_resolves_figure1(self, tech):
+        lay = figure1_layout()
+        conflicts = [c.key for c in detect_conflicts(lay, tech).conflicts]
+        moves, leftover = plan_widening(lay, tech, conflicts)
+        assert leftover == []
+        widened = apply_widening(lay, moves)
+        post = detect_conflicts(widened, tech)
+        assert post.phase_assignable
+
+    def test_allowed_features_respected(self, tech):
+        lay = figure1_layout()
+        conflicts = [c.key for c in detect_conflicts(lay, tech).conflicts]
+        candidates = widening_candidates(lay, tech, conflicts,
+                                         allowed_features={0})
+        assert set(candidates) <= {0}
+
+    def test_apply_checks_staleness(self, tech):
+        lay = figure1_layout()
+        conflicts = [c.key for c in detect_conflicts(lay, tech).conflicts]
+        moves, _ = plan_widening(lay, tech, conflicts)
+        assert moves
+        lay.features[moves[0].feature_index] = Rect(0, 0, 10, 10)
+        with pytest.raises(ValueError):
+            apply_widening(lay, moves)
+
+    def test_unresolvable_reported(self, tech):
+        # Dense gratings leave no room to widen anything.
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 1000),
+            Rect(300, 0, 390, 1000),
+            Rect(-150, -290, 240, -200),
+        ])
+        conflicts = [c.key for c in detect_conflicts(lay, tech).conflicts]
+        moves, leftover = plan_widening(lay, tech, conflicts,
+                                        allowed_features=set())
+        assert moves == []
+        assert leftover == sorted(conflicts)

@@ -1,0 +1,100 @@
+"""GDSII record primitive tests."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gdsii import decode_real8, encode_real8
+from repro.gdsii.records import (
+    DT_ASCII,
+    DT_INT16,
+    GdsFormatError,
+    HEADER,
+    LIBNAME,
+    iter_records,
+    pack_ascii,
+    pack_int16,
+    pack_int32,
+    pack_real8,
+    pack_record,
+    unpack_ascii,
+    unpack_int16,
+    unpack_int32,
+    unpack_real8,
+    unpack_xy,
+)
+
+
+class TestReal8:
+    def test_zero(self):
+        assert encode_real8(0.0) == b"\x00" * 8
+        assert decode_real8(b"\x00" * 8) == 0.0
+
+    def test_one(self):
+        # 1.0 = 1/16 * 16^1: exponent 65, mantissa 0x10000000000000.
+        assert encode_real8(1.0) == bytes(
+            [0x41, 0x10, 0, 0, 0, 0, 0, 0])
+
+    def test_known_units_values(self):
+        # The canonical UNITS payload values survive a round trip.
+        for v in (1e-3, 1e-9, 0.25, 2.0):
+            assert decode_real8(encode_real8(v)) == pytest.approx(
+                v, rel=1e-14)
+
+    def test_negative(self):
+        data = encode_real8(-5.5)
+        assert data[0] & 0x80
+        assert decode_real8(data) == pytest.approx(-5.5)
+
+    def test_bad_length(self):
+        with pytest.raises(GdsFormatError):
+            decode_real8(b"\x00")
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_roundtrip_positive(self, v):
+        assert decode_real8(encode_real8(v)) == pytest.approx(v, rel=1e-14)
+
+    @given(st.floats(min_value=-1e6, max_value=-1e-6))
+    def test_roundtrip_negative(self, v):
+        assert decode_real8(encode_real8(v)) == pytest.approx(v, rel=1e-14)
+
+
+class TestRecords:
+    def test_pack_header_layout(self):
+        data = pack_int16(HEADER, [600])
+        length, rtype, dtype = struct.unpack_from(">HBB", data)
+        assert (length, rtype, dtype) == (6, HEADER, DT_INT16)
+
+    def test_ascii_padded_to_even(self):
+        data = pack_ascii(LIBNAME, "abc")
+        assert len(data) % 2 == 0
+        records = list(iter_records(data))
+        assert unpack_ascii(records[0][2]) == "abc"
+
+    def test_int_roundtrip(self):
+        assert unpack_int16(pack_int16(HEADER, [-5, 600])[4:]) == [-5, 600]
+        assert unpack_int32(pack_int32(HEADER, [1 << 20])[4:]) == [1 << 20]
+
+    def test_real_roundtrip(self):
+        values = unpack_real8(pack_real8(HEADER, [1e-3, 1e-9])[4:])
+        assert values == pytest.approx([1e-3, 1e-9])
+
+    def test_xy_roundtrip(self):
+        data = pack_int32(HEADER, [1, 2, -3, 4])
+        assert unpack_xy(data[4:]) == [(1, 2), (-3, 4)]
+
+    def test_xy_odd_rejected(self):
+        data = pack_int32(HEADER, [1, 2, 3])
+        with pytest.raises(GdsFormatError):
+            unpack_xy(data[4:])
+
+    def test_iter_records_truncated(self):
+        with pytest.raises(GdsFormatError):
+            list(iter_records(b"\x00\x08\x00\x02\x01"))
+
+    def test_iter_records_trailing_nul_padding_ok(self):
+        data = pack_record(HEADER, 0) + b"\x00\x00\x00\x00"
+        assert len(list(iter_records(data))) == 1

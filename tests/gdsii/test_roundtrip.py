@@ -1,0 +1,196 @@
+"""GDSII library round-trip and flattening tests."""
+
+import io
+
+import pytest
+
+from repro.gdsii import (
+    ARef,
+    Boundary,
+    GdsLibrary,
+    GdsStructure,
+    Path,
+    SRef,
+    Text,
+    dumps,
+    gds_to_layout,
+    layout_to_gds,
+    loads,
+    read_gds,
+    write_gds,
+)
+from repro.geometry import Rect
+from repro.layout import POLY_LAYER, GeneratorParams, standard_cell_layout
+
+
+def rect_boundary(layer, x1, y1, x2, y2):
+    return Boundary(layer=layer, datatype=0,
+                    points=[(x1, y1), (x2, y1), (x2, y2), (x1, y2),
+                            (x1, y1)])
+
+
+def small_library():
+    lib = GdsLibrary(name="TESTLIB")
+    cell = GdsStructure(name="CELL")
+    cell.boundaries.append(rect_boundary(1, 0, 0, 90, 1000))
+    cell.paths.append(Path(layer=2, datatype=0, width=100,
+                           points=[(0, 0), (500, 0)]))
+    cell.texts.append(Text(layer=63, texttype=0, origin=(10, 10),
+                           string="hello"))
+    lib.add(cell)
+    top = GdsStructure(name="TOP")
+    top.srefs.append(SRef(sname="CELL", origin=(1000, 0)))
+    top.arefs.append(ARef(sname="CELL", cols=2, rows=3,
+                          origin=(5000, 0), col_step=(2000, 0),
+                          row_step=(0, 3000)))
+    lib.add(top)
+    return lib
+
+
+class TestRoundTrip:
+    def test_library_metadata(self):
+        lib2 = loads(dumps(small_library()))
+        assert lib2.name == "TESTLIB"
+        assert lib2.unit_user == pytest.approx(1e-3)
+        assert lib2.unit_meters == pytest.approx(1e-9)
+        assert set(lib2.structures) == {"CELL", "TOP"}
+
+    def test_boundary_roundtrip(self):
+        lib2 = loads(dumps(small_library()))
+        b = lib2.structures["CELL"].boundaries[0]
+        assert b.layer == 1
+        assert b.is_rectangle() == (0, 0, 90, 1000)
+
+    def test_path_roundtrip(self):
+        lib2 = loads(dumps(small_library()))
+        p = lib2.structures["CELL"].paths[0]
+        assert (p.layer, p.width, p.points) == (2, 100, [(0, 0), (500, 0)])
+
+    def test_sref_aref_roundtrip(self):
+        lib2 = loads(dumps(small_library()))
+        top = lib2.structures["TOP"]
+        assert top.srefs[0].sname == "CELL"
+        assert top.srefs[0].origin == (1000, 0)
+        aref = top.arefs[0]
+        assert (aref.cols, aref.rows) == (2, 3)
+        assert aref.col_step == (2000, 0)
+        assert aref.row_step == (0, 3000)
+
+    def test_text_roundtrip(self):
+        lib2 = loads(dumps(small_library()))
+        t = lib2.structures["TOP" if False else "CELL"].texts[0]
+        assert t.string == "hello"
+
+    def test_double_roundtrip_stable(self):
+        data1 = dumps(small_library())
+        data2 = dumps(loads(data1))
+        assert data1 == data2
+
+    def test_file_io(self, tmp_path):
+        path = str(tmp_path / "test.gds")
+        write_gds(small_library(), path)
+        lib2 = read_gds(path)
+        assert set(lib2.structures) == {"CELL", "TOP"}
+
+    def test_stream_io(self):
+        buf = io.BytesIO()
+        write_gds(small_library(), buf)
+        buf.seek(0)
+        assert read_gds(buf).name == "TESTLIB"
+
+    def test_duplicate_structure_rejected(self):
+        lib = GdsLibrary()
+        lib.add(GdsStructure(name="A"))
+        with pytest.raises(ValueError):
+            lib.add(GdsStructure(name="A"))
+
+
+class TestTopStructures:
+    def test_top_detection(self):
+        tops = small_library().top_structures()
+        assert [s.name for s in tops] == ["TOP"]
+
+
+class TestFlattening:
+    def test_sref_translation(self):
+        lib = small_library()
+        layout, skipped = gds_to_layout(lib)
+        # CELL has 1 boundary rect + 1 path rect; TOP places it
+        # 1 (sref) + 6 (aref) = 7 times.
+        assert len(layout.layers[1]) == 7
+        assert len(layout.layers[2]) == 7
+        assert skipped == []
+        assert Rect(1000, 0, 1090, 1000) in layout.layers[1]
+
+    def test_aref_lattice(self):
+        lib = small_library()
+        layout, _ = gds_to_layout(lib)
+        for col in range(2):
+            for row in range(3):
+                assert Rect(5000 + 2000 * col, 3000 * row,
+                            5090 + 2000 * col, 1000 + 3000 * row) \
+                    in layout.layers[1]
+
+    def test_rotation_90(self):
+        lib = GdsLibrary()
+        cell = GdsStructure(name="C")
+        cell.boundaries.append(rect_boundary(1, 0, 0, 10, 100))
+        lib.add(cell)
+        top = GdsStructure(name="T")
+        top.srefs.append(SRef(sname="C", origin=(0, 0), angle=90.0))
+        lib.add(top)
+        layout, skipped = gds_to_layout(lib)
+        assert skipped == []
+        assert layout.layers[1] == [Rect(-100, 0, 0, 10)]
+
+    def test_reflection(self):
+        lib = GdsLibrary()
+        cell = GdsStructure(name="C")
+        cell.boundaries.append(rect_boundary(1, 0, 10, 10, 100))
+        lib.add(cell)
+        top = GdsStructure(name="T")
+        top.srefs.append(SRef(sname="C", origin=(0, 0), reflect_x=True))
+        lib.add(top)
+        layout, _ = gds_to_layout(lib)
+        assert layout.layers[1] == [Rect(0, -100, 10, -10)]
+
+    def test_non_rect_boundary_skipped(self):
+        lib = GdsLibrary()
+        cell = GdsStructure(name="C")
+        cell.boundaries.append(Boundary(
+            layer=1, datatype=0,
+            points=[(0, 0), (10, 0), (5, 10), (0, 0)]))
+        lib.add(cell)
+        layout, skipped = gds_to_layout(lib)
+        assert layout.layers.get(1, []) == []
+        assert len(skipped) == 1
+
+    def test_magnification_rejected(self):
+        lib = GdsLibrary()
+        lib.add(GdsStructure(name="C"))
+        top = GdsStructure(name="T")
+        top.srefs.append(SRef(sname="C", origin=(0, 0), mag=2.0))
+        lib.add(top)
+        with pytest.raises(ValueError):
+            gds_to_layout(lib)
+
+
+class TestLayoutBridge:
+    def test_layout_export_import_identity(self, tech):
+        lay = standard_cell_layout(GeneratorParams(rows=2, cols=8), seed=1)
+        lib = layout_to_gds(lay)
+        back, skipped = gds_to_layout(lib)
+        assert skipped == []
+        assert sorted(back.layers[POLY_LAYER]) == sorted(lay.features)
+
+    def test_flow_on_imported_layout(self, tech):
+        """Full circle: export, re-import, run the AAPSM flow."""
+        from repro.core import run_aapsm_flow
+        from repro.layout import figure1_layout
+
+        lay = figure1_layout()
+        back, _ = gds_to_layout(layout_to_gds(lay))
+        back.name = "figure1"
+        result = run_aapsm_flow(back, tech)
+        assert result.detection.num_conflicts == 1
+        assert result.success

@@ -1,0 +1,154 @@
+"""Unit and property tests for closed integer intervals."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Interval,
+    endpoints,
+    interval_point_cover,
+    merge_intervals,
+    stab_count,
+    total_length,
+)
+
+intervals = st.builds(
+    lambda a, b: Interval(min(a, b), max(a, b)),
+    st.integers(-1000, 1000), st.integers(-1000, 1000))
+
+
+class TestIntervalBasics:
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_point_interval_is_valid(self):
+        iv = Interval(3, 3)
+        assert iv.length == 0
+        assert 3 in iv
+
+    def test_length(self):
+        assert Interval(2, 9).length == 7
+
+    def test_contains(self):
+        iv = Interval(-2, 5)
+        assert -2 in iv and 5 in iv and 0 in iv
+        assert -3 not in iv and 6 not in iv
+
+    def test_center2(self):
+        assert Interval(2, 8).center2 == 10
+
+
+class TestIntervalRelations:
+    def test_overlap_touching(self):
+        assert Interval(0, 5).overlaps(Interval(5, 9))
+        assert not Interval(0, 5).strictly_overlaps(Interval(5, 9))
+
+    def test_disjoint(self):
+        assert not Interval(0, 5).overlaps(Interval(6, 9))
+
+    def test_gap_positive(self):
+        assert Interval(0, 5).gap_to(Interval(8, 9)) == 3
+        assert Interval(8, 9).gap_to(Interval(0, 5)) == 3
+
+    def test_gap_negative_is_overlap_length(self):
+        assert Interval(0, 10).gap_to(Interval(4, 20)) == -6
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains_interval(Interval(3, 7))
+        assert not Interval(0, 10).contains_interval(Interval(3, 11))
+
+    @given(intervals, intervals)
+    def test_gap_symmetry(self, a, b):
+        assert a.gap_to(b) == b.gap_to(a)
+
+    @given(intervals, intervals)
+    def test_overlap_iff_gap_nonpositive(self, a, b):
+        assert a.overlaps(b) == (a.gap_to(b) <= 0)
+
+
+class TestIntervalConstruction:
+    def test_intersection(self):
+        assert Interval(0, 10).intersection(Interval(5, 20)) == Interval(5, 10)
+
+    def test_intersection_empty(self):
+        assert Interval(0, 4).intersection(Interval(5, 9)) is None
+
+    def test_hull(self):
+        assert Interval(0, 3).hull(Interval(10, 12)) == Interval(0, 12)
+
+    def test_expanded(self):
+        assert Interval(5, 7).expanded(2) == Interval(3, 9)
+
+    def test_shifted(self):
+        assert Interval(5, 7).shifted(-3) == Interval(2, 4)
+
+    @given(intervals, intervals)
+    def test_intersection_within_hull(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.hull(b).contains_interval(inter)
+
+
+class TestMergeAndMeasure:
+    def test_merge_overlapping(self):
+        merged = merge_intervals([Interval(0, 5), Interval(3, 9),
+                                  Interval(20, 22)])
+        assert merged == [Interval(0, 9), Interval(20, 22)]
+
+    def test_merge_touching(self):
+        assert merge_intervals([Interval(0, 5), Interval(5, 7)]) == [
+            Interval(0, 7)]
+
+    def test_total_length_counts_overlap_once(self):
+        assert total_length([Interval(0, 10), Interval(5, 15)]) == 15
+
+    @given(st.lists(intervals, max_size=20))
+    def test_merge_is_disjoint_and_sorted(self, ivs):
+        merged = merge_intervals(ivs)
+        for a, b in zip(merged, merged[1:]):
+            assert a.hi < b.lo
+
+    @given(st.lists(intervals, max_size=20))
+    def test_merge_preserves_membership(self, ivs):
+        merged = merge_intervals(ivs)
+        for iv in ivs:
+            for x in (iv.lo, iv.hi):
+                assert any(x in m for m in merged)
+
+
+class TestPointCover:
+    def test_single_interval(self):
+        assert interval_point_cover([Interval(2, 5)]) == [5]
+
+    def test_chain(self):
+        points = interval_point_cover(
+            [Interval(0, 3), Interval(2, 6), Interval(8, 9)])
+        assert points == [3, 9]
+
+    @given(st.lists(intervals, min_size=1, max_size=15))
+    def test_cover_stabs_everything(self, ivs):
+        points = interval_point_cover(ivs)
+        for iv in ivs:
+            assert any(p in iv for p in points)
+
+    @given(st.lists(intervals, min_size=1, max_size=10))
+    def test_cover_is_minimal_greedy(self, ivs):
+        # Classic result: right-endpoint greedy is optimal for interval
+        # stabbing; check against exhaustive search on endpoints.
+        points = interval_point_cover(ivs)
+        candidates = endpoints(ivs)
+        import itertools
+        for k in range(len(points)):
+            for combo in itertools.combinations(candidates, k):
+                if all(any(p in iv for p in combo) for iv in ivs):
+                    raise AssertionError(
+                        f"greedy used {len(points)}, {k} suffice")
+
+
+class TestStabCount:
+    def test_counts(self):
+        ivs = [Interval(0, 10), Interval(5, 6), Interval(20, 30)]
+        assert stab_count(ivs, 5) == 2
+        assert stab_count(ivs, 15) == 0

@@ -1,0 +1,81 @@
+"""Grid index and neighbor-pair extraction tests."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import GridIndex, Rect, neighbor_pairs
+
+
+def brute_force_pairs(rects, dist):
+    out = []
+    for i, a in enumerate(rects):
+        for j in range(i + 1, len(rects)):
+            if a.within_distance(rects[j], dist):
+                out.append((i, j))
+    return sorted(out)
+
+
+class TestGridIndex:
+    def test_insert_query(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert_rect("a", Rect(0, 0, 5, 5))
+        idx.insert_rect("b", Rect(100, 100, 105, 105))
+        assert idx.query(0, 0, 50, 50) == {"a"}
+        assert idx.query(-10, -10, 200, 200) == {"a", "b"}
+
+    def test_duplicate_rejected(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert_rect("a", Rect(0, 0, 5, 5))
+        try:
+            idx.insert_rect("a", Rect(1, 1, 2, 2))
+        except KeyError:
+            return
+        raise AssertionError("duplicate insert accepted")
+
+    def test_remove(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert_rect(1, Rect(0, 0, 5, 5))
+        idx.remove(1)
+        assert idx.query(0, 0, 10, 10) == set()
+        assert len(idx) == 0
+
+    def test_query_touching_boundary(self):
+        idx = GridIndex(cell_size=10)
+        idx.insert_rect("a", Rect(0, 0, 10, 10))
+        assert idx.query(10, 10, 20, 20) == {"a"}
+
+    def test_invalid_cell_size(self):
+        try:
+            GridIndex(cell_size=0)
+        except ValueError:
+            return
+        raise AssertionError("cell_size=0 accepted")
+
+
+class TestNeighborPairs:
+    def test_simple(self):
+        rects = [Rect(0, 0, 10, 10), Rect(15, 0, 25, 10),
+                 Rect(500, 500, 510, 510)]
+        assert neighbor_pairs(rects, 10) == [(0, 1)]
+
+    def test_empty(self):
+        assert neighbor_pairs([], 10) == []
+
+    def test_distance_is_strict(self):
+        rects = [Rect(0, 0, 10, 10), Rect(20, 0, 30, 10)]
+        assert neighbor_pairs(rects, 10) == []
+        assert neighbor_pairs(rects, 11) == [(0, 1)]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 30), st.integers(1, 400))
+    def test_matches_brute_force(self, seed, n, dist):
+        rng = random.Random(seed)
+        rects = []
+        for _ in range(n):
+            x = rng.randrange(0, 3000)
+            y = rng.randrange(0, 3000)
+            rects.append(Rect(x, y, x + rng.randint(10, 300),
+                              y + rng.randint(10, 300)))
+        assert neighbor_pairs(rects, dist) == brute_force_pairs(rects, dist)

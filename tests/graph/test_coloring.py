@@ -1,0 +1,123 @@
+"""2-coloring and parity union-find tests."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import GeomGraph, ParityDSU, is_bipartite, residual_conflicts, two_color
+
+
+def graph_from_edges(n, edges):
+    g = GeomGraph()
+    for i in range(n):
+        g.add_node(i)
+    for u, v, w in edges:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestTwoColor:
+    def test_even_cycle(self):
+        g = graph_from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1),
+                                 (3, 0, 1)])
+        colors = two_color(g)
+        assert colors is not None
+        for e in g.edges():
+            assert colors[e.u] != colors[e.v]
+
+    def test_odd_cycle(self):
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        assert two_color(g) is None
+        assert not is_bipartite(g)
+
+    def test_skip_edges(self):
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        assert two_color(g, skip_edges=[2]) is not None
+
+    def test_self_loop_not_bipartite(self):
+        g = graph_from_edges(1, [(0, 0, 1)])
+        assert two_color(g) is None
+
+    def test_deterministic_root_color(self):
+        g = graph_from_edges(2, [(0, 1, 1)])
+        assert two_color(g) == {0: 0, 1: 1}
+
+    def test_isolated_nodes_colored(self):
+        g = GeomGraph()
+        g.add_node(7)
+        colors = two_color(g)
+        assert colors == {7: 0}
+
+
+class TestParityDSU:
+    def test_chain_parity(self):
+        dsu = ParityDSU()
+        assert dsu.union_unequal(0, 1)
+        assert dsu.union_unequal(1, 2)
+        # 0 and 2 same side: another unequal edge closes an odd cycle.
+        assert not dsu.union_unequal(0, 2)
+
+    def test_even_cycle_ok(self):
+        dsu = ParityDSU()
+        assert dsu.union_unequal(0, 1)
+        assert dsu.union_unequal(1, 2)
+        assert dsu.union_unequal(2, 3)
+        assert dsu.union_unequal(3, 0)
+
+    def test_repeated_edge_consistent(self):
+        dsu = ParityDSU()
+        assert dsu.union_unequal(0, 1)
+        assert dsu.union_unequal(0, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 100_000), st.integers(2, 12), st.integers(1, 25))
+    def test_matches_bipartite_check(self, seed, n, m):
+        """DSU accepts an edge iff the accepted-so-far graph + edge
+        stays bipartite."""
+        rng = random.Random(seed)
+        dsu = ParityDSU()
+        g = GeomGraph()
+        for i in range(n):
+            g.add_node(i)
+        for _ in range(m):
+            u, v = rng.sample(range(n), 2)
+            e = g.add_edge(u, v)
+            ok = dsu.union_unequal(u, v)
+            if not ok:
+                g.remove_edge(e.id)
+            assert is_bipartite(g)
+
+
+class TestResidualConflicts:
+    def test_candidate_closing_odd_cycle_flagged(self):
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        # Treat edge 2 as a planarization casualty; nothing deleted.
+        assert residual_conflicts(g, deleted=[], candidates=[2]) == [2]
+
+    def test_candidate_closing_even_cycle_kept(self):
+        g = graph_from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1),
+                                 (3, 0, 1)])
+        assert residual_conflicts(g, deleted=[], candidates=[3]) == []
+
+    def test_cross_component_candidate_kept(self):
+        """A fixed 2-coloring could misjudge this; the DSU must not."""
+        g = graph_from_edges(4, [(0, 1, 1), (2, 3, 1), (1, 2, 1)])
+        assert residual_conflicts(g, deleted=[], candidates=[2]) == []
+
+    def test_heavier_candidates_win(self):
+        # Path 0-1-2-3 plus two candidates: (3,0) closes an even cycle
+        # (keepable), (2,0) closes an odd one.  Processing heavy-first
+        # keeps the expensive even edge and flags the cheap odd one.
+        g = graph_from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1),
+                                 (3, 0, 5), (2, 0, 1)])
+        flagged = residual_conflicts(g, deleted=[], candidates=[3, 4])
+        assert flagged == [4]
+
+    def test_inconsistent_deleted_raises(self):
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        try:
+            residual_conflicts(g, deleted=[], candidates=[])
+        except ValueError:
+            return
+        raise AssertionError("odd graph accepted without candidates")

@@ -1,0 +1,113 @@
+"""Crossing detection and greedy planarization tests."""
+
+import random
+
+from repro.graph import GeomGraph, count_crossings, find_crossing_pairs, greedy_planarize
+
+
+def cross_graph():
+    """Two crossing diagonals plus one clean edge."""
+    g = GeomGraph()
+    g.add_node(0, (0, 0))
+    g.add_node(1, (10, 10))
+    g.add_node(2, (0, 10))
+    g.add_node(3, (10, 0))
+    g.add_node(4, (20, 0))
+    g.add_node(5, (30, 0))
+    g.add_edge(0, 1, weight=5)   # diagonal
+    g.add_edge(2, 3, weight=1)   # crossing diagonal, cheaper
+    g.add_edge(4, 5, weight=1)   # far away, clean
+    return g
+
+
+class TestFindCrossings:
+    def test_finds_proper_crossing(self):
+        assert find_crossing_pairs(cross_graph()) == [(0, 1)]
+
+    def test_shared_endpoint_not_crossing(self):
+        g = GeomGraph()
+        g.add_node(0, (0, 0))
+        g.add_node(1, (10, 0))
+        g.add_node(2, (10, 10))
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert find_crossing_pairs(g) == []
+
+    def test_t_junction_is_crossing(self):
+        g = GeomGraph()
+        g.add_node(0, (0, 0))
+        g.add_node(1, (10, 0))
+        g.add_node(2, (5, -5))
+        g.add_node(3, (5, 0))
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert find_crossing_pairs(g) == [(0, 1)]
+
+    def test_collinear_overlap_is_crossing(self):
+        g = GeomGraph()
+        g.add_node(0, (0, 0))
+        g.add_node(1, (10, 0))
+        g.add_node(2, (5, 0))
+        g.add_node(3, (15, 0))
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert find_crossing_pairs(g) == [(0, 1)]
+
+    def test_ignores_removed_edges(self):
+        g = cross_graph()
+        g.remove_edge(0)
+        assert find_crossing_pairs(g) == []
+
+    def test_count(self):
+        assert count_crossings(cross_graph()) == 1
+
+
+class TestGreedyPlanarize:
+    def test_removes_cheapest(self):
+        g = cross_graph()
+        removed = greedy_planarize(g)
+        assert removed == [1]  # the weight-1 diagonal
+        assert count_crossings(g) == 0
+        assert not g.is_removed(0)
+
+    def test_noop_on_planar(self):
+        g = GeomGraph()
+        g.add_node(0, (0, 0))
+        g.add_node(1, (10, 0))
+        g.add_edge(0, 1)
+        assert greedy_planarize(g) == []
+
+    def test_star_crossing_removes_hub(self):
+        """One cheap edge crossing many: greedy should remove just it."""
+        g = GeomGraph()
+        g.add_node(0, (0, 5))
+        g.add_node(1, (100, 5))
+        g.add_edge(0, 1, weight=1)  # long horizontal, cheap
+        for i in range(4):
+            a = 2 + 2 * i
+            x = 10 + 20 * i
+            g.add_node(a, (x, 0))
+            g.add_node(a + 1, (x, 10))
+            g.add_edge(a, a + 1, weight=10)
+        removed = greedy_planarize(g)
+        assert removed == [0]
+
+    def test_random_layouts_end_planar(self):
+        rng = random.Random(42)
+        g = GeomGraph()
+        for i in range(30):
+            g.add_node(i, (rng.randrange(0, 100), rng.randrange(0, 100)))
+        nodes = list(g.nodes)
+        for _ in range(50):
+            u, v = rng.sample(nodes, 2)
+            g.add_edge(u, v, weight=rng.randint(1, 9))
+        greedy_planarize(g)
+        assert count_crossings(g) == 0
+
+    def test_deterministic(self):
+        def run():
+            g = cross_graph()
+            g.add_edge(2, 1, weight=1)
+            return greedy_planarize(g)
+
+        assert run() == run()

@@ -1,0 +1,78 @@
+"""Geometric dual tests."""
+
+import random
+
+import pytest
+
+from repro.graph import GeomGraph, build_dual, build_embedding, greedy_planarize
+
+
+def embedded(g):
+    return build_embedding(g)
+
+
+def triangle():
+    g = GeomGraph()
+    g.add_node(0, (0, 0))
+    g.add_node(1, (10, 0))
+    g.add_node(2, (5, 10))
+    for u, v, w in ((0, 1, 3), (1, 2, 5), (2, 0, 7)):
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestDualStructure:
+    def test_triangle_dual(self):
+        dual = build_dual(embedded(triangle()))
+        # Two faces, three dual edges between them (parallel edges).
+        assert dual.graph.num_nodes() == 2
+        assert dual.graph.num_edges() == 3
+        assert dual.tset == {0, 1}
+
+    def test_dual_preserves_weights(self):
+        dual = build_dual(embedded(triangle()))
+        assert sorted(e.weight for e in dual.graph.edges()) == [3, 5, 7]
+
+    def test_bridge_becomes_self_loop(self):
+        g = GeomGraph()
+        g.add_node(0, (0, 0))
+        g.add_node(1, (10, 0))
+        g.add_edge(0, 1, weight=2)
+        dual = build_dual(embedded(g))
+        assert dual.graph.num_nodes() == 1
+        loops = [e for e in dual.graph.edges() if e.is_self_loop]
+        assert len(loops) == 1
+
+    def test_primal_mapping_roundtrip(self):
+        dual = build_dual(embedded(triangle()))
+        assert dual.primal_edges(e.id for e in dual.graph.edges()) == [
+            0, 1, 2]
+
+    def test_square_dual_even_tset(self):
+        g = GeomGraph()
+        for i, c in enumerate([(0, 0), (10, 0), (10, 10), (0, 10)]):
+            g.add_node(i, c)
+        for i in range(4):
+            g.add_edge(i, (i + 1) % 4)
+        dual = build_dual(embedded(g))
+        assert dual.tset == set()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dual_degree_equals_face_length(self, seed):
+        rng = random.Random(seed)
+        g = GeomGraph()
+        for i in range(15):
+            g.add_node(i, (rng.randrange(0, 100), rng.randrange(0, 100)))
+        for _ in range(25):
+            u, v = rng.sample(list(g.nodes), 2)
+            g.add_edge(u, v)
+        greedy_planarize(g)
+        emb = build_embedding(g)
+        dual = build_dual(emb)
+        for face_index in range(emb.num_faces):
+            assert dual.graph.degree(face_index) == emb.face_length(
+                face_index)
+        # T = odd faces = odd-degree dual nodes (paper's formulation).
+        assert dual.tset == {
+            f for f in range(emb.num_faces)
+            if dual.graph.degree(f) % 2 == 1}

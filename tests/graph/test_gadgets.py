@@ -1,0 +1,141 @@
+"""Generalized-gadget reduction tests (the paper's §3.1.2).
+
+The key property: for any T-join instance, the gadget reduction —
+at every divide-node chunk size — returns a T-join of exactly the same
+total weight as the reference shortest-path solver.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    GeomGraph,
+    build_gadget_graph,
+    is_tjoin,
+    min_tjoin_gadget,
+    min_tjoin_shortest_paths,
+)
+
+
+def graph_from_edges(n, edges):
+    g = GeomGraph()
+    for i in range(n):
+        g.add_node(i)
+    for u, v, w in edges:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def random_connected_graph(rng, n, extra_edges, max_w=10):
+    edges = []
+    for v in range(1, n):
+        u = rng.randrange(v)
+        edges.append((u, v, rng.randint(1, max_w)))
+    for _ in range(extra_edges):
+        u, v = rng.sample(range(n), 2)
+        edges.append((u, v, rng.randint(1, max_w)))
+    return graph_from_edges(n, edges)
+
+
+class TestSmallCases:
+    def test_single_edge(self):
+        g = graph_from_edges(2, [(0, 1, 5)])
+        assert min_tjoin_gadget(g, {0, 1}) == [0]
+
+    def test_empty_t(self):
+        g = graph_from_edges(2, [(0, 1, 5)])
+        assert min_tjoin_gadget(g, set()) == []
+
+    def test_path_pass_through(self):
+        g = graph_from_edges(3, [(0, 1, 2), (1, 2, 3)])
+        assert min_tjoin_gadget(g, {0, 2}) == [0, 1]
+
+    def test_triangle_shortcut(self):
+        g = graph_from_edges(3, [(0, 1, 10), (1, 2, 10), (0, 2, 5)])
+        assert min_tjoin_gadget(g, {0, 2}) == [2]
+
+    def test_odd_edge_component_needs_pendant(self):
+        # Triangle: |E| = 3 odd, T empty — exercises the pendant fix.
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        assert min_tjoin_gadget(g, set()) == []
+
+    def test_odd_edges_with_t(self):
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1), (2, 0, 5)])
+        join = min_tjoin_gadget(g, {0, 1})
+        assert join == [0]
+
+    def test_parallel_edges(self):
+        g = graph_from_edges(2, [(0, 1, 9), (0, 1, 2)])
+        join = min_tjoin_gadget(g, {0, 1})
+        assert join == [1]
+
+    def test_self_loop_skipped(self):
+        g = graph_from_edges(2, [(0, 0, 1), (0, 1, 3)])
+        assert min_tjoin_gadget(g, {0, 1}) == [1]
+
+    def test_disconnected(self):
+        g = graph_from_edges(4, [(0, 1, 1), (2, 3, 2)])
+        assert min_tjoin_gadget(g, {0, 1, 2, 3}) == [0, 1]
+
+
+class TestGadgetStructure:
+    def test_generalized_gadget_node_count(self):
+        # K4: every node degree 3 -> 2E per-edge nodes + E dummies,
+        # no divide nodes for the generalized (single-clique) gadget.
+        edges = [(u, v, 1) for u in range(4) for v in range(u + 1, 4)]
+        g = graph_from_edges(4, edges)
+        gadget = build_gadget_graph(g, set(), max_clique_size=None)
+        e = 6  # |E| even: no pendant
+        assert gadget.num_nodes == 3 * e
+        assert gadget.num_divide_nodes == 0
+
+    def test_optimized_gadget_has_divide_nodes(self):
+        edges = [(u, v, 1) for u in range(4) for v in range(u + 1, 4)]
+        g = graph_from_edges(4, edges)
+        gadget = build_gadget_graph(g, set(), max_clique_size=1)
+        assert gadget.num_divide_nodes > 0
+
+    def test_generalized_smaller_than_optimized(self):
+        """The paper's size claim: generalized gadgets produce fewer
+        matching nodes than the optimized (clique<=3) gadgets."""
+        rng = random.Random(7)
+        g = random_connected_graph(rng, 12, 14)
+        general = build_gadget_graph(g, set(), max_clique_size=None)
+        optimized = build_gadget_graph(g, set(), max_clique_size=1)
+        assert general.num_nodes < optimized.num_nodes
+
+    def test_invalid_chunk_size(self):
+        g = graph_from_edges(2, [(0, 1, 1)])
+        with pytest.raises(ValueError):
+            build_gadget_graph(g, set(), max_clique_size=0)
+
+
+class TestEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(3, 7), st.integers(0, 5),
+           st.sampled_from([None, 1, 2, 3]))
+    def test_cost_matches_reference(self, seed, n, extra, chunk):
+        rng = random.Random(seed)
+        g = random_connected_graph(rng, n, extra)
+        k = rng.randrange(0, n + 1, 2)
+        tset = set(rng.sample(range(n), k))
+        reference = min_tjoin_shortest_paths(g, tset)
+        join = min_tjoin_gadget(g, tset, max_clique_size=chunk)
+        assert is_tjoin(g, join, tset)
+        assert g.total_weight(join) == g.total_weight(reference)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_all_chunk_sizes_agree(self, seed):
+        rng = random.Random(seed)
+        g = random_connected_graph(rng, 8, 6)
+        tset = set(rng.sample(range(8), 4))
+        costs = set()
+        for chunk in (None, 1, 2, 4, 8):
+            join = min_tjoin_gadget(g, tset, max_clique_size=chunk)
+            assert is_tjoin(g, join, tset)
+            costs.add(g.total_weight(join))
+        assert len(costs) == 1

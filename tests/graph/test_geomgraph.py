@@ -1,0 +1,110 @@
+"""GeomGraph container tests."""
+
+import pytest
+
+from repro.graph import GeomGraph
+
+
+def triangle():
+    g = GeomGraph()
+    g.add_node(0, (0, 0))
+    g.add_node(1, (10, 0))
+    g.add_node(2, (0, 10))
+    g.add_edge(0, 1, weight=1)
+    g.add_edge(1, 2, weight=2)
+    g.add_edge(2, 0, weight=3)
+    return g
+
+
+class TestConstruction:
+    def test_edge_ids_stable(self):
+        g = triangle()
+        assert [e.id for e in g.edges()] == [0, 1, 2]
+        assert g.edge(1).weight == 2
+
+    def test_add_edge_creates_nodes(self):
+        g = GeomGraph()
+        g.add_edge(5, 7)
+        assert set(g.nodes) == {5, 7}
+
+    def test_parallel_edges_supported(self):
+        g = GeomGraph()
+        g.add_edge(0, 1, weight=1)
+        g.add_edge(0, 1, weight=9)
+        assert g.num_edges() == 2
+        assert g.degree(0) == 2
+
+    def test_self_loop_degree_counts_twice(self):
+        g = GeomGraph()
+        g.add_edge(0, 0)
+        assert g.degree(0) == 2
+        assert g.edge(0).is_self_loop
+
+
+class TestRemoval:
+    def test_soft_removal(self):
+        g = triangle()
+        g.remove_edge(1)
+        assert g.num_edges() == 2
+        assert g.is_removed(1)
+        assert [e.id for e in g.edges()] == [0, 2]
+        assert [e.id for e in g.edges(include_removed=True)] == [0, 1, 2]
+
+    def test_restore(self):
+        g = triangle()
+        g.remove_edge(0)
+        g.restore_edge(0)
+        assert g.num_edges() == 3
+
+    def test_incident_respects_removal(self):
+        g = triangle()
+        g.remove_edge(0)
+        assert sorted(e.id for e in g.incident(0)) == [2]
+        assert g.degree(0) == 1
+
+
+class TestQueries:
+    def test_other(self):
+        g = triangle()
+        e = g.edge(0)
+        assert e.other(0) == 1
+        assert e.other(1) == 0
+        with pytest.raises(ValueError):
+            e.other(2)
+
+    def test_segment(self):
+        g = triangle()
+        assert g.segment(0) == ((0, 0), (10, 0))
+
+    def test_total_weight(self):
+        g = triangle()
+        assert g.total_weight([0, 2]) == 4
+
+    def test_connected_components(self):
+        g = triangle()
+        g.add_node(99, (50, 50))
+        g.add_edge(10, 11)
+        comps = g.connected_components()
+        assert sorted(map(tuple, comps)) == [(0, 1, 2), (10, 11), (99,)]
+
+    def test_components_respect_removal(self):
+        g = GeomGraph()
+        g.add_edge(0, 1)
+        g.remove_edge(0)
+        assert len(g.connected_components()) == 2
+
+    def test_subgraph_preserves_orig_ids(self):
+        g = triangle()
+        sub = g.subgraph([0, 1])
+        assert sub.num_edges() == 1
+        e = next(sub.edges())
+        assert e.tag[0] == "orig" and e.tag[1] == 0
+
+    def test_to_networkx_collapses_parallels(self):
+        g = GeomGraph()
+        g.add_edge(0, 1, weight=5)
+        g.add_edge(0, 1, weight=2)
+        g.add_edge(2, 2, weight=1)  # self-loop dropped
+        nxg = g.to_networkx()
+        assert nxg[0][1]["weight"] == 2
+        assert nxg.number_of_edges() == 1

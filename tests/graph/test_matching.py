@@ -1,0 +1,111 @@
+"""Minimum-weight perfect matching tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    GeomGraph,
+    NoPerfectMatchingError,
+    brute_force_perfect_matching,
+    is_perfect_matching,
+    min_weight_perfect_matching,
+)
+
+
+def graph_from_edges(n, edges):
+    g = GeomGraph()
+    for i in range(n):
+        g.add_node(i)
+    for u, v, w in edges:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestBasics:
+    def test_single_edge(self):
+        g = graph_from_edges(2, [(0, 1, 5)])
+        assert min_weight_perfect_matching(g) == [0]
+
+    def test_path_four_nodes(self):
+        g = graph_from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+        m = min_weight_perfect_matching(g)
+        assert m == [0, 2]
+
+    def test_chooses_cheap_combination(self):
+        # Perfect matchings: {01,23} cost 2+2=4 or {02,13} cost 1+10=11.
+        g = graph_from_edges(4, [(0, 1, 2), (2, 3, 2), (0, 2, 1),
+                                 (1, 3, 10)])
+        m = min_weight_perfect_matching(g)
+        assert g.total_weight(m) == 4
+
+    def test_odd_nodes_raises(self):
+        g = graph_from_edges(3, [(0, 1, 1)])
+        with pytest.raises(NoPerfectMatchingError):
+            min_weight_perfect_matching(g)
+
+    def test_no_perfect_matching_raises(self):
+        # Star: center can only cover one leaf.
+        g = graph_from_edges(4, [(0, 1, 1), (0, 2, 1), (0, 3, 1)])
+        with pytest.raises(NoPerfectMatchingError):
+            min_weight_perfect_matching(g)
+
+    def test_empty_graph(self):
+        assert min_weight_perfect_matching(GeomGraph()) == []
+
+    def test_parallel_edges_use_cheapest(self):
+        g = graph_from_edges(2, [(0, 1, 9), (0, 1, 3)])
+        m = min_weight_perfect_matching(g)
+        assert g.total_weight(m) == 3
+
+    def test_self_loops_ignored(self):
+        g = graph_from_edges(2, [(0, 0, 1), (0, 1, 4)])
+        m = min_weight_perfect_matching(g)
+        assert g.total_weight(m) == 4
+
+    def test_blossom_case(self):
+        # Odd cycle forcing an augmenting path through a blossom.
+        g = graph_from_edges(6, [
+            (0, 1, 1), (1, 2, 1), (2, 0, 1),
+            (2, 3, 1), (3, 4, 1), (4, 5, 1),
+        ])
+        m = min_weight_perfect_matching(g)
+        assert is_perfect_matching(g, m)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000), st.sampled_from([4, 6, 8]),
+           st.floats(0.4, 1.0))
+    def test_random_graphs(self, seed, n, density):
+        rng = random.Random(seed)
+        edges = []
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < density:
+                    edges.append((u, v, rng.randint(1, 20)))
+        g = graph_from_edges(n, edges)
+        brute = brute_force_perfect_matching(g)
+        if brute is None:
+            with pytest.raises(NoPerfectMatchingError):
+                min_weight_perfect_matching(g)
+        else:
+            m = min_weight_perfect_matching(g)
+            assert is_perfect_matching(g, m)
+            assert g.total_weight(m) == g.total_weight(brute)
+
+
+class TestValidator:
+    def test_valid(self):
+        g = graph_from_edges(4, [(0, 1, 1), (2, 3, 1)])
+        assert is_perfect_matching(g, [0, 1])
+
+    def test_uncovered_node(self):
+        g = graph_from_edges(4, [(0, 1, 1), (2, 3, 1)])
+        assert not is_perfect_matching(g, [0])
+
+    def test_double_cover(self):
+        g = graph_from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1)])
+        assert not is_perfect_matching(g, [0, 1, 2])

@@ -1,0 +1,77 @@
+"""Odd-cycle search and Moniwa baseline tests."""
+
+import random
+
+from repro.graph import (
+    GeomGraph,
+    is_bipartite,
+    moniwa_iterative_bipartization,
+    shortest_odd_cycle,
+)
+
+
+def graph_from_edges(n, edges):
+    g = GeomGraph()
+    for i in range(n):
+        g.add_node(i)
+    for u, v, w in edges:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestShortestOddCycle:
+    def test_bipartite_none(self):
+        g = graph_from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 3, 1),
+                                 (3, 0, 1)])
+        assert shortest_odd_cycle(g) is None
+
+    def test_triangle(self):
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        cycle = shortest_odd_cycle(g)
+        assert cycle is not None
+        assert len(cycle) == 3
+
+    def test_finds_shorter_of_two(self):
+        g = graph_from_edges(8, [
+            (0, 1, 1), (1, 2, 1), (2, 0, 1),                    # 3-cycle
+            (3, 4, 1), (4, 5, 1), (5, 6, 1), (6, 7, 1), (7, 3, 1)])  # 5-cycle
+        assert len(shortest_odd_cycle(g)) == 3
+
+    def test_self_loop_is_odd_cycle(self):
+        g = graph_from_edges(1, [(0, 0, 1)])
+        assert shortest_odd_cycle(g) == [0]
+
+    def test_cycle_edges_form_closed_walk(self):
+        g = graph_from_edges(5, [(0, 1, 1), (1, 2, 1), (2, 3, 1),
+                                 (3, 4, 1), (4, 0, 1)])
+        cycle = shortest_odd_cycle(g)
+        assert len(cycle) == 5
+        degree = {}
+        for eid in cycle:
+            e = g.edge(eid)
+            degree[e.u] = degree.get(e.u, 0) + 1
+            degree[e.v] = degree.get(e.v, 0) + 1
+        assert all(d == 2 for d in degree.values())
+
+
+class TestMoniwaBaseline:
+    def test_fixes_triangle(self):
+        g = graph_from_edges(3, [(0, 1, 5), (1, 2, 5), (2, 0, 1)])
+        removed = moniwa_iterative_bipartization(g)
+        assert removed == [2]
+        assert g.num_edges() == 3  # input untouched
+
+    def test_result_always_bipartite(self):
+        for seed in range(5):
+            rng = random.Random(seed)
+            edges = []
+            for _ in range(25):
+                u, v = rng.sample(range(10), 2)
+                edges.append((u, v, rng.randint(1, 9)))
+            g = graph_from_edges(10, edges)
+            removed = moniwa_iterative_bipartization(g)
+            assert is_bipartite(g, skip_edges=removed)
+
+    def test_noop_on_bipartite(self):
+        g = graph_from_edges(2, [(0, 1, 1)])
+        assert moniwa_iterative_bipartization(g) == []

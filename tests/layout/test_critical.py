@@ -1,0 +1,62 @@
+"""Critical-feature extraction tests."""
+
+from repro.geometry import Rect
+from repro.layout import (
+    Technology,
+    critical_fraction,
+    extract_critical_features,
+    layout_from_rects,
+)
+
+
+class TestCriticalExtraction:
+    def test_narrow_vertical_gate_is_critical(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 90, 1000)])
+        feats = extract_critical_features(lay, tech)
+        assert len(feats) == 1
+        assert feats[0].vertical
+        assert feats[0].drawn_width == 90
+        assert feats[0].drawn_length == 1000
+
+    def test_narrow_horizontal_wire_is_critical(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 1000, 90)])
+        feats = extract_critical_features(lay, tech)
+        assert len(feats) == 1
+        assert not feats[0].vertical
+
+    def test_wide_feature_not_critical(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 200, 200)])
+        assert extract_critical_features(lay, tech) == []
+
+    def test_threshold_is_strict(self, tech):
+        lay = layout_from_rects([
+            Rect(0, 0, tech.critical_width, 1000),          # exactly at
+            Rect(2000, 0, 2000 + tech.critical_width - 1, 1000),  # below
+        ])
+        feats = extract_critical_features(lay, tech)
+        assert [f.index for f in feats] == [1]
+
+    def test_square_feature_tie_is_vertical(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 100, 100)])
+        feats = extract_critical_features(lay, tech)
+        assert feats[0].vertical
+
+    def test_indices_in_order(self, tech):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 500),
+            Rect(500, 0, 800, 300),   # wide, skipped
+            Rect(2000, 0, 2090, 500),
+        ])
+        assert [f.index for f in extract_critical_features(lay, tech)] == [
+            0, 2]
+
+    def test_critical_fraction(self, tech):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 500),
+            Rect(1000, 0, 1300, 300),
+        ])
+        assert critical_fraction(lay, tech) == 0.5
+
+    def test_critical_fraction_empty(self, tech):
+        from repro.layout import Layout
+        assert critical_fraction(Layout(), tech) == 0.0

@@ -1,0 +1,70 @@
+"""DRC engine tests."""
+
+from repro.geometry import Rect
+from repro.layout import (
+    check_layout,
+    check_spacing,
+    check_width,
+    is_drc_clean,
+    layout_from_rects,
+)
+
+
+class TestWidthCheck:
+    def test_clean(self):
+        assert check_width([Rect(0, 0, 90, 500)], 90) == []
+
+    def test_violation(self):
+        v = check_width([Rect(0, 0, 89, 500)], 90)
+        assert len(v) == 1
+        assert v[0].kind == "width"
+        assert v[0].indices == (0,)
+        assert v[0].value == 89
+
+    def test_reports_each_offender(self):
+        feats = [Rect(0, 0, 50, 500), Rect(1000, 0, 1060, 500)]
+        assert len(check_width(feats, 90)) == 2
+
+
+class TestSpacingCheck:
+    def test_clean(self):
+        feats = [Rect(0, 0, 90, 500), Rect(230, 0, 320, 500)]
+        assert check_spacing(feats, 140) == []
+
+    def test_violation(self):
+        feats = [Rect(0, 0, 90, 500), Rect(200, 0, 290, 500)]
+        v = check_spacing(feats, 140)
+        assert len(v) == 1
+        assert v[0].kind == "spacing"
+        assert set(v[0].indices) == {0, 1}
+
+    def test_touching_is_violation(self):
+        feats = [Rect(0, 0, 90, 500), Rect(90, 0, 180, 500)]
+        assert len(check_spacing(feats, 140)) == 1
+
+    def test_diagonal_corner_spacing(self):
+        # Corner distance sqrt(100^2 + 100^2) ~ 141.4 >= 140: clean.
+        feats = [Rect(0, 0, 90, 90), Rect(190, 190, 280, 280)]
+        assert check_spacing(feats, 140) == []
+        # sqrt(90^2+90^2) ~ 127 < 140: violation.
+        feats = [Rect(0, 0, 90, 90), Rect(180, 180, 280, 280)]
+        assert len(check_spacing(feats, 140)) == 1
+
+
+class TestLayoutCheck:
+    def test_clean_layout(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 90, 500), Rect(300, 0, 400, 500)])
+        assert is_drc_clean(lay, tech)
+
+    def test_mixed_violations(self, tech):
+        lay = layout_from_rects([
+            Rect(0, 0, 50, 500),       # too narrow
+            Rect(100, 0, 200, 500),    # 50nm from first: spacing
+        ])
+        kinds = {v.kind for v in check_layout(lay, tech)}
+        assert kinds == {"width", "spacing"}
+
+    def test_violation_str(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 50, 500)])
+        text = str(check_layout(lay, tech)[0])
+        assert "width" in text

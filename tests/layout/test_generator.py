@@ -1,0 +1,86 @@
+"""Workload generator tests: determinism, DRC-cleanliness, known structure."""
+
+import pytest
+
+from repro.layout import (
+    GeneratorParams,
+    Technology,
+    check_layout,
+    conflict_grid_layout,
+    figure1_layout,
+    grating_layout,
+    is_drc_clean,
+    odd_cycle_chain,
+    random_rect_layout,
+    standard_cell_layout,
+)
+
+
+class TestStandardCell:
+    def test_deterministic(self):
+        a = standard_cell_layout(seed=7)
+        b = standard_cell_layout(seed=7)
+        assert a.features == b.features
+
+    def test_seeds_differ(self):
+        a = standard_cell_layout(seed=1)
+        b = standard_cell_layout(seed=2)
+        assert a.features != b.features
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_drc_clean_across_seeds(self, tech, seed):
+        lay = standard_cell_layout(GeneratorParams(rows=5, cols=15),
+                                   seed=seed)
+        violations = check_layout(lay, tech)
+        assert violations == []
+
+    def test_feature_count_scales(self):
+        small = standard_cell_layout(GeneratorParams(rows=2, cols=5))
+        big = standard_cell_layout(GeneratorParams(rows=8, cols=30))
+        assert big.num_polygons > 4 * small.num_polygons
+
+    def test_no_overlapping_rects(self):
+        lay = standard_cell_layout(GeneratorParams(rows=4, cols=12), seed=3)
+        assert lay.validate() == []
+
+
+class TestPatternLayouts:
+    def test_grating_is_assignable(self, tech):
+        from repro.conflict import detect_conflicts
+        report = detect_conflicts(grating_layout(10), tech)
+        assert report.phase_assignable
+        assert report.num_conflicts == 0
+
+    def test_grating_has_chain(self, tech):
+        from repro.shifters import find_overlap_pairs, generate_shifters
+        shifters = generate_shifters(grating_layout(5, pitch=300), tech)
+        pairs = find_overlap_pairs(shifters, tech)
+        # n lines -> n-1 facing-pair constraints.
+        assert len(pairs) == 4
+
+    def test_figure1_not_assignable(self, tech):
+        from repro.conflict import detect_conflicts
+        report = detect_conflicts(figure1_layout(), tech)
+        assert not report.phase_assignable
+        assert report.num_conflicts == 1
+
+    def test_figure1_drc_clean(self, tech):
+        assert is_drc_clean(figure1_layout(), tech)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_odd_cycle_chain_single_conflict(self, tech, n):
+        from repro.conflict import detect_conflicts
+        report = detect_conflicts(odd_cycle_chain(n), tech)
+        assert report.num_conflicts == 1
+
+    @pytest.mark.parametrize("kx,ky", [(1, 1), (2, 3), (4, 2)])
+    def test_conflict_grid_ground_truth(self, tech, kx, ky):
+        """Independent Figure-1 clusters: optimal count is known."""
+        from repro.conflict import detect_conflicts
+        report = detect_conflicts(conflict_grid_layout(kx, ky), tech)
+        assert report.num_conflicts == kx * ky
+
+    def test_random_rect_layout_disjoint(self):
+        lay = random_rect_layout(40, seed=5)
+        assert lay.validate() == []
+        assert lay.num_polygons > 10

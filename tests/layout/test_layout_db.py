@@ -1,0 +1,56 @@
+"""Layout database tests."""
+
+from repro.geometry import Rect
+from repro.layout import POLY_LAYER, Layout, layout_from_rects
+
+
+class TestLayout:
+    def test_add_feature_returns_index(self):
+        lay = Layout()
+        assert lay.add_feature(Rect(0, 0, 10, 10)) == 0
+        assert lay.add_feature(Rect(20, 0, 30, 10)) == 1
+        assert lay.num_polygons == 2
+
+    def test_features_are_poly_layer(self):
+        lay = Layout()
+        lay.add_feature(Rect(0, 0, 1, 1))
+        assert lay.layers[POLY_LAYER] == [Rect(0, 0, 1, 1)]
+
+    def test_bbox_and_area(self):
+        lay = layout_from_rects([Rect(0, 0, 10, 10), Rect(90, 0, 100, 50)])
+        assert lay.bbox() == Rect(0, 0, 100, 50)
+        assert lay.die_area() == 5000
+        assert lay.die_area_um2() == 5000 / 1e6
+
+    def test_empty_layout(self):
+        lay = Layout()
+        assert lay.bbox() is None
+        assert lay.die_area() == 0
+        assert lay.density() == 0.0
+
+    def test_drawn_area_and_density(self):
+        lay = layout_from_rects([Rect(0, 0, 10, 10), Rect(0, 0, 10, 10)])
+        assert lay.drawn_area() == 100
+        assert lay.density() == 1.0
+
+    def test_validate_finds_overlaps(self):
+        lay = layout_from_rects([Rect(0, 0, 10, 10), Rect(5, 5, 15, 15)])
+        assert len(lay.validate()) == 1
+
+    def test_validate_accepts_touching(self):
+        lay = layout_from_rects([Rect(0, 0, 10, 10), Rect(10, 0, 20, 10)])
+        assert lay.validate() == []
+
+    def test_copy_is_deep_for_lists(self):
+        lay = layout_from_rects([Rect(0, 0, 1, 1)])
+        clone = lay.copy(name="clone")
+        clone.add_feature(Rect(5, 5, 6, 6))
+        assert lay.num_polygons == 1
+        assert clone.num_polygons == 2
+        assert clone.name == "clone"
+
+    def test_add_shape_other_layer(self):
+        lay = Layout()
+        lay.add_shape(42, Rect(0, 0, 1, 1))
+        assert lay.layers[42] == [Rect(0, 0, 1, 1)]
+        assert lay.num_polygons == 0

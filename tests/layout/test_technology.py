@@ -1,0 +1,43 @@
+"""Technology rule deck tests."""
+
+import pytest
+
+from repro.layout import Technology
+
+
+class TestTechnology:
+    def test_90nm_preset_consistent(self):
+        tech = Technology.node_90nm()
+        assert tech.min_feature_width <= tech.critical_width
+        assert tech.shifter_width > 0
+        assert tech.shifter_spacing > 0
+
+    def test_65nm_preset_is_tighter(self):
+        t90 = Technology.node_90nm()
+        t65 = Technology.node_65nm()
+        assert t65.min_feature_width < t90.min_feature_width
+        assert t65.shifter_spacing < t90.shifter_spacing
+
+    def test_criticality_threshold_strict(self):
+        tech = Technology.node_90nm()
+        assert tech.is_critical_width(tech.critical_width - 1)
+        assert not tech.is_critical_width(tech.critical_width)
+
+    def test_with_override(self):
+        tech = Technology.node_90nm().with_(shifter_spacing=200)
+        assert tech.shifter_spacing == 200
+        assert tech.shifter_width == Technology.node_90nm().shifter_width
+
+    @pytest.mark.parametrize("field,value", [
+        ("min_feature_width", 0),
+        ("shifter_width", -1),
+        ("shifter_spacing", 0),
+        ("shifter_extension", -5),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            Technology.node_90nm().with_(**{field: value})
+
+    def test_critical_below_min_width_rejected(self):
+        with pytest.raises(ValueError):
+            Technology.node_90nm().with_(critical_width=10)

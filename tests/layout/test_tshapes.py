@@ -1,0 +1,108 @@
+"""T-shape and line-end detection tests."""
+
+from repro.geometry import Rect
+from repro.layout import (
+    GeneratorParams,
+    find_line_end_pairs,
+    find_tshapes,
+    layout_from_rects,
+    standard_cell_layout,
+    tshape_feature_indices,
+)
+
+
+class TestTShapes:
+    def test_stub_on_gate_side(self):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 1000),        # vertical gate
+            Rect(90, 450, 440, 540),     # horizontal stub abutting it
+        ])
+        shapes = find_tshapes(lay)
+        assert [(t.stem, t.bar) for t in shapes] == [(1, 0)]
+
+    def test_wire_ending_on_wire_top(self):
+        lay = layout_from_rects([
+            Rect(0, 0, 1000, 90),        # horizontal bar
+            Rect(400, 90, 490, 600),     # vertical stem on its top
+        ])
+        shapes = find_tshapes(lay)
+        assert [(t.stem, t.bar) for t in shapes] == [(1, 0)]
+
+    def test_cross_counts_both_ways(self):
+        lay = layout_from_rects([
+            Rect(0, 400, 1000, 490),     # horizontal
+            Rect(400, 0, 490, 1000),     # vertical crossing it
+        ])
+        keys = {(t.stem, t.bar) for t in find_tshapes(lay)}
+        assert keys == {(0, 1), (1, 0)}
+
+    def test_parallel_abutment_is_not_t(self):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 1000),
+            Rect(90, 0, 180, 1000),      # butt joint, same orientation
+        ])
+        assert find_tshapes(lay) == []
+
+    def test_corner_touch_is_not_t(self):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 1000),
+            Rect(90, 1000, 500, 1090),   # touches only at the corner
+        ])
+        assert find_tshapes(lay) == []
+
+    def test_separated_features_not_t(self):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 1000),
+            Rect(300, 450, 700, 540),
+        ])
+        assert find_tshapes(lay) == []
+
+    def test_feature_indices(self):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 1000),
+            Rect(90, 450, 440, 540),
+            Rect(5000, 0, 5090, 1000),
+        ])
+        assert tshape_feature_indices(lay) == {0, 1}
+
+    def test_generator_option(self, tech):
+        lay = standard_cell_layout(
+            GeneratorParams(rows=3, cols=8, tshape_probability=1.0),
+            seed=1)
+        assert find_tshapes(lay)
+
+    def test_generator_default_has_none(self, tech):
+        lay = standard_cell_layout(GeneratorParams(rows=3, cols=8),
+                                   seed=1)
+        assert find_tshapes(lay) == []
+
+
+class TestLineEnds:
+    def test_facing_vertical_ends(self, tech):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 1000),
+            Rect(0, 1100, 90, 2000),     # 100nm end gap
+        ])
+        pairs = find_line_end_pairs(lay, tech)
+        assert [(p.a, p.b, p.gap) for p in pairs] == [(0, 1, 100)]
+
+    def test_distant_ends_clear(self, tech):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 1000),
+            Rect(0, 1300, 90, 2000),
+        ])
+        assert find_line_end_pairs(lay, tech) == []
+
+    def test_perpendicular_not_line_end(self, tech):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 1000),
+            Rect(200, 1100, 900, 1190),
+        ])
+        assert find_line_end_pairs(lay, tech) == []
+
+    def test_custom_threshold(self, tech):
+        lay = layout_from_rects([
+            Rect(0, 0, 90, 1000),
+            Rect(0, 1300, 90, 2000),
+        ])
+        assert find_line_end_pairs(lay, tech, min_gap=400)

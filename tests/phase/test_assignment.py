@@ -1,0 +1,98 @@
+"""Phase assignment and geometric verification tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conflict import build_layout_conflict_graph
+from repro.layout import (
+    SHIFTER_0_LAYER,
+    SHIFTER_180_LAYER,
+    Technology,
+    figure1_layout,
+    grating_layout,
+)
+from repro.phase import (
+    PHASE_0,
+    PHASE_180,
+    assign_and_verify,
+    assign_phases,
+    verify_assignment,
+)
+
+from ..conftest import brute_force_phase_assignable, make_random_small_layout
+
+
+class TestAssignPhases:
+    def test_grating_alternates(self, tech):
+        cg, shifters, _ = build_layout_conflict_graph(grating_layout(4),
+                                                      tech)
+        assignment = assign_phases(cg)
+        assert assignment is not None
+        # Condition 1 within each feature.
+        for a, b in shifters.feature_pairs():
+            assert assignment.phases[a.id] != assignment.phases[b.id]
+        # Condition 2 across the chain: facing shifters share phase.
+        assert assignment.phases[1] == assignment.phases[2]
+
+    def test_figure1_unassignable(self, tech):
+        cg, _s, _p = build_layout_conflict_graph(figure1_layout(), tech)
+        assert assign_phases(cg) is None
+
+    def test_values_are_0_and_180(self, tech):
+        cg, _s, _p = build_layout_conflict_graph(grating_layout(3), tech)
+        assignment = assign_phases(cg)
+        assert set(assignment.phases.values()) <= {PHASE_0, PHASE_180}
+
+
+class TestVerify:
+    def test_valid_assignment_passes(self, tech):
+        assignment = assign_and_verify(grating_layout(5), tech)
+        assert assignment is not None
+
+    def test_unassignable_returns_none(self, tech):
+        assert assign_and_verify(figure1_layout(), tech) is None
+
+    def test_flipped_phase_caught(self, tech):
+        cg, shifters, _ = build_layout_conflict_graph(grating_layout(3),
+                                                      tech)
+        assignment = assign_phases(cg)
+        assignment.phases[0] = assignment.phases[1]  # break condition 1
+        problems = verify_assignment(shifters, assignment, tech)
+        assert any("condition1" in p for p in problems)
+
+    def test_condition2_violation_caught(self, tech):
+        cg, shifters, _ = build_layout_conflict_graph(grating_layout(3),
+                                                      tech)
+        assignment = assign_phases(cg)
+        # Flip one whole feature (both shifters) to break condition 2
+        # with the neighbour while keeping condition 1.
+        assignment.phases[0] = (PHASE_180 if assignment.phases[0] == PHASE_0
+                                else PHASE_0)
+        assignment.phases[1] = (PHASE_180 if assignment.phases[1] == PHASE_0
+                                else PHASE_0)
+        problems = verify_assignment(shifters, assignment, tech)
+        assert any("condition2" in p for p in problems)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_matches_brute_force_oracle(self, seed):
+        """assign_and_verify succeeds exactly when brute force finds a
+        valid phase vector."""
+        tech = Technology.node_90nm()
+        layout = make_random_small_layout(seed)
+        oracle = brute_force_phase_assignable(layout, tech)
+        result = assign_and_verify(layout, tech)
+        assert (result is not None) == (oracle is not None)
+
+
+class TestAnnotate:
+    def test_layers_populated(self, tech):
+        lay = grating_layout(3)
+        cg, shifters, _ = build_layout_conflict_graph(lay, tech)
+        assignment = assign_phases(cg)
+        annotated = assignment.annotate_layout(lay, shifters)
+        drawn = (len(annotated.layers.get(SHIFTER_0_LAYER, []))
+                 + len(annotated.layers.get(SHIFTER_180_LAYER, [])))
+        assert drawn == len(shifters)
+        assert annotated.num_polygons == lay.num_polygons

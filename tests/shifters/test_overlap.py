@@ -1,0 +1,110 @@
+"""Condition-2 overlap extraction tests."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.layout import Technology, layout_from_rects
+from repro.shifters import (
+    find_overlap_pairs,
+    generate_shifters,
+    needed_space,
+    region_center2,
+)
+
+
+def pairs_for(rects, tech):
+    shifters = generate_shifters(layout_from_rects(rects), tech)
+    return shifters, find_overlap_pairs(shifters, tech)
+
+
+class TestOverlapPairs:
+    def test_facing_gates_interact(self, tech):
+        # Gap 300: facing shifters 100nm apart < 120 rule.
+        shifters, pairs = pairs_for(
+            [Rect(0, 0, 90, 1000), Rect(390, 0, 480, 1000)], tech)
+        assert [(p.a, p.b) for p in pairs] == [(1, 2)]
+        assert pairs[0].x_gap == 100
+        assert pairs[0].separation_sq == 100 * 100
+
+    def test_distant_gates_do_not(self, tech):
+        _, pairs = pairs_for(
+            [Rect(0, 0, 90, 1000), Rect(600, 0, 690, 1000)], tech)
+        assert pairs == []
+
+    def test_same_feature_pair_exempt(self, tech):
+        # A single 90nm feature: its two shifters are 90nm apart (< 120)
+        # but flank the same feature, so no Condition-2 pair.
+        _, pairs = pairs_for([Rect(0, 0, 90, 1000)], tech)
+        assert pairs == []
+
+    def test_rule_boundary_strict(self, tech):
+        # Exactly at the rule: legal, no pair.
+        gap = tech.shifter_spacing + 2 * tech.shifter_width
+        _, pairs = pairs_for(
+            [Rect(0, 0, 90, 1000), Rect(90 + gap, 0, 180 + gap, 1000)],
+            tech)
+        assert pairs == []
+
+    def test_pair_ordering(self, tech):
+        _, pairs = pairs_for(
+            [Rect(0, 0, 90, 1000), Rect(390, 0, 480, 1000),
+             Rect(780, 0, 870, 1000)], tech)
+        keys = [(p.a, p.b) for p in pairs]
+        assert keys == sorted(keys)
+        assert all(a < b for a, b in keys)
+
+
+class TestNeededSpace:
+    def test_axis_gap(self, tech):
+        shifters, pairs = pairs_for(
+            [Rect(0, 0, 90, 1000), Rect(390, 0, 480, 1000)], tech)
+        pair = pairs[0]
+        # y-projections overlap: only x widening can work.
+        assert needed_space(pair, tech, "x") == tech.shifter_spacing - 100
+        assert needed_space(pair, tech, "y") is None
+
+    def test_invalid_axis(self, tech):
+        shifters, pairs = pairs_for(
+            [Rect(0, 0, 90, 1000), Rect(390, 0, 480, 1000)], tech)
+        with pytest.raises(ValueError):
+            needed_space(pairs[0], tech, "z")
+
+    def test_diagonal_needs_less(self, tech):
+        # Corner-to-corner pair: dy already contributes.
+        shifters, pairs = pairs_for(
+            [Rect(0, 0, 90, 500), Rect(290, 600, 380, 1100)], tech)
+        assert len(pairs) == 1
+        pair = pairs[0]
+        assert (pair.x_gap, pair.y_gap) == (0, 60)
+        # Need dx with dx^2 + 60^2 >= 120^2 -> dx >= 104 (ceil); have 0.
+        assert needed_space(pair, tech, "x") == 104
+        # Widening y instead: dy with dy^2 >= 120^2 - 0 -> 120; have 60.
+        assert needed_space(pair, tech, "y") == 60
+
+
+class TestRegionCenter:
+    def test_intersecting_rects(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 20, 20)
+        assert region_center2(a, b) == Rect(5, 5, 10, 10).center2
+
+    def test_gap_region(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(20, 0, 30, 10)
+        # Gap box x in [10,20], y in [0,10].
+        assert region_center2(a, b) == (30, 10)
+
+    def test_corner_case_uses_hull(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(20, 20, 30, 30)
+        assert region_center2(a, b) == a.hull(b).center2
+
+    def test_detour_differs_from_midpoint(self):
+        """The FG conflict-node detour: offset rects' region centre is
+        off the straight line between their centres."""
+        a = Rect(0, 0, 10, 100)
+        b = Rect(20, 80, 30, 200)
+        cx2, cy2 = region_center2(a, b)
+        mx2 = (a.center2[0] + b.center2[0]) // 2
+        my2 = (a.center2[1] + b.center2[1]) // 2
+        assert (cx2, cy2) != (mx2, my2)

@@ -1,0 +1,81 @@
+"""CLI tests (direct main() invocation, no subprocess)."""
+
+import pytest
+
+from repro.cli import main
+from repro.gdsii import layout_to_gds, write_gds
+from repro.layout import figure1_layout, grating_layout
+
+
+@pytest.fixture
+def figure1_gds(tmp_path):
+    path = str(tmp_path / "fig1.gds")
+    write_gds(layout_to_gds(figure1_layout()), path)
+    return path
+
+
+@pytest.fixture
+def clean_gds(tmp_path):
+    path = str(tmp_path / "grating.gds")
+    write_gds(layout_to_gds(grating_layout(5)), path)
+    return path
+
+
+class TestDetect:
+    def test_conflicted_design_exit_code(self, figure1_gds, capsys):
+        assert main(["detect", figure1_gds]) == 1
+        out = capsys.readouterr().out
+        assert "phase-assignable: False" in out
+        assert "conflicts (1)" in out
+
+    def test_clean_design(self, clean_gds, capsys):
+        assert main(["detect", clean_gds]) == 0
+        assert "phase-assignable: True" in capsys.readouterr().out
+
+    def test_fg_graph_option(self, figure1_gds):
+        assert main(["detect", figure1_gds, "--graph", "fg"]) == 1
+
+
+class TestFlow:
+    def test_flow_fixes_and_writes(self, figure1_gds, tmp_path, capsys):
+        out_path = str(tmp_path / "fixed.gds")
+        assert main(["flow", figure1_gds, "-o", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "success: True" in out
+        # The written GDS is clean when re-checked.
+        assert main(["detect", out_path]) == 0
+
+    def test_flow_exact_cover(self, figure1_gds):
+        assert main(["flow", figure1_gds, "--cover", "exact"]) == 0
+
+    def test_flow_json_report(self, figure1_gds, tmp_path):
+        import json
+
+        path = str(tmp_path / "report.json")
+        assert main(["flow", figure1_gds, "--report", path]) == 0
+        with open(path) as f:
+            data = json.load(f)
+        assert data["success"] is True
+        assert data["detection"]["conflicts"] == [[0, 5]]
+
+
+class TestGenerateAndTables:
+    def test_generate(self, tmp_path, capsys):
+        path = str(tmp_path / "d1.gds")
+        assert main(["generate", "--design", "D1", "-o", path]) == 0
+        assert "polygons" in capsys.readouterr().out
+        assert main(["detect", path]) in (0, 1)
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--subset", "small", "--no-timing"]) == 0
+        out = capsys.readouterr().out
+        assert "NP" in out and "PCG" in out and "GB" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--subset", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "area_incr_pct" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

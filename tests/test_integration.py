@@ -1,0 +1,120 @@
+"""Cross-module integration properties.
+
+The tests here tie the whole stack together: random workloads through
+the full pipeline, cross-technology sweeps, and the end-to-end
+invariants the paper's flow promises.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compaction import spread_conflicts
+from repro.conflict import FG, PCG, detect_conflicts
+from repro.core import run_aapsm_flow
+from repro.correction import correct_layout
+from repro.gdsii import dumps, gds_to_layout, layout_to_gds, loads
+from repro.layout import (
+    GeneratorParams,
+    Technology,
+    check_layout,
+    standard_cell_layout,
+)
+
+
+class TestFlowInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_flow_succeeds_or_explains(self, seed):
+        """On any generated workload, the flow either succeeds or
+        reports spacing-uncorrectable conflicts — never a silent miss."""
+        tech = Technology.node_90nm()
+        lay = standard_cell_layout(GeneratorParams(rows=3, cols=12),
+                                   seed=seed)
+        result = run_aapsm_flow(lay, tech)
+        if result.correction.uncorrectable:
+            assert not result.post_detection.phase_assignable or \
+                result.success
+        else:
+            assert result.success
+            assert result.post_detection.num_conflicts == 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_correction_monotone_drc(self, seed):
+        tech = Technology.node_90nm()
+        lay = standard_cell_layout(GeneratorParams(rows=3, cols=12),
+                                   seed=seed)
+        report = detect_conflicts(lay, tech)
+        fixed, _ = correct_layout(lay, tech,
+                                  [c.key for c in report.conflicts])
+        assert len(check_layout(fixed, tech)) <= len(
+            check_layout(lay, tech))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_gds_roundtrip_preserves_detection(self, seed):
+        """Conflict counts are invariant under GDSII serialization."""
+        tech = Technology.node_90nm()
+        lay = standard_cell_layout(GeneratorParams(rows=2, cols=10),
+                                   seed=seed)
+        back, skipped = gds_to_layout(loads(dumps(layout_to_gds(lay))))
+        assert skipped == []
+        a = detect_conflicts(lay, tech)
+        b = detect_conflicts(back, tech)
+        assert a.num_conflicts == b.num_conflicts
+        assert a.step2_weight == b.step2_weight
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_spread_and_cuts_agree_on_feasibility(self, seed):
+        tech = Technology.node_90nm()
+        lay = standard_cell_layout(GeneratorParams(rows=3, cols=12),
+                                   seed=seed)
+        conflicts = [c.key
+                     for c in detect_conflicts(lay, tech).conflicts]
+        _fixed, cuts = correct_layout(lay, tech, conflicts)
+        spread = spread_conflicts(lay, tech, conflicts)
+        assert set(cuts.uncorrectable) == set(spread.unresolved)
+
+
+class TestTechnologySweep:
+    @pytest.mark.parametrize("preset", ["node_90nm", "node_65nm"])
+    def test_flow_runs_at_both_nodes(self, preset):
+        tech = getattr(Technology, preset)()
+        lay = standard_cell_layout(GeneratorParams(rows=3, cols=12),
+                                   seed=3)
+        result = run_aapsm_flow(lay, tech)
+        assert result.post_detection is not None
+
+    def test_looser_spacing_creates_more_conflicts(self):
+        """Raising the shifter-spacing rule can only add Condition-2
+        pairs, so the conflict count is monotone in the rule."""
+        lay = standard_cell_layout(GeneratorParams(rows=3, cols=12),
+                                   seed=1)
+        base = Technology.node_90nm()
+        loose = base.with_(shifter_spacing=200)
+        a = detect_conflicts(lay, base)
+        b = detect_conflicts(lay, loose)
+        assert b.num_overlap_pairs >= a.num_overlap_pairs
+
+    def test_wider_critical_threshold_more_shifters(self):
+        lay = standard_cell_layout(GeneratorParams(rows=3, cols=12),
+                                   seed=1)
+        base = Technology.node_90nm()
+        aggressive = base.with_(critical_width=250)
+        a = detect_conflicts(lay, base)
+        b = detect_conflicts(lay, aggressive)
+        assert b.num_shifters >= a.num_shifters
+
+
+class TestGraphKindAgreement:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_pcg_and_fg_agree_on_assignability(self, seed):
+        tech = Technology.node_90nm()
+        lay = standard_cell_layout(GeneratorParams(rows=2, cols=10),
+                                   seed=seed)
+        a = detect_conflicts(lay, tech, kind=PCG)
+        b = detect_conflicts(lay, tech, kind=FG)
+        assert a.phase_assignable == b.phase_assignable
