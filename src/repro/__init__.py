@@ -22,6 +22,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.correction` — end-to-end space insertion and set cover
 * :mod:`repro.phase` — phase assignment and geometric verification
 * :mod:`repro.core` — the end-to-end flow
+* :mod:`repro.chip` — full-chip tiling, parallel execution, caching
 * :mod:`repro.gdsii` — pure-Python GDSII stream reader/writer
 * :mod:`repro.viz` — ASCII/SVG rendering
 * :mod:`repro.darkfield` — dark-field AAPSM baseline (TCAD'99)
@@ -31,6 +32,7 @@ Package map (see DESIGN.md for the full inventory):
 
 from .conflict import detect_conflicts
 from .core import FlowResult, run_aapsm_flow
+from .chip import ChipReport, run_chip_flow
 from .layout import Layout, Technology
 
 __version__ = "0.1.0"
@@ -40,6 +42,8 @@ __all__ = [
     "Layout",
     "detect_conflicts",
     "run_aapsm_flow",
+    "run_chip_flow",
+    "ChipReport",
     "FlowResult",
     "__version__",
 ]

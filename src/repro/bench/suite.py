@@ -26,10 +26,15 @@ class Design:
     seed: int
     description: str = ""
 
-    def build(self) -> Layout:
+    def build(self, seed: Optional[int] = None) -> Layout:
+        """Build the design; ``seed`` overrides the suite seed (for
+        deterministic variant generation, e.g. ``repro generate
+        --seed``)."""
+        use = self.seed if seed is None else seed
         layout = standard_cell_layout(
             GeneratorParams(rows=self.rows, cols=self.cols),
-            seed=self.seed, name=self.name)
+            seed=use, name=self.name if seed is None
+            else f"{self.name}-s{seed}")
         return layout
 
 
@@ -58,8 +63,15 @@ def get_design(name: str) -> Design:
     return _BY_NAME[name]
 
 
-def build_design(name: str, cache: bool = True) -> Layout:
-    """Build (and memoise) a suite design by name."""
+def build_design(name: str, cache: bool = True,
+                 seed: Optional[int] = None) -> Layout:
+    """Build (and memoise) a suite design by name.
+
+    A non-None ``seed`` builds a deterministic variant of the design
+    (same rows/cols, different RNG stream) and bypasses the memo.
+    """
+    if seed is not None:
+        return _BY_NAME[name].build(seed=seed)
     if cache and name in _CACHE:
         return _CACHE[name]
     layout = _BY_NAME[name].build()

@@ -1,0 +1,63 @@
+"""Full-chip tiling and parallel orchestration (scale-out seam).
+
+The monolithic flow in :mod:`repro.core` runs every stage on the whole
+layout in one process.  This package is the production-scale path:
+
+* :mod:`repro.chip.partition` — cut the chip into haloed tiles;
+* :mod:`repro.chip.executor` — per-tile detection, serial or
+  multi-process, in canonical geometric keys;
+* :mod:`repro.chip.cache` — content-addressed per-tile result cache;
+* :mod:`repro.chip.stitch` — merge owned tile conflicts into one
+  chip-level report in global shifter ids;
+* :mod:`repro.chip.orchestrator` — ``run_chip_flow`` ties it together.
+
+Later distribution/caching/incremental work plugs in here: a new
+executor for a cluster backend, a remote cache, or a dirty-tile
+scheduler for ECO re-runs — without touching detection itself.
+"""
+
+from .cache import TileCache, tile_cache_key
+from .executor import (
+    CanonicalConflict,
+    ProcessExecutor,
+    SerialExecutor,
+    TileJob,
+    TileResult,
+    detect_tile,
+    make_jobs,
+    resolve_executor,
+)
+from .orchestrator import ChipReport, TileStat, run_chip_flow
+from .partition import (
+    Tile,
+    TileGrid,
+    auto_tile_grid,
+    default_halo,
+    interaction_distance,
+    partition_layout,
+)
+from .stitch import StitchStats, stitch_results
+
+__all__ = [
+    "run_chip_flow",
+    "ChipReport",
+    "TileStat",
+    "Tile",
+    "TileGrid",
+    "partition_layout",
+    "auto_tile_grid",
+    "default_halo",
+    "interaction_distance",
+    "TileJob",
+    "TileResult",
+    "CanonicalConflict",
+    "detect_tile",
+    "make_jobs",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "TileCache",
+    "tile_cache_key",
+    "StitchStats",
+    "stitch_results",
+]

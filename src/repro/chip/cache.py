@@ -1,0 +1,106 @@
+"""Content-addressed per-tile result cache.
+
+A tile's detection outcome is a pure function of (a) the geometry it
+captured, (b) the rule deck, (c) the graph kind and bipartization
+method, and (d) the ownership window that filters its contribution.
+The cache key hashes exactly those inputs, so:
+
+* re-running an unchanged chip hits on every tile;
+* an incremental edit only invalidates the tiles whose capture window
+  contains changed geometry — the enabling property for fast ECO
+  (engineering change order) re-runs;
+* changing the rule deck, graph kind, tile grid or halo invalidates
+  cleanly, because all of them land in the key.
+
+Values are pickled :class:`~repro.chip.executor.TileResult` objects in
+one file per key (atomically renamed into place, so a crashed run never
+leaves a truncated entry).  An in-memory layer sits in front of the
+directory; with no ``cache_dir`` the cache is memory-only and lives for
+the process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import astuple
+from typing import Dict, Optional
+
+from .executor import TileJob, TileResult
+
+# Bump when TileResult/CanonicalConflict shape changes so stale
+# directories self-invalidate instead of unpickling garbage.
+CACHE_FORMAT = 2
+
+
+def tile_cache_key(job: TileJob) -> str:
+    """Stable hex digest of everything a tile result depends on."""
+    h = hashlib.sha256()
+    h.update(f"format:{CACHE_FORMAT}".encode())
+    h.update(repr(astuple(job.tech)).encode())
+    h.update(f"kind:{job.kind};method:{job.method}".encode())
+    h.update(f"owner:{job.owner}".encode())
+    for rect in sorted((r.x1, r.y1, r.x2, r.y2)
+                       for r in job.layout.features):
+        h.update(repr(rect).encode())
+    return h.hexdigest()
+
+
+class TileCache:
+    """Two-level (memory, then directory) cache of tile results."""
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache_dir = cache_dir
+        self._memory: Dict[str, TileResult] = {}
+        self.hits = 0
+        self.misses = 0
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        assert self.cache_dir
+        return os.path.join(self.cache_dir, f"tile-{key}.pkl")
+
+    def get(self, key: str) -> Optional[TileResult]:
+        result = self._memory.get(key)
+        if result is None and self.cache_dir:
+            try:
+                with open(self._path(key), "rb") as fh:
+                    result = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError):
+                result = None  # missing or stale entry: treat as a miss
+            if result is not None:
+                self._memory[key] = result
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result.cache_copy()
+
+    def put(self, key: str, result: TileResult) -> None:
+        self._memory[key] = result
+        if not self.cache_dir:
+            return
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def stats(self) -> str:
+        return f"{self.hits}/{self.requests} tile cache hits"

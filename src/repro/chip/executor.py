@@ -1,0 +1,281 @@
+"""Per-tile detection work and the pluggable executors that run it.
+
+The unit of work is :func:`detect_tile`: run the full conflict-detection
+flow on one tile's haloed sub-layout, then translate everything the
+stitcher needs out of tile-local shifter ids into *canonical geometric
+keys* — ``(feature rect, side)`` tuples in absolute chip coordinates.
+Canonical keys are stable across tiles (a shared feature produces
+byte-identical shifter rects in every tile that captures it), across
+runs, and across unrelated edits elsewhere on the chip, which is what
+makes per-tile results cacheable and stitchable.
+
+Executors are deliberately tiny: anything with a ``map(fn, jobs)``
+method works, so later PRs can plug in distributed backends without
+touching the orchestrator.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..conflict import PCG, DetectionReport, build_layout_conflict_graph, \
+    detect_conflicts
+from ..graph import METHOD_GADGET
+from ..layout import Layout, Technology, tshape_feature_indices
+from ..shifters import region_center2
+from .partition import Bounds, Tile, interaction_distance
+
+# A canonical shifter key: the guarded feature's rect (as a plain
+# tuple) plus which side of it the shifter sits on.
+ShifterKey = Tuple[Tuple[int, int, int, int], str]
+
+
+@dataclass(frozen=True)
+class TileJob:
+    """Everything a worker process needs to detect one tile.
+
+    Picklable by construction; ``owner`` rides along so ownership
+    filtering happens in the worker and the result (including the
+    filter's effect) can be cached as a unit.
+    """
+
+    ix: int
+    iy: int
+    layout: Layout
+    owner: Bounds
+    tech: Technology
+    kind: str = PCG
+    method: str = METHOD_GADGET
+    feature_ids: Tuple[int, ...] = ()
+
+    def owns_point2(self, px2: int, py2: int) -> bool:
+        ox1, oy1, ox2, oy2 = self.owner
+        return (2 * ox1 <= px2 < 2 * ox2) and (2 * oy1 <= py2 < 2 * oy2)
+
+
+@dataclass(frozen=True)
+class CanonicalConflict:
+    """One conflict in tile-independent, layout-global terms.
+
+    Attributes:
+        a, b: canonical shifter keys, sorted.
+        witness: feature rects of the conflict's pair-graph component
+            within cycle-scale reach (2x interaction distance) of the
+            anchor.  The stitcher unions over these, so two tiles that
+            cut the same cycle at feature-disjoint pairs still merge
+            into one cluster; the radius cap keeps row-spanning
+            same-phase chains from gluing unrelated clusters together.
+        weight: the conflict-graph edge weight (correction priority).
+        ref2: doubled anchor point used for tile ownership — the centre
+            of the *overlap region* between the two shifter rects (the
+            geometric site of the Condition-2 interaction).  Anchoring
+            at the interaction site, not the hull centre, keeps the
+            anchor within one interaction distance of both features
+            even when one of them is a chip-spanning wire, so the
+            owning tile is guaranteed to capture both.
+        tshape: True when the conflict touches a T-shaped feature and
+            must go to widening/mask-splitting instead of spacing.
+    """
+
+    a: ShifterKey
+    b: ShifterKey
+    weight: int
+    ref2: Tuple[int, int]
+    tshape: bool = False
+    witness: Tuple[Tuple[int, int, int, int], ...] = ()
+
+    @property
+    def key(self) -> Tuple[ShifterKey, ShifterKey]:
+        return (self.a, self.b)
+
+
+@dataclass
+class TileResult:
+    """What one tile contributes to the chip-level report.
+
+    ``conflicts`` carries *every* conflict the tile detected, halo
+    included: the stitcher arbitrates overlapping views per conflict
+    cluster, which needs each tile's full coherent picture.  The
+    ``owned_*`` counts are ownership-filtered in the worker (each
+    feature/pair has exactly one owner tile), so their sums reproduce
+    the monolithic totals exactly.
+    """
+
+    ix: int
+    iy: int
+    report: DetectionReport
+    conflicts: List[CanonicalConflict] = field(default_factory=list)
+    owned_critical: int = 0
+    owned_shifters: int = 0
+    owned_pairs: int = 0
+    owned_uncorrectable: List[Tuple[int, int, int, int]] = \
+        field(default_factory=list)
+    owned_tshape_features: List[Tuple[int, int, int, int]] = \
+        field(default_factory=list)
+    seconds: float = 0.0
+    from_cache: bool = False
+
+    def cache_copy(self) -> "TileResult":
+        return replace(self, from_cache=True)
+
+
+def detect_tile(job: TileJob) -> TileResult:
+    """Run detection on one tile and canonicalise the outcome.
+
+    Empty tiles (no captured features) short-circuit to an empty,
+    trivially phase-assignable report.
+    """
+    import time
+
+    start = time.perf_counter()
+    if job.layout.num_polygons == 0:
+        report = DetectionReport(
+            layout_name=job.layout.name, graph_kind=job.kind,
+            num_features=0, num_critical=0, num_shifters=0,
+            num_overlap_pairs=0, graph_nodes=0, graph_edges=0,
+            crossings_removed=0, step2_edges=0, step3_edges=0,
+            phase_assignable=True)
+        return TileResult(ix=job.ix, iy=job.iy, report=report,
+                          seconds=time.perf_counter() - start)
+
+    # Build the detection front end once and reuse the shifter set and
+    # overlap pairs for canonicalisation and the ownership counts.
+    prebuilt = build_layout_conflict_graph(job.layout, job.tech, job.kind)
+    _cg, shifters, pairs = prebuilt
+    report = detect_conflicts(job.layout, job.tech, kind=job.kind,
+                              method=job.method, prebuilt=prebuilt)
+    feats = job.layout.features
+
+    def shifter_key(sid: int) -> ShifterKey:
+        s = shifters[sid]
+        r = feats[s.feature_index]
+        return ((r.x1, r.y1, r.x2, r.y2), s.side)
+
+    result = TileResult(ix=job.ix, iy=job.iy, report=report)
+
+    # Connected components of the overlap-pair graph over features:
+    # every cycle the optimiser can cut lives inside one component.
+    comp_parent: dict = {}
+
+    def comp_find(x: int) -> int:
+        root = comp_parent.setdefault(x, x)
+        while comp_parent[root] != root:
+            root = comp_parent[root]
+        while comp_parent[x] != root:
+            comp_parent[x], x = root, comp_parent[x]
+        return root
+
+    for p in pairs:
+        ra = comp_find(shifters[p.a].feature_index)
+        rb = comp_find(shifters[p.b].feature_index)
+        if ra != rb:
+            comp_parent[rb] = ra
+
+    comp_members: dict = {}
+    for fi in comp_parent:
+        comp_members.setdefault(comp_find(fi), []).append(fi)
+    witness_reach = 2 * interaction_distance(job.tech)
+
+    for conflict, tshape in (
+            [(c, False) for c in report.conflicts]
+            + [(c, True) for c in report.tshape_conflicts]):
+        ra = shifters[conflict.a].rect
+        rb = shifters[conflict.b].rect
+        ref2 = region_center2(ra, rb)
+        ka, kb = sorted((shifter_key(conflict.a), shifter_key(conflict.b)))
+        members = comp_members.get(
+            comp_find(shifters[conflict.a].feature_index), ())
+        witness = tuple(
+            (feats[fi].x1, feats[fi].y1, feats[fi].x2, feats[fi].y2)
+            for fi in members
+            if _rect_point2_within(feats[fi], ref2, witness_reach))
+        result.conflicts.append(CanonicalConflict(
+            a=ka, b=kb, weight=conflict.weight, ref2=ref2,
+            tshape=tshape, witness=witness))
+
+    # Ownership-filtered counts: summed over tiles these reproduce the
+    # monolithic totals exactly (each feature/pair has one owner).
+    for sa, sb in shifters.feature_pairs():
+        fr = feats[sa.feature_index]
+        if job.owns_point2(*fr.center2):
+            result.owned_critical += 1
+            result.owned_shifters += 2
+
+    for p in pairs:
+        if job.owns_point2(*region_center2(shifters[p.a].rect,
+                                           shifters[p.b].rect)):
+            result.owned_pairs += 1
+
+    feat_center_owned = [job.owns_point2(*r.center2) for r in feats]
+    for fi in report.uncorrectable_features:
+        if feat_center_owned[fi]:
+            r = feats[fi]
+            result.owned_uncorrectable.append((r.x1, r.y1, r.x2, r.y2))
+    for fi in tshape_feature_indices(job.layout):
+        if feat_center_owned[fi]:
+            r = feats[fi]
+            result.owned_tshape_features.append((r.x1, r.y1, r.x2, r.y2))
+
+    result.seconds = time.perf_counter() - start
+    return result
+
+
+def _rect_point2_within(rect, p2: Tuple[int, int], dist: int) -> bool:
+    """Is a doubled point within ``dist`` nm of a rect (exact ints)?"""
+    px2, py2 = p2
+    dx = max(2 * rect.x1 - px2, px2 - 2 * rect.x2, 0)
+    dy = max(2 * rect.y1 - py2, py2 - 2 * rect.y2, 0)
+    return dx * dx + dy * dy <= (2 * dist) ** 2
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class SerialExecutor:
+    """Run tile jobs in-process, one after another."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[TileJob], TileResult],
+            work: Sequence[TileJob]) -> List[TileResult]:
+        return [fn(job) for job in work]
+
+
+class ProcessExecutor:
+    """Fan tile jobs out over worker processes.
+
+    Tiles are independent by construction (absolute-coordinate
+    sub-layouts, ownership decided inside each job), so this is plain
+    data-parallel map; results come back in submission order.
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def map(self, fn: Callable[[TileJob], TileResult],
+            work: Sequence[TileJob]) -> List[TileResult]:
+        if not work:
+            return []
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(fn, work, chunksize=1))
+
+
+def resolve_executor(jobs: Optional[int]):
+    """None or 1 -> serial; n > 1 -> n worker processes."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(jobs)
+
+
+def make_jobs(tiles: Sequence[Tile], tech: Technology,
+              kind: str = PCG,
+              method: str = METHOD_GADGET) -> List[TileJob]:
+    """Freeze a tile grid into picklable work units."""
+    return [TileJob(ix=t.ix, iy=t.iy, layout=t.layout, owner=t.owner,
+                    tech=tech, kind=kind, method=method,
+                    feature_ids=tuple(t.feature_ids))
+            for t in tiles]

@@ -3,8 +3,9 @@
 The tool a layout engineer would actually run::
 
     python -m repro detect  chip.gds           # list AAPSM conflicts
+    python -m repro chip    chip.gds --tiles 4 --jobs 8
     python -m repro flow    chip.gds -o fixed.gds
-    python -m repro generate --design D3 -o d3.gds
+    python -m repro generate --design D3 --seed 7 -o d3.gds
     python -m repro table1                     # reproduce paper tables
     python -m repro table2
 
@@ -14,8 +15,9 @@ GDSII in, GDSII out; everything else is printed as aligned tables.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .bench import build_design, design_names, format_table, table1_row, table2_row
 from .conflict import detect_conflicts
@@ -42,6 +44,40 @@ def _add_tech_argument(parser: argparse.ArgumentParser) -> None:
                         default="90nm", help="technology rule preset")
 
 
+def _parse_tiles(text: str) -> Tuple[int, int]:
+    """Accept ``N`` (an NxN grid) or ``NxM`` / ``N,M``."""
+    norm = text.lower().replace(",", "x")
+    parts = norm.split("x")
+    try:
+        if len(parts) == 1:
+            spec = (int(parts[0]),) * 2
+        elif len(parts) == 2:
+            spec = (int(parts[0]), int(parts[1]))
+        else:
+            spec = None
+    except ValueError:
+        spec = None
+    if spec is None:
+        raise argparse.ArgumentTypeError(
+            f"expected N or NxM tile grid, got {text!r}")
+    if spec[0] < 1 or spec[1] < 1:
+        raise argparse.ArgumentTypeError(
+            f"tile grid must be >= 1x1, got {text!r}")
+    return spec
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    """The tiling/parallelism knobs shared by chip-scale commands."""
+    parser.add_argument("--tiles", type=_parse_tiles, default=None,
+                        metavar="N[xM]",
+                        help="tile grid (default: sized from the "
+                             "polygon count)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count(),
+                        help="worker processes (default: all cores)")
+    parser.add_argument("--cache-dir",
+                        help="persistent per-tile result cache directory")
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
     layout = _load_layout(args.gds)
     tech = TECH_PRESETS[args.tech]()
@@ -58,10 +94,32 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0 if report.phase_assignable else 1
 
 
+def cmd_chip(args: argparse.Namespace) -> int:
+    """Tiled, parallel, cached full-chip conflict detection."""
+    from .chip import run_chip_flow
+
+    layout = _load_layout(args.gds)
+    tech = TECH_PRESETS[args.tech]()
+    report = run_chip_flow(layout, tech, tiles=args.tiles,
+                           jobs=args.jobs, cache_dir=args.cache_dir,
+                           kind=args.graph)
+    print(report.summary())
+    if args.verbose:
+        for stat in report.tile_stats:
+            if stat.polygons:
+                print(f"  tile[{stat.ix},{stat.iy}]: {stat.polygons} "
+                      f"polygons, {stat.conflicts_reported} conflicts "
+                      f"reported, {stat.seconds:.2f}s"
+                      + (" (cached)" if stat.from_cache else ""))
+    return 0 if report.phase_assignable else 1
+
+
 def cmd_flow(args: argparse.Namespace) -> int:
     layout = _load_layout(args.gds)
     tech = TECH_PRESETS[args.tech]()
-    result = run_aapsm_flow(layout, tech, cover=args.cover)
+    result = run_aapsm_flow(layout, tech, cover=args.cover,
+                            tiles=args.tiles, jobs=args.jobs,
+                            cache_dir=args.cache_dir)
     print(result.summary())
     if args.output:
         write_gds(layout_to_gds(result.corrected_layout), args.output)
@@ -75,7 +133,7 @@ def cmd_flow(args: argparse.Namespace) -> int:
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
-    layout = build_design(args.design)
+    layout = build_design(args.design, seed=args.seed)
     write_gds(layout_to_gds(layout), args.output)
     print(f"wrote {args.output} ({layout.num_polygons} polygons)")
     return 0
@@ -111,18 +169,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tech_argument(p)
     p.set_defaults(func=cmd_detect)
 
+    p = sub.add_parser("chip",
+                       help="tiled parallel full-chip conflict detection")
+    p.add_argument("gds")
+    p.add_argument("--graph", choices=["pcg", "fg"], default="pcg")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print the per-tile table")
+    _add_scale_arguments(p)
+    _add_tech_argument(p)
+    p.set_defaults(func=cmd_chip)
+
     p = sub.add_parser("flow", help="detect + correct + verify a GDS")
     p.add_argument("gds")
     p.add_argument("-o", "--output", help="write corrected GDS here")
     p.add_argument("--report", help="write a JSON flow report here")
     p.add_argument("--cover", choices=["auto", "greedy", "exact"],
                    default="auto")
+    _add_scale_arguments(p)
     _add_tech_argument(p)
     p.set_defaults(func=cmd_flow)
 
     p = sub.add_parser("generate",
                        help="write a benchmark-suite design as GDS")
     p.add_argument("--design", choices=design_names(), default="D2")
+    p.add_argument("--seed", type=int, default=None,
+                   help="deterministic generator seed override")
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=cmd_generate)
 

@@ -35,7 +35,8 @@ from ..shifters import (
     generate_shifters,
 )
 from .graphs import PCG, ConflictGraph, build_conflict_graph
-from .weights import WeightModel
+from .weights import GENERIC_SCALE, WeightModel, make_generic, \
+    space_needed_weight
 
 
 @dataclass(frozen=True)
@@ -92,10 +93,17 @@ def build_layout_conflict_graph(
         layout: Layout, tech: Technology, kind: str = PCG,
         weight_model: Optional[WeightModel] = None
         ) -> Tuple[ConflictGraph, ShifterSet, List[OverlapPair]]:
-    """Shared front end: shifters, Condition-2 pairs, conflict graph."""
+    """Shared front end: shifters, Condition-2 pairs, conflict graph.
+
+    The weight model is refined with :func:`make_generic` so the graph
+    carries tie-free weights and the minimum bipartization is unique —
+    a view-independence property the tiled chip flow relies on.
+    Reported weights are divided back to base scale.
+    """
     shifters = generate_shifters(layout, tech)
     pairs = find_overlap_pairs(shifters, tech)
-    cg = build_conflict_graph(kind, shifters, pairs, tech, weight_model)
+    model = make_generic(weight_model or space_needed_weight)
+    cg = build_conflict_graph(kind, shifters, pairs, tech, model)
     return cg, shifters, pairs
 
 
@@ -103,12 +111,26 @@ def detect_conflicts(layout: Layout, tech: Technology,
                      kind: str = PCG,
                      method: str = METHOD_GADGET,
                      max_clique_size: Optional[int] = None,
-                     weight_model: Optional[WeightModel] = None
+                     weight_model: Optional[WeightModel] = None,
+                     prebuilt: Optional[Tuple[ConflictGraph, ShifterSet,
+                                              List[OverlapPair]]] = None
                      ) -> DetectionReport:
-    """Run the full detection flow on a layout."""
+    """Run the full detection flow on a layout.
+
+    ``prebuilt`` lets callers that already ran
+    :func:`build_layout_conflict_graph` (the tiled chip flow reuses the
+    shifters and pairs for stitching) skip rebuilding the front end.
+    Note the graph is consumed: planarization soft-removes its edges.
+    """
     start = time.perf_counter()
-    cg, shifters, pairs = build_layout_conflict_graph(
-        layout, tech, kind, weight_model)
+    if prebuilt is not None:
+        cg, shifters, pairs = prebuilt
+        if cg.kind != kind:
+            raise ValueError(
+                f"prebuilt graph kind {cg.kind!r} != requested {kind!r}")
+    else:
+        cg, shifters, pairs = build_layout_conflict_graph(
+            layout, tech, kind, weight_model)
     graph = cg.graph
     report = DetectionReport(
         layout_name=layout.name,
@@ -134,7 +156,8 @@ def detect_conflicts(layout: Layout, tech: Technology,
     bip = optimal_planar_bipartization(graph, method=method,
                                        max_clique_size=max_clique_size)
     report.step2_edges = len(bip.removed)
-    report.step2_weight = bip.weight
+    report.step2_weight = sum(graph.edge(eid).weight // GENERIC_SCALE
+                              for eid in bip.removed)
 
     # Step 3: which planarization casualties close odd cycles?
     extra = residual_conflicts(graph, bip.removed, potential)
@@ -142,7 +165,8 @@ def detect_conflicts(layout: Layout, tech: Technology,
 
     removed = sorted(set(bip.removed) | set(extra))
     report.removed_edge_ids = removed
-    report.removed_weight = graph.total_weight(removed)
+    report.removed_weight = sum(graph.edge(eid).weight // GENERIC_SCALE
+                                for eid in removed)
 
     pair_keys, feature_indices = cg.classify_edges(removed)
     all_conflicts = [
@@ -170,7 +194,8 @@ def detect_conflicts(layout: Layout, tech: Technology,
 
 
 def _pair_weight(cg: ConflictGraph, key: Tuple[int, int]) -> int:
+    """Base-scale weight of an overlap pair's graph edge."""
     for eid, pair_key in cg.edge_pair.items():
         if pair_key == key:
-            return cg.graph.edge(eid).weight
+            return cg.graph.edge(eid).weight // GENERIC_SCALE
     raise KeyError(f"no edge for pair {key}")

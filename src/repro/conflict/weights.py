@@ -11,12 +11,64 @@ provably exceeds any sum of overlap-edge weights.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from typing import Callable, Sequence
 
 from ..layout import Technology
 from ..shifters import OverlapPair, ShifterSet
 
 WeightModel = Callable[[OverlapPair, ShifterSet, Technology], int]
+
+# Scale factor for the generic (tie-free) weight refinement below.
+# The full 32-bit CRC space keeps birthday collisions negligible even
+# at full-chip pair counts (~50K pairs → p ≈ 3e-4, and a collision
+# only matters if the two pairs also tie in base weight inside one
+# cluster); Python integers make the magnitude free.
+GENERIC_SCALE = 1 << 32
+
+
+def pair_tie_breaker(pair: OverlapPair, shifters: ShifterSet) -> int:
+    """A stable pseudo-random value in [0, GENERIC_SCALE) per pair.
+
+    Derived from the two shifter rectangles' absolute coordinates via
+    CRC-32, so it is identical across processes, runs, and — crucially
+    — across different *views* of the same geometry (a full chip and a
+    tile both compute the same value for the same pair).  Python's
+    built-in ``hash`` is salted per process and cannot be used here.
+    """
+    ra = shifters[pair.a].rect
+    rb = shifters[pair.b].rect
+    payload = struct.pack("<8q", ra.x1, ra.y1, ra.x2, ra.y2,
+                          rb.x1, rb.y1, rb.x2, rb.y2)
+    return zlib.crc32(payload) % GENERIC_SCALE
+
+
+def make_generic(model: WeightModel) -> WeightModel:
+    """Refine a weight model into a generically tie-free one.
+
+    Returns a model computing ``base * GENERIC_SCALE + tie`` where
+    ``tie`` is :func:`pair_tie_breaker`.  The refinement preserves the
+    base model's strict order, so every minimum under the refined
+    weights is a minimum under the base weights — but ties between
+    distinct pairs become (generically) impossible, which makes the
+    minimum-weight bipartization *unique*.  A unique optimum is what
+    lets the tiled chip flow reproduce the monolithic conflict set
+    exactly: without it, equal-weight alternatives are resolved by
+    internal edge numbering, which differs between a tile view and the
+    full chip.
+
+    Divide by :data:`GENERIC_SCALE` to recover base-scale weights for
+    reporting.
+    """
+
+    def generic(pair: OverlapPair, shifters: ShifterSet,
+                tech: Technology) -> int:
+        return (model(pair, shifters, tech) * GENERIC_SCALE
+                + pair_tie_breaker(pair, shifters))
+
+    generic.__name__ = f"generic_{getattr(model, '__name__', 'model')}"
+    return generic
 
 
 def uniform_weight(pair: OverlapPair, shifters: ShifterSet,

@@ -67,15 +67,42 @@ class FlowResult:
 def run_aapsm_flow(layout: Layout, tech: Technology,
                    kind: str = PCG,
                    method: str = METHOD_GADGET,
-                   cover: str = "auto") -> FlowResult:
-    """Detect conflicts, insert spaces, verify, and assign phases."""
-    detection = detect_conflicts(layout, tech, kind=kind, method=method)
+                   cover: str = "auto",
+                   tiles=None,
+                   jobs: Optional[int] = None,
+                   cache_dir: Optional[str] = None) -> FlowResult:
+    """Detect conflicts, insert spaces, verify, and assign phases.
+
+    With ``tiles`` set, both detection passes run through the tiled
+    chip orchestrator (:func:`repro.chip.run_chip_flow`) — partitioned,
+    optionally multi-process (``jobs``), with per-tile result caching
+    (``cache_dir``).  The stitched reports are drop-in equivalents of
+    the monolithic ones, so correction and assignment are unchanged.
+    """
+    shared_cache = None
+    if tiles is not None:
+        # One cache for both detection passes: tiles the correction
+        # leaves untouched are hits in the post-correction run.
+        from ..chip import TileCache
+
+        shared_cache = TileCache(cache_dir)
+
+    def detect(target: Layout):
+        if tiles is None:
+            return detect_conflicts(target, tech, kind=kind, method=method)
+        from ..chip import run_chip_flow
+
+        return run_chip_flow(target, tech, tiles=tiles, jobs=jobs,
+                             cache=shared_cache, kind=kind,
+                             method=method).detection
+
+    detection = detect(layout)
 
     conflicts = [c.key for c in detection.conflicts]
     corrected, correction = correct_layout(layout, tech, conflicts,
                                            cover=cover)
 
-    post = detect_conflicts(corrected, tech, kind=kind, method=method)
+    post = detect(corrected)
 
     assignment: Optional[PhaseAssignment] = None
     success = False

@@ -1,0 +1,84 @@
+"""Per-tile detection and executors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chip import (
+    ProcessExecutor,
+    SerialExecutor,
+    detect_tile,
+    make_jobs,
+    partition_layout,
+    resolve_executor,
+)
+from repro.conflict import detect_conflicts
+from repro.layout import Layout, Technology, figure1_layout, \
+    standard_cell_layout
+
+
+@pytest.fixture
+def tech() -> Technology:
+    return Technology.node_90nm()
+
+
+class TestDetectTile:
+    def test_single_tile_matches_monolithic(self, tech):
+        """A 1x1 grid is the monolithic flow in tile clothing."""
+        layout = standard_cell_layout(seed=11)
+        grid = partition_layout(layout, tech, tiles=1)
+        (job,) = make_jobs(grid.tiles, tech)
+        result = detect_tile(job)
+        mono = detect_conflicts(layout, tech)
+        assert len(result.conflicts) == mono.num_conflicts
+        assert result.owned_critical == mono.num_critical
+        assert result.owned_shifters == mono.num_shifters
+        assert result.owned_pairs == mono.num_overlap_pairs
+
+    def test_empty_tile(self, tech):
+        grid = partition_layout(figure1_layout(), tech, tiles=1)
+        (job,) = make_jobs(grid.tiles, tech)
+        empty = job.__class__(**{**job.__dict__, "layout": Layout()})
+        result = detect_tile(empty)
+        assert result.conflicts == []
+        assert result.report.phase_assignable
+
+    def test_owned_counts_sum_to_monolithic(self, tech):
+        layout = standard_cell_layout(seed=12)
+        grid = partition_layout(layout, tech, tiles=(3, 2))
+        results = [detect_tile(j) for j in make_jobs(grid.tiles, tech)]
+        mono = detect_conflicts(layout, tech)
+        assert sum(r.owned_critical for r in results) == mono.num_critical
+        assert sum(r.owned_shifters for r in results) == mono.num_shifters
+        assert sum(r.owned_pairs for r in results) == mono.num_overlap_pairs
+
+    def test_canonical_keys_use_absolute_geometry(self, tech):
+        layout = figure1_layout()
+        grid = partition_layout(layout, tech, tiles=(2, 1))
+        results = [detect_tile(j) for j in make_jobs(grid.tiles, tech)]
+        keys = {cc.key for r in results for cc in r.conflicts}
+        rects = {(r.x1, r.y1, r.x2, r.y2) for r in layout.features}
+        for a, b in keys:
+            assert a[0] in rects and b[0] in rects
+            assert a[1] in ("left", "right", "top", "bottom")
+
+
+class TestExecutors:
+    def test_resolve(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor(1), SerialExecutor)
+        assert isinstance(resolve_executor(3), ProcessExecutor)
+        with pytest.raises(ValueError):
+            ProcessExecutor(0)
+
+    def test_process_executor_matches_serial(self, tech):
+        layout = standard_cell_layout(seed=13)
+        grid = partition_layout(layout, tech, tiles=2)
+        jobs = make_jobs(grid.tiles, tech)
+        serial = SerialExecutor().map(detect_tile, jobs)
+        procs = ProcessExecutor(2).map(detect_tile, jobs)
+        assert [sorted(c.key for c in r.conflicts) for r in serial] == \
+            [sorted(c.key for c in r.conflicts) for r in procs]
+
+    def test_process_executor_empty_work(self):
+        assert ProcessExecutor(2).map(detect_tile, []) == []

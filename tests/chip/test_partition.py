@@ -1,0 +1,106 @@
+"""Tile partitioning invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chip import (
+    auto_tile_grid,
+    default_halo,
+    interaction_distance,
+    partition_layout,
+)
+from repro.geometry import Rect
+from repro.layout import (
+    Layout,
+    Technology,
+    layout_from_rects,
+    standard_cell_layout,
+)
+
+
+@pytest.fixture
+def tech() -> Technology:
+    return Technology.node_90nm()
+
+
+class TestGridGeometry:
+    def test_cores_partition_the_bbox(self, tech):
+        layout = standard_cell_layout(seed=3)
+        grid = partition_layout(layout, tech, tiles=(3, 2))
+        box = layout.bbox()
+        # Half-open cores must cover the closed bbox exactly once.
+        xs = sorted({t.core[0] for t in grid.tiles})
+        assert xs[0] == box.x1
+        total = sum((t.core[2] - t.core[0]) * (t.core[3] - t.core[1])
+                    for t in grid.tiles)
+        assert total == (box.x2 + 1 - box.x1) * (box.y2 + 1 - box.y1)
+
+    def test_every_feature_captured_by_its_owner(self, tech):
+        layout = standard_cell_layout(seed=4)
+        grid = partition_layout(layout, tech, tiles=3)
+        for rect in layout.features:
+            flat = grid.owner_index_of_point2(*rect.center2)
+            tile = grid.tiles[flat]
+            assert rect in tile.layout.features
+
+    def test_owner_regions_are_disjoint_and_total(self, tech):
+        layout = standard_cell_layout(seed=5)
+        grid = partition_layout(layout, tech, tiles=(2, 3))
+        probes = [r.center2 for r in layout.features[:50]]
+        # Points far outside the bbox still have exactly one owner.
+        probes += [(-10**7, -10**7), (10**9, 10**9)]
+        for p in probes:
+            owners = [t for t in grid.tiles if t.owns_point2(*p)]
+            assert len(owners) == 1
+            flat = grid.owner_index_of_point2(*p)
+            assert grid.tiles[flat] is owners[0]
+
+    def test_halo_features_shared_between_tiles(self, tech):
+        # Two gates 200 nm apart with a cut line between them: both
+        # tiles must capture both gates.
+        a = Rect(0, 0, 90, 1000)
+        b = Rect(290, 0, 380, 1000)
+        layout = layout_from_rects([a, b])
+        grid = partition_layout(layout, tech, tiles=(2, 1))
+        for tile in grid.tiles:
+            assert set(tile.layout.features) == {a, b}
+
+    def test_feature_ids_map_back_to_chip_indices(self, tech):
+        layout = standard_cell_layout(seed=6)
+        grid = partition_layout(layout, tech, tiles=2)
+        for tile in grid.tiles:
+            for local, gi in enumerate(tile.feature_ids):
+                assert tile.layout.features[local] == layout.features[gi]
+
+    def test_empty_layout(self, tech):
+        grid = partition_layout(Layout(), tech, tiles=2)
+        assert grid.bbox is None
+        assert grid.tiles == []
+
+    def test_rejects_sub_interaction_halo(self, tech):
+        layout = standard_cell_layout(seed=1)
+        with pytest.raises(ValueError):
+            partition_layout(layout, tech, tiles=2,
+                             halo=interaction_distance(tech) - 1)
+
+    def test_rejects_bad_grid(self, tech):
+        layout = standard_cell_layout(seed=1)
+        with pytest.raises(ValueError):
+            partition_layout(layout, tech, tiles=0)
+
+
+class TestSizing:
+    def test_interaction_distance_monotone_in_rules(self, tech):
+        wide = tech.with_(shifter_spacing=tech.shifter_spacing * 2)
+        assert interaction_distance(wide) > interaction_distance(tech)
+        assert default_halo(tech) >= 8 * interaction_distance(tech) - 1
+
+    def test_auto_grid_scales_with_polygon_count(self):
+        small = standard_cell_layout(seed=1)
+        nx, ny = auto_tile_grid(small)
+        assert (nx, ny) == (1, 1)
+        big = Layout()
+        for i in range(9000):
+            big.add_feature(Rect(i * 300, 0, i * 300 + 90, 900))
+        assert auto_tile_grid(big)[0] >= 2
