@@ -105,7 +105,8 @@ def run_chip_flow(layout: Layout, tech: Technology,
                   cache: Optional[TileCache] = None,
                   kind: str = PCG,
                   method: str = METHOD_GADGET,
-                  halo: Optional[int] = None) -> ChipReport:
+                  halo: Optional[int] = None,
+                  shifters=None) -> ChipReport:
     """Tiled, parallel, cached full-chip conflict detection.
 
     Args:
@@ -121,16 +122,21 @@ def run_chip_flow(layout: Layout, tech: Technology,
         kind: conflict-graph kind ("pcg"/"fg").
         method: bipartization engine for each tile.
         halo: capture halo in nm (default from the rule deck).
+        shifters: the layout's already-generated global shifter set
+            (skips regeneration in the stitcher).
 
     Returns:
         A :class:`ChipReport`; ``report.detection`` is a chip-level
-        :class:`DetectionReport` in global shifter ids.
+        :class:`DetectionReport` in global shifter ids.  Cache counts
+        are this run's hits/misses (deltas, so a cache shared across
+        passes reports each pass separately).
     """
     start = time.perf_counter()
     grid = partition_layout(layout, tech, tiles=tiles, halo=halo,
                             jobs=jobs)
     if cache is None:
         cache = TileCache(cache_dir)
+    hits0, misses0 = cache.hits, cache.misses
     executor = resolve_executor(jobs)
 
     jobs_all = make_jobs(grid.tiles, tech, kind=kind, method=method)
@@ -146,15 +152,16 @@ def run_chip_flow(layout: Layout, tech: Technology,
             results[i] = result
 
     final: List[TileResult] = [r for r in results if r is not None]
-    detection, stats = stitch_results(layout, tech, kind, grid, final)
+    detection, stats = stitch_results(layout, tech, kind, grid, final,
+                                      shifters=shifters)
 
     report = ChipReport(
         detection=detection,
         nx=grid.nx, ny=grid.ny, halo=grid.halo,
         jobs=getattr(executor, "jobs", 1),
         tile_seconds=stats.tile_seconds,
-        cache_hits=cache.hits,
-        cache_misses=cache.misses,
+        cache_hits=cache.hits - hits0,
+        cache_misses=cache.misses - misses0,
         clusters=stats.clusters,
         boundary_duplicates_dropped=stats.boundary_duplicates_dropped,
         tile_stats=[TileStat(ix=r.ix, iy=r.iy,

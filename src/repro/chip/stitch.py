@@ -42,11 +42,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..conflict import Conflict, DetectionReport
 from ..layout import Layout, Technology
-from ..shifters import generate_shifters
+from ..shifters import ShifterSet, generate_shifters
 from .executor import CanonicalConflict, ShifterKey, TileResult
 from .partition import TileGrid
 
@@ -129,12 +129,19 @@ def arbitrate_conflicts(grid: TileGrid, results: List[TileResult]
 
 
 def stitch_results(layout: Layout, tech: Technology, kind: str,
-                   grid: TileGrid, results: List[TileResult]
+                   grid: TileGrid, results: List[TileResult],
+                   shifters: Optional[ShifterSet] = None
                    ) -> Tuple[DetectionReport, StitchStats]:
-    """Merge tile results into a chip-level :class:`DetectionReport`."""
+    """Merge tile results into a chip-level :class:`DetectionReport`.
+
+    ``shifters`` accepts the layout's already-generated shifter set
+    (the pipeline's shifter-generation stage); when omitted it is
+    regenerated here.
+    """
     # Chip-global shifter numbering: pure geometry, O(features), and
     # deterministic — the same ids the monolithic flow would assign.
-    shifters = generate_shifters(layout, tech)
+    if shifters is None:
+        shifters = generate_shifters(layout, tech)
     key_to_id: Dict[ShifterKey, int] = {}
     feats = layout.features
     for s in shifters:

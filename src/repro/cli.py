@@ -5,16 +5,20 @@ The tool a layout engineer would actually run::
     python -m repro detect  chip.gds           # list AAPSM conflicts
     python -m repro chip    chip.gds --tiles 4 --jobs 8
     python -m repro flow    chip.gds -o fixed.gds
+    python -m repro flow    chip.gds --incremental --cache-dir .tiles
+    python -m repro eco     base.gds edited.gds --cache-dir .tiles
     python -m repro generate --design D3 --seed 7 -o d3.gds
     python -m repro table1                     # reproduce paper tables
     python -m repro table2
 
-GDSII in, GDSII out; everything else is printed as aligned tables.
+GDSII in, GDSII out; everything else is printed as aligned tables, or
+as machine-readable JSON with ``--json`` (for CI and benchmarks).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional, Tuple
@@ -76,6 +80,9 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                         help="worker processes (default: all cores)")
     parser.add_argument("--cache-dir",
                         help="persistent per-tile result cache directory")
+    parser.add_argument("--json", action="store_true",
+                        help="print a machine-readable JSON report "
+                             "(counts, timings, cache hit rate)")
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
@@ -97,12 +104,17 @@ def cmd_detect(args: argparse.Namespace) -> int:
 def cmd_chip(args: argparse.Namespace) -> int:
     """Tiled, parallel, cached full-chip conflict detection."""
     from .chip import run_chip_flow
+    from .core import chip_report_dict
 
     layout = _load_layout(args.gds)
     tech = TECH_PRESETS[args.tech]()
     report = run_chip_flow(layout, tech, tiles=args.tiles,
                            jobs=args.jobs, cache_dir=args.cache_dir,
                            kind=args.graph)
+    if args.json:
+        print(json.dumps(chip_report_dict(report), indent=2,
+                         sort_keys=True))
+        return 0 if report.phase_assignable else 1
     print(report.summary())
     if args.verbose:
         for stat in report.tile_stats:
@@ -117,19 +129,66 @@ def cmd_chip(args: argparse.Namespace) -> int:
 def cmd_flow(args: argparse.Namespace) -> int:
     layout = _load_layout(args.gds)
     tech = TECH_PRESETS[args.tech]()
+    if args.incremental and not args.cache_dir:
+        print("warning: --incremental without --cache-dir only caches "
+              "within this run", file=sys.stderr)
     result = run_aapsm_flow(layout, tech, cover=args.cover,
                             tiles=args.tiles, jobs=args.jobs,
-                            cache_dir=args.cache_dir)
-    print(result.summary())
+                            cache_dir=args.cache_dir,
+                            incremental=args.incremental)
+    if args.json:
+        from .core import flow_result_dict
+
+        print(json.dumps(flow_result_dict(result), indent=2,
+                         sort_keys=True))
+    else:
+        print(result.summary())
     if args.output:
         write_gds(layout_to_gds(result.corrected_layout), args.output)
-        print(f"wrote {args.output}")
+        _note(args, f"wrote {args.output}")
     if args.report:
         from .core import save_flow_report
 
         save_flow_report(result, args.report)
-        print(f"wrote {args.report}")
+        _note(args, f"wrote {args.report}")
     return 0 if result.success else 1
+
+
+def cmd_eco(args: argparse.Namespace) -> int:
+    """Incremental re-run: base layout warms the tile cache, the edited
+    layout recomputes only dirty tiles."""
+    from .core import eco_result_dict
+    from .pipeline import PipelineConfig, run_eco_flow
+
+    base = _load_layout(args.base_gds)
+    edited = _load_layout(args.edited_gds)
+    tech = TECH_PRESETS[args.tech]()
+    if args.assume_warm and not args.cache_dir:
+        print("error: --assume-warm needs a warmed --cache-dir",
+              file=sys.stderr)
+        return 2
+    config = PipelineConfig(kind=args.graph, cover=args.cover,
+                            tiles=args.tiles, jobs=args.jobs,
+                            cache_dir=args.cache_dir)
+    eco = run_eco_flow(base, edited, tech, config=config,
+                       warm_base=not args.assume_warm)
+    if (args.assume_warm and eco.plan.num_clean
+            and eco.result.detection.cache_hits == 0):
+        print("warning: no tile cache hits — was the cache warmed with "
+              "the same grid, tech, and graph settings?", file=sys.stderr)
+    if args.json:
+        print(json.dumps(eco_result_dict(eco), indent=2, sort_keys=True))
+    else:
+        print(eco.summary())
+    if args.output:
+        write_gds(layout_to_gds(eco.result.corrected_layout), args.output)
+        _note(args, f"wrote {args.output}")
+    return 0 if eco.result.success else 1
+
+
+def _note(args: argparse.Namespace, message: str) -> None:
+    """Progress chatter — kept off stdout when it must stay pure JSON."""
+    print(message, file=sys.stderr if args.json else sys.stdout)
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -185,9 +244,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", help="write a JSON flow report here")
     p.add_argument("--cover", choices=["auto", "greedy", "exact"],
                    default="auto")
+    p.add_argument("--incremental", action="store_true",
+                   help="run tiled with the per-tile cache even without "
+                        "--tiles; with a persistent --cache-dir, re-runs "
+                        "after edits recompute only dirty tiles")
     _add_scale_arguments(p)
     _add_tech_argument(p)
     p.set_defaults(func=cmd_flow)
+
+    p = sub.add_parser("eco",
+                       help="incremental re-run of an edited GDS "
+                            "against a base GDS (dirty tiles only)")
+    p.add_argument("base_gds")
+    p.add_argument("edited_gds")
+    p.add_argument("-o", "--output",
+                   help="write the corrected edited GDS here")
+    p.add_argument("--graph", choices=["pcg", "fg"], default="pcg")
+    p.add_argument("--cover", choices=["auto", "greedy", "exact"],
+                   default="auto")
+    p.add_argument("--assume-warm", action="store_true",
+                   help="skip re-running the base layout; --cache-dir "
+                        "must hold a previous run's tiles (no cold "
+                        "baseline timing is reported)")
+    _add_scale_arguments(p)
+    _add_tech_argument(p)
+    p.set_defaults(func=cmd_eco)
 
     p = sub.add_parser("generate",
                        help="write a benchmark-suite design as GDS")

@@ -5,6 +5,7 @@ from .detection import (
     DetectionReport,
     build_layout_conflict_graph,
     detect_conflicts,
+    layout_front_end,
 )
 from .graphs import (
     FEATURE_TAG,
@@ -38,6 +39,7 @@ __all__ = [
     "DetectionReport",
     "detect_conflicts",
     "build_layout_conflict_graph",
+    "layout_front_end",
     "WeightModel",
     "uniform_weight",
     "space_needed_weight",

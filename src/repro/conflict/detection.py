@@ -89,9 +89,25 @@ class DetectionReport:
         return len(self.conflicts)
 
 
+def layout_front_end(layout: Layout, tech: Technology
+                     ) -> Tuple[ShifterSet, List[OverlapPair]]:
+    """Shifter generation: the flow's first stage, pure geometry.
+
+    The returned (shifters, pairs) front end is reusable across every
+    stage that works on the same layout revision — conflict-graph
+    builds, correction planning, stitching, phase verification — so
+    the pipeline generates shifters once per revision instead of once
+    per consumer.
+    """
+    shifters = generate_shifters(layout, tech)
+    pairs = find_overlap_pairs(shifters, tech)
+    return shifters, pairs
+
+
 def build_layout_conflict_graph(
         layout: Layout, tech: Technology, kind: str = PCG,
-        weight_model: Optional[WeightModel] = None
+        weight_model: Optional[WeightModel] = None,
+        front: Optional[Tuple[ShifterSet, List[OverlapPair]]] = None
         ) -> Tuple[ConflictGraph, ShifterSet, List[OverlapPair]]:
     """Shared front end: shifters, Condition-2 pairs, conflict graph.
 
@@ -99,9 +115,15 @@ def build_layout_conflict_graph(
     carries tie-free weights and the minimum bipartization is unique —
     a view-independence property the tiled chip flow relies on.
     Reported weights are divided back to base scale.
+
+    ``front`` supplies a pre-computed :func:`layout_front_end` for this
+    layout, skipping shifter regeneration (graphs are consumed by
+    detection, so repeat callers rebuild only the graph).
     """
-    shifters = generate_shifters(layout, tech)
-    pairs = find_overlap_pairs(shifters, tech)
+    if front is not None:
+        shifters, pairs = front
+    else:
+        shifters, pairs = layout_front_end(layout, tech)
     model = make_generic(weight_model or space_needed_weight)
     cg = build_conflict_graph(kind, shifters, pairs, tech, model)
     return cg, shifters, pairs

@@ -1,16 +1,23 @@
 """End-to-end AAPSM flow (the paper's proposed system, S13)."""
 
-from .flow import FlowResult, run_aapsm_flow
+from .flow import FlowResult, flow_result_from_pipeline, run_aapsm_flow
 from .report import (
+    chip_report_dict,
+    eco_result_dict,
     flow_result_dict,
     load_flow_report,
+    pipeline_dict,
     save_flow_report,
 )
 
 __all__ = [
     "FlowResult",
     "run_aapsm_flow",
+    "flow_result_from_pipeline",
     "flow_result_dict",
+    "chip_report_dict",
+    "eco_result_dict",
+    "pipeline_dict",
     "save_flow_report",
     "load_flow_report",
 ]

@@ -11,6 +11,14 @@ The flow *proves* its own result: after applying the end-to-end spaces
 it regenerates shifters on the modified layout, re-runs detection, and
 only reports success when the corrected layout is genuinely
 phase-assignable and the geometric verifier accepts the assignment.
+
+Since the staged-pipeline refactor this module is a thin compatibility
+wrapper: the work happens in :func:`repro.pipeline.run_pipeline`
+(explicit stages — shifter generation, tiled detection, window-scoped
+correction, re-verification, phase assignment — over shared
+artifacts), and :class:`FlowResult` is a flat view over its
+:class:`~repro.pipeline.PipelineResult`, which rides along in
+``result.pipeline`` for stage timings and cache accounting.
 """
 
 from __future__ import annotations
@@ -18,16 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..conflict import (
-    DetectionReport,
-    PCG,
-    build_layout_conflict_graph,
-    detect_conflicts,
-)
-from ..correction import CorrectionReport, correct_layout
+from ..conflict import PCG, DetectionReport
+from ..correction import CorrectionReport
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology
-from ..phase import PhaseAssignment, assign_phases, verify_assignment
+from ..phase import PhaseAssignment
+from ..pipeline import PipelineConfig, PipelineResult, run_pipeline
 
 
 @dataclass
@@ -41,6 +45,7 @@ class FlowResult:
     post_detection: DetectionReport
     assignment: Optional[PhaseAssignment]
     success: bool
+    pipeline: Optional[PipelineResult] = None
 
     def summary(self) -> str:
         """One-paragraph human-readable outcome."""
@@ -50,7 +55,8 @@ class FlowResult:
             f"detected {self.detection.num_conflicts} conflicts "
             f"({self.detection.num_conflict_edges} deleted edges, "
             f"|P|={self.detection.crossings_removed})",
-            f"correction: {self.correction.num_cuts} end-to-end spaces, "
+            f"correction: {self.correction.num_cuts} end-to-end spaces "
+            f"in {self.correction.num_windows} window(s), "
             f"area +{self.correction.area_increase_pct:.2f}%",
             f"post-correction phase-assignable: "
             f"{self.post_detection.phase_assignable}",
@@ -61,7 +67,25 @@ class FlowResult:
                 f"uncorrectable by spacing: "
                 f"{len(self.correction.uncorrectable)} conflicts "
                 "(mask splitting / widening territory)")
+        if self.pipeline is not None and self.pipeline.tiled:
+            hits, misses = self.pipeline.cache_counts()
+            lines.append(f"tile cache: {hits} hits / {misses} misses "
+                         f"across both detection passes")
         return "\n".join(lines)
+
+
+def flow_result_from_pipeline(pipe: PipelineResult) -> FlowResult:
+    """Flatten a staged-pipeline result into the legacy shape."""
+    return FlowResult(
+        layout=pipe.layout,
+        corrected_layout=pipe.corrected_layout,
+        detection=pipe.detection.report,
+        correction=pipe.correction.report,
+        post_detection=pipe.post_detection,
+        assignment=pipe.assignment,
+        success=pipe.success,
+        pipeline=pipe,
+    )
 
 
 def run_aapsm_flow(layout: Layout, tech: Technology,
@@ -70,56 +94,30 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
                    cover: str = "auto",
                    tiles=None,
                    jobs: Optional[int] = None,
-                   cache_dir: Optional[str] = None) -> FlowResult:
+                   cache_dir: Optional[str] = None,
+                   cache=None,
+                   incremental: bool = False) -> FlowResult:
     """Detect conflicts, insert spaces, verify, and assign phases.
 
-    With ``tiles`` set, both detection passes run through the tiled
-    chip orchestrator (:func:`repro.chip.run_chip_flow`) — partitioned,
-    optionally multi-process (``jobs``), with per-tile result caching
-    (``cache_dir``).  The stitched reports are drop-in equivalents of
-    the monolithic ones, so correction and assignment are unchanged.
+    With ``tiles`` set (or ``incremental=True``), both detection passes
+    run through the tiled chip orchestrator
+    (:func:`repro.chip.run_chip_flow`) — partitioned, optionally
+    multi-process (``jobs``), with one shared per-tile result cache
+    (``cache_dir``/``cache``): tiles the correction leaves untouched
+    are hits in the post-correction pass, and a persistent cache makes
+    a re-run after an edit recompute only dirty tiles (see
+    :mod:`repro.pipeline.eco`).
     """
-    shared_cache = None
-    if tiles is not None:
-        # One cache for both detection passes: tiles the correction
-        # leaves untouched are hits in the post-correction run.
-        from ..chip import TileCache
+    if incremental and tiles is None:
+        # Pin the auto grid jobs-blind, exactly as the ECO scheduler
+        # does (resolve_eco_tiles): a warm run and a later `repro eco`
+        # against the same cache must derive the same partition
+        # regardless of worker count or machine.
+        from ..chip.partition import auto_tile_grid
 
-        shared_cache = TileCache(cache_dir)
-
-    def detect(target: Layout):
-        if tiles is None:
-            return detect_conflicts(target, tech, kind=kind, method=method)
-        from ..chip import run_chip_flow
-
-        return run_chip_flow(target, tech, tiles=tiles, jobs=jobs,
-                             cache=shared_cache, kind=kind,
-                             method=method).detection
-
-    detection = detect(layout)
-
-    conflicts = [c.key for c in detection.conflicts]
-    corrected, correction = correct_layout(layout, tech, conflicts,
-                                           cover=cover)
-
-    post = detect(corrected)
-
-    assignment: Optional[PhaseAssignment] = None
-    success = False
-    if post.phase_assignable:
-        cg, shifters, _pairs = build_layout_conflict_graph(corrected, tech,
-                                                           kind)
-        assignment = assign_phases(cg)
-        if assignment is not None:
-            problems = verify_assignment(shifters, assignment, tech)
-            success = not problems
-
-    return FlowResult(
-        layout=layout,
-        corrected_layout=corrected,
-        detection=detection,
-        correction=correction,
-        post_detection=post,
-        assignment=assignment,
-        success=success,
-    )
+        tiles = auto_tile_grid(layout)
+    config = PipelineConfig(kind=kind, method=method, cover=cover,
+                            tiles=tiles, jobs=jobs, cache_dir=cache_dir,
+                            tiled=True if incremental else None)
+    return flow_result_from_pipeline(
+        run_pipeline(layout, tech, config, cache=cache))

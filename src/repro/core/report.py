@@ -2,8 +2,12 @@
 
 Turns a :class:`repro.core.FlowResult` into a plain JSON-serializable
 dict (and back onto disk), so downstream tooling — regression tracking,
-dashboards, the paper-table generators — can consume flow outcomes
-without touching the object model.
+dashboards, CI assertions, the paper-table generators — can consume
+flow outcomes without touching the object model.
+
+Every builder takes ``timings=False`` to omit wall-clock fields: a
+seeded design then serializes byte-identically across runs, which the
+determinism regression suite asserts.
 """
 
 from __future__ import annotations
@@ -14,8 +18,8 @@ from typing import Any, Dict
 from .flow import FlowResult
 
 
-def detection_dict(report) -> Dict[str, Any]:
-    return {
+def detection_dict(report, timings: bool = True) -> Dict[str, Any]:
+    out = {
         "layout": report.layout_name,
         "graph_kind": report.graph_kind,
         "num_features": report.num_features,
@@ -33,11 +37,14 @@ def detection_dict(report) -> Dict[str, Any]:
         "tshape_conflicts": [[c.a, c.b] for c in report.tshape_conflicts],
         "tshape_features": list(report.tshape_features),
         "uncorrectable_features": list(report.uncorrectable_features),
-        "detect_seconds": report.detect_seconds,
     }
+    if timings:
+        out["detect_seconds"] = report.detect_seconds
+    return out
 
 
-def correction_dict(report) -> Dict[str, Any]:
+def correction_dict(report, timings: bool = True) -> Dict[str, Any]:
+    del timings  # no wall-clock fields yet; kept for signature symmetry
     return {
         "num_conflicts": report.num_conflicts,
         "corrected": [list(k) for k in report.corrected],
@@ -47,6 +54,11 @@ def correction_dict(report) -> Dict[str, Any]:
         "num_grid_candidates": report.num_grid_candidates,
         "max_cover": report.max_cover,
         "cover_method": report.cover_method,
+        "num_windows": report.num_windows,
+        "largest_window": report.largest_window,
+        "windows": [{"conflicts": [list(k) for k in w.conflicts],
+                     "num_lines": w.num_lines}
+                    for w in report.windows],
         "area_before": report.area_before,
         "area_after": report.area_after,
         "area_increase_pct": report.area_increase_pct,
@@ -54,25 +66,114 @@ def correction_dict(report) -> Dict[str, Any]:
     }
 
 
-def flow_result_dict(result: FlowResult) -> Dict[str, Any]:
+def chip_report_dict(chip, timings: bool = True) -> Dict[str, Any]:
+    """A :class:`repro.chip.ChipReport` as a JSON-serializable dict."""
+    out: Dict[str, Any] = {
+        "grid": {"nx": chip.nx, "ny": chip.ny, "halo": chip.halo},
+        "jobs": chip.jobs,
+        "num_tiles": chip.num_tiles,
+        "clusters": chip.clusters,
+        "boundary_duplicates_dropped": chip.boundary_duplicates_dropped,
+        "unmapped_conflicts": chip.unmapped_conflicts,
+        "cache": cache_dict(chip.cache_hits, chip.cache_misses),
+        "detection": detection_dict(chip.detection, timings=timings),
+    }
+    tiles = [{"ix": s.ix, "iy": s.iy, "polygons": s.polygons,
+              "conflicts_reported": s.conflicts_reported,
+              "from_cache": s.from_cache}
+             for s in chip.tile_stats]
+    if timings:
+        out["wall_seconds"] = chip.wall_seconds
+        out["tile_seconds"] = chip.tile_seconds
+        for stat, row in zip(chip.tile_stats, tiles):
+            row["seconds"] = stat.seconds
+    out["tiles"] = tiles
+    return out
+
+
+def cache_dict(hits: int, misses: int) -> Dict[str, Any]:
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "requests": total,
+        "hit_rate": hits / total if total else 0.0,
+    }
+
+
+def pipeline_dict(pipe, timings: bool = True) -> Dict[str, Any]:
+    """Stage-level accounting of a :class:`~repro.pipeline.PipelineResult`."""
+    hits, misses = pipe.cache_counts()
+    out: Dict[str, Any] = {
+        "tiled": pipe.tiled,
+        "front_reused_for_verify": pipe.verification.front_reused,
+        "cache": cache_dict(hits, misses),
+        "detect_cache": cache_dict(pipe.detection.cache_hits,
+                                   pipe.detection.cache_misses),
+        "verify_cache": cache_dict(pipe.verification.cache_hits,
+                                   pipe.verification.cache_misses),
+    }
+    if timings:
+        out["stage_seconds"] = pipe.stage_seconds()
+        out["wall_seconds"] = pipe.wall_seconds
+    return out
+
+
+def eco_result_dict(eco, timings: bool = True) -> Dict[str, Any]:
+    """A :class:`repro.pipeline.EcoResult` as a JSON-serializable dict."""
+    from .flow import flow_result_from_pipeline
+
+    plan = eco.plan
+    out: Dict[str, Any] = {
+        "plan": {
+            "grid": {"nx": plan.grid.nx, "ny": plan.grid.ny,
+                     "halo": plan.grid.halo},
+            "num_tiles": plan.num_tiles,
+            "dirty": [list(t) for t in plan.dirty],
+            "num_dirty": plan.num_dirty,
+            "num_clean": plan.num_clean,
+            "bbox_changed": plan.bbox_changed,
+            "features_added": len(plan.diff.added),
+            "features_removed": len(plan.diff.removed),
+        },
+        "flow": flow_result_dict(flow_result_from_pipeline(eco.result),
+                                 timings=timings),
+    }
+    if timings:
+        out["eco_seconds"] = eco.eco_seconds
+        if eco.base_seconds:
+            # Only meaningful when this invocation paid the cold base
+            # run; with a pre-warmed cache there is no baseline.
+            out["base_seconds"] = eco.base_seconds
+            out["speedup"] = eco.speedup
+    return out
+
+
+def flow_result_dict(result: FlowResult,
+                     timings: bool = True) -> Dict[str, Any]:
     """The whole flow outcome as one JSON-serializable dict."""
     out: Dict[str, Any] = {
         "design": result.layout.name,
         "success": result.success,
-        "detection": detection_dict(result.detection),
-        "correction": correction_dict(result.correction),
-        "post_detection": detection_dict(result.post_detection),
+        "detection": detection_dict(result.detection, timings=timings),
+        "correction": correction_dict(result.correction, timings=timings),
+        "post_detection": detection_dict(result.post_detection,
+                                         timings=timings),
     }
     if result.assignment is not None:
         out["phases"] = {str(k): v
                          for k, v in sorted(result.assignment.phases.items())}
+    if result.pipeline is not None:
+        out["pipeline"] = pipeline_dict(result.pipeline, timings=timings)
     return out
 
 
-def save_flow_report(result: FlowResult, path: str) -> None:
+def save_flow_report(result: FlowResult, path: str,
+                     timings: bool = True) -> None:
     """Write the flow outcome as pretty-printed JSON."""
     with open(path, "w") as f:
-        json.dump(flow_result_dict(result), f, indent=2, sort_keys=True)
+        json.dump(flow_result_dict(result, timings=timings), f,
+                  indent=2, sort_keys=True)
         f.write("\n")
 
 

@@ -19,6 +19,7 @@ from .setcover import (
     is_cover,
 )
 from .spacer import SpaceCut, apply_cuts, stretched_feature_indices
+from .windows import CorrectionWindow, cluster_windows, solve_cover_windows
 from .widening import (
     WideningMove,
     apply_widening,
@@ -54,6 +55,9 @@ __all__ = [
     "stretched_feature_indices",
     "GridLine",
     "build_grid_lines",
+    "CorrectionWindow",
+    "cluster_windows",
+    "solve_cover_windows",
     "CutRestrictions",
     "CorrectionReport",
     "plan_correction",

@@ -10,6 +10,7 @@ features, and applied as end-to-end spaces.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -17,8 +18,10 @@ from ..geometry import Interval
 from ..layout import Layout, Technology
 from ..shifters import ShifterSet, generate_shifters
 from .options import AXIS_X, AXIS_Y, CorrectionOption, conflict_options
-from .setcover import CoverSet, exact_weighted_set_cover, greedy_weighted_set_cover
+from .setcover import CoverSet, EXACT_CAP_ELEMENTS, EXACT_CAP_SETS, \
+    exact_weighted_set_cover, greedy_weighted_set_cover, use_exact_cover
 from .spacer import SpaceCut, apply_cuts, stretched_feature_indices
+from .windows import CorrectionWindow, solve_cover_windows
 
 ConflictKey = Tuple[int, int]
 
@@ -78,6 +81,15 @@ class CorrectionReport:
     area_after: int = 0
     cover_method: str = "greedy"
     stretched_critical: List[int] = field(default_factory=list)
+    windows: List[CorrectionWindow] = field(default_factory=list)
+
+    @property
+    def num_windows(self) -> int:
+        return len(self.windows)
+
+    @property
+    def largest_window(self) -> int:
+        return max((w.num_conflicts for w in self.windows), default=0)
 
     @property
     def num_cuts(self) -> int:
@@ -96,8 +108,13 @@ def build_grid_lines(options: Dict[ConflictKey, List[CorrectionOption]]
 
     Every interval endpoint is a candidate position on its axis (any
     optimal single-axis cover can be shifted to an endpoint without
-    losing coverage, so endpoints suffice).
+    losing coverage, so endpoints suffice).  A sweep over the sorted
+    endpoints keeps the active-interval set incrementally, so the cost
+    is proportional to the lines produced rather than positions x
+    options.
     """
+    import heapq
+
     per_axis: Dict[str, List[CorrectionOption]] = {AXIS_X: [], AXIS_Y: []}
     for opts in options.values():
         for opt in opts:
@@ -109,23 +126,72 @@ def build_grid_lines(options: Dict[ConflictKey, List[CorrectionOption]]
         for opt in opts:
             positions.add(opt.interval.lo)
             positions.add(opt.interval.hi)
+        by_lo = sorted(opts, key=lambda o: o.interval.lo)
+        active: List[Tuple[int, int, CorrectionOption]] = []  # heap on hi
+        i = 0
         for pos in sorted(positions):
-            covering = [o for o in opts if pos in o.interval]
-            if not covering:
+            while i < len(by_lo) and by_lo[i].interval.lo <= pos:
+                opt = by_lo[i]
+                heapq.heappush(active, (opt.interval.hi, i, opt))
+                i += 1
+            while active and active[0][0] < pos:
+                heapq.heappop(active)
+            if not active:
                 continue
             lines.append(GridLine(
                 axis=axis,
                 position=pos,
-                covers=tuple(sorted({o.conflict for o in covering})),
-                width=max(o.need for o in covering),
+                covers=tuple(sorted({o.conflict for _, _, o in active})),
+                width=max(o.need for _, _, o in active),
             ))
     return lines
 
 
+class _SnapIndex:
+    """Sorted-edge indexes answering cut-snapping queries in O(log n).
+
+    Built once per correction plan; replaces the full-layout scans the
+    snapper used to do per candidate position (the dominant cost of
+    planning on chip-scale conflict populations).
+    """
+
+    def __init__(self, layout: Layout):
+        xs: List[int] = []
+        ys: List[int] = []
+        vx1: List[int] = []
+        vx2: List[int] = []
+        hy1: List[int] = []
+        hy2: List[int] = []
+        for rect in layout.features:
+            xs += (rect.x1, rect.x2)
+            ys += (rect.y1, rect.y2)
+            if rect.height >= rect.width:
+                vx1.append(rect.x1)
+                vx2.append(rect.x2)
+            else:
+                hy1.append(rect.y1)
+                hy2.append(rect.y2)
+        self._edges = {AXIS_X: sorted(set(xs)), AXIS_Y: sorted(set(ys))}
+        self._lo = {AXIS_X: sorted(vx1), AXIS_Y: sorted(hy1)}
+        self._hi = {AXIS_X: sorted(vx2), AXIS_Y: sorted(hy2)}
+
+    def edges_in(self, axis: str, band: Interval) -> List[int]:
+        """Feature edge coordinates on this axis within the band."""
+        edges = self._edges[axis]
+        i = bisect_left(edges, band.lo)
+        j = bisect_right(edges, band.hi)
+        return edges[i:j]
+
+    def stretched_count(self, axis: str, position: int) -> int:
+        """How many critical-axis features a cut here would widen."""
+        return (bisect_left(self._lo[axis], position)
+                - bisect_right(self._hi[axis], position))
+
+
 def _snap_cut(layout: Layout, line: GridLine,
               options: Dict[ConflictKey, List[CorrectionOption]],
-              restrictions: Optional[CutRestrictions] = None
-              ) -> SpaceCut:
+              restrictions: Optional[CutRestrictions] = None,
+              index: Optional[_SnapIndex] = None) -> SpaceCut:
     """Snap a chosen grid-line within its legal band so the cut widens
     as few critical features as possible while still covering the same
     conflicts."""
@@ -137,22 +203,18 @@ def _snap_cut(layout: Layout, line: GridLine,
                     opt.interval)
     assert band is not None and line.position in band
 
+    if index is None:
+        index = _SnapIndex(layout)
     candidates: Set[int] = {band.lo, band.hi, line.position}
-    for rect in layout.features:
-        lo, hi = ((rect.x1, rect.x2) if line.axis == AXIS_X
-                  else (rect.y1, rect.y2))
-        for edge in (lo, hi):
-            if edge in band:
-                candidates.add(edge)
+    candidates.update(index.edges_in(line.axis, band))
     if restrictions is not None:
         candidates = {c for c in candidates
                       if restrictions.allows(line.axis, c)}
 
     def badness(pos: int) -> Tuple[int, int]:
-        cut = SpaceCut(axis=line.axis, position=pos, width=line.width)
-        return (len(stretched_feature_indices(layout, [cut])), pos)
+        return (index.stretched_count(line.axis, pos), pos)
 
-    best = min(sorted(candidates), key=badness)
+    best = min(candidates, key=badness)
     return SpaceCut(axis=line.axis, position=best, width=line.width)
 
 
@@ -160,8 +222,8 @@ def plan_correction(layout: Layout, tech: Technology,
                     conflicts: Sequence[ConflictKey],
                     shifters: Optional[ShifterSet] = None,
                     cover: str = "auto",
-                    restrictions: Optional[CutRestrictions] = None
-                    ) -> CorrectionReport:
+                    restrictions: Optional[CutRestrictions] = None,
+                    windowed: bool = True) -> CorrectionReport:
     """Choose end-to-end cuts correcting the given conflicts.
 
     Args:
@@ -169,6 +231,14 @@ def plan_correction(layout: Layout, tech: Technology,
             small enough to finish instantly, greedy otherwise).
         restrictions: optional no-cut regions (hard macros etc.);
             conflicts only fixable inside them become uncorrectable.
+        windowed: solve the set cover per independent conflict window
+            (see :mod:`repro.correction.windows`) and merge the chosen
+            cuts chip-wide; ``False`` solves the whole instance in one
+            piece (the pre-windowing path, kept as the equivalence
+            baseline).  Greedy covers produce identical cuts either
+            way; exact covers produce identical total width, with the
+            same cut set whenever the optimum is tie-free (ties pick
+            an equally optimal, deterministic representative).
     """
     if shifters is None:
         shifters = generate_shifters(layout, tech)
@@ -193,22 +263,26 @@ def plan_correction(layout: Layout, tech: Technology,
     report.num_grid_candidates = len(lines)
     report.max_cover = max(len(line.covers) for line in lines)
 
-    cover_sets = [CoverSet(id=i, elements=frozenset(line.covers),
-                           weight=line.width)
-                  for i, line in enumerate(lines)]
-    use_exact = cover == "exact" or (
-        cover == "auto" and len(correctable) <= 16 and len(cover_sets) <= 32)
-    if use_exact:
-        chosen = exact_weighted_set_cover(correctable, cover_sets,
-                                          max_elements=64, max_sets=64)
-        report.cover_method = "exact"
+    if windowed:
+        chosen, report.cover_method, report.windows = \
+            solve_cover_windows(correctable, lines, cover=cover)
     else:
-        chosen = greedy_weighted_set_cover(correctable, cover_sets)
-        report.cover_method = "greedy"
+        cover_sets = [CoverSet(id=i, elements=frozenset(line.covers),
+                               weight=line.width)
+                      for i, line in enumerate(lines)]
+        if use_exact_cover(cover, len(correctable), len(cover_sets)):
+            chosen = exact_weighted_set_cover(
+                correctable, cover_sets,
+                max_elements=EXACT_CAP_ELEMENTS, max_sets=EXACT_CAP_SETS)
+            report.cover_method = "exact"
+        else:
+            chosen = greedy_weighted_set_cover(correctable, cover_sets)
+            report.cover_method = "greedy"
 
+    snap_index = _SnapIndex(layout)
     for set_id in sorted(chosen):
         report.cuts.append(_snap_cut(layout, lines[set_id], options,
-                                     restrictions))
+                                     restrictions, index=snap_index))
     report.corrected = sorted(correctable)
 
     total_x = sum(c.width for c in report.cuts if c.axis == AXIS_X)
@@ -232,10 +306,11 @@ def correct_layout(layout: Layout, tech: Technology,
                    conflicts: Sequence[ConflictKey],
                    shifters: Optional[ShifterSet] = None,
                    cover: str = "auto",
-                   restrictions: Optional[CutRestrictions] = None
+                   restrictions: Optional[CutRestrictions] = None,
+                   windowed: bool = True
                    ) -> Tuple[Layout, CorrectionReport]:
     """Plan and apply the correction; returns the modified layout."""
     report = plan_correction(layout, tech, conflicts, shifters, cover,
-                             restrictions)
+                             restrictions, windowed=windowed)
     modified = apply_cuts(layout, report.cuts)
     return modified, report

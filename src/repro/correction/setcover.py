@@ -29,6 +29,25 @@ class UncoverableError(ValueError):
     """Raised when some universe element appears in no set."""
 
 
+# Shared "auto" policy: exact cover only when the instance is small
+# enough to finish instantly.  One definition, used by both the
+# windowed and the whole-instance correction planners so they always
+# agree on the solver.
+AUTO_EXACT_MAX_ELEMENTS = 16
+AUTO_EXACT_MAX_SETS = 32
+# Hard caps of the branch-and-bound itself (per instance it is run on).
+EXACT_CAP_ELEMENTS = 64
+EXACT_CAP_SETS = 64
+
+
+def use_exact_cover(cover: str, num_elements: int, num_sets: int) -> bool:
+    """Resolve a cover mode ("exact"/"greedy"/"auto") for an instance."""
+    if cover == "exact":
+        return True
+    return (cover == "auto" and num_elements <= AUTO_EXACT_MAX_ELEMENTS
+            and num_sets <= AUTO_EXACT_MAX_SETS)
+
+
 def _check_coverable(universe: Set[Hashable],
                      sets: Sequence[CoverSet]) -> None:
     covered = set()

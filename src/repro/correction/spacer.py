@@ -93,15 +93,23 @@ def stretched_feature_indices(layout: Layout,
     feature would widen it.  The correction flow uses this to snap cut
     positions away from such features when the interval allows, and the
     report surfaces any that remain.
+
+    A feature offends when any cut position falls strictly inside its
+    critical-axis span, answered per feature with one binary search
+    over the sorted cut positions — O(n log cuts), not O(n x cuts).
     """
+    x_cuts = sorted(c.position for c in cuts if c.axis == "x")
+    y_cuts = sorted(c.position for c in cuts if c.axis == "y")
+
+    def any_inside(positions: List[int], lo: int, hi: int) -> bool:
+        i = bisect.bisect_right(positions, lo)
+        return i < len(positions) and positions[i] < hi
+
     offenders: List[int] = []
     for index, rect in enumerate(layout.features):
-        vertical = rect.height >= rect.width
-        for cut in cuts:
-            if cut.axis == "x" and vertical and rect.x1 < cut.position < rect.x2:
+        if rect.height >= rect.width:
+            if any_inside(x_cuts, rect.x1, rect.x2):
                 offenders.append(index)
-                break
-            if cut.axis == "y" and not vertical and rect.y1 < cut.position < rect.y2:
-                offenders.append(index)
-                break
+        elif any_inside(y_cuts, rect.y1, rect.y2):
+            offenders.append(index)
     return offenders

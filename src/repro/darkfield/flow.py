@@ -26,8 +26,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..correction.flow import CorrectionReport
 from ..correction.options import rect_pair_options
-from ..correction.setcover import CoverSet, greedy_weighted_set_cover
 from ..correction.spacer import SpaceCut, apply_cuts
+from ..correction.windows import solve_cover_windows
 from ..geometry import neighbor_pairs
 from ..graph import (
     GeomGraph,
@@ -164,10 +164,8 @@ def correct_darkfield_conflicts(layout: Layout, tech: Technology,
     lines = build_grid_lines({k: options[k] for k in correctable})
     report.num_grid_candidates = len(lines)
     report.max_cover = max(len(line.covers) for line in lines)
-    cover_sets = [CoverSet(id=i, elements=frozenset(line.covers),
-                           weight=line.width)
-                  for i, line in enumerate(lines)]
-    chosen = greedy_weighted_set_cover(correctable, cover_sets)
+    chosen, report.cover_method, report.windows = solve_cover_windows(
+        correctable, lines, cover="greedy")
     report.cuts = [SpaceCut(axis=lines[i].axis,
                             position=lines[i].position,
                             width=lines[i].width)

@@ -63,10 +63,12 @@ def assign_phases(conflict_graph) -> Optional[PhaseAssignment]:
 
 
 def verify_assignment(shifters: ShifterSet, assignment: PhaseAssignment,
-                      tech: Technology) -> List[str]:
+                      tech: Technology, pairs=None) -> List[str]:
     """Check Conditions 1 and 2 directly from geometry.
 
     Returns human-readable violation strings (empty = valid).
+    ``pairs`` accepts the layout's already-computed overlap pairs (the
+    pipeline's front end); they are recomputed from geometry otherwise.
     """
     problems: List[str] = []
     for sa, sb in shifters.feature_pairs():
@@ -75,7 +77,9 @@ def verify_assignment(shifters: ShifterSet, assignment: PhaseAssignment,
                 f"condition1: feature {sa.feature_index} shifters "
                 f"{sa.id}/{sb.id} share phase "
                 f"{assignment.phases[sa.id]}")
-    for pair in find_overlap_pairs(shifters, tech):
+    if pairs is None:
+        pairs = find_overlap_pairs(shifters, tech)
+    for pair in pairs:
         if assignment.phases[pair.a] != assignment.phases[pair.b]:
             problems.append(
                 f"condition2: overlapping shifters {pair.a}/{pair.b} "

@@ -1,0 +1,150 @@
+"""Artifacts flowing between the staged pipeline's stages.
+
+Each stage consumes and produces one of these instead of mutating
+whole-chip state: the front end (shifter generation) feeds detection,
+correction, stitching, and verification; detection artifacts carry the
+tile-addressed :class:`~repro.chip.ChipReport` alongside the stitched
+chip-level view; every artifact records its own wall-clock so the
+pipeline can report a per-stage timing breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..chip import ChipReport
+from ..conflict import DetectionReport
+from ..correction import CorrectionReport
+from ..layout import Layout
+from ..phase import PhaseAssignment
+from ..shifters import OverlapPair, ShifterSet
+
+STAGE_SHIFTERS = "shifters"
+STAGE_DETECT = "detect"
+STAGE_CORRECT = "correct"
+STAGE_VERIFY = "verify"
+STAGE_ASSIGN = "assign"
+
+STAGE_ORDER = (STAGE_SHIFTERS, STAGE_DETECT, STAGE_CORRECT,
+               STAGE_VERIFY, STAGE_ASSIGN)
+
+
+@dataclass
+class FrontEnd:
+    """Shifter-generation output for one layout revision.
+
+    Reused by every stage working on the same revision: graph builds,
+    correction planning, chip-level stitching, and the geometric phase
+    verifier.
+    """
+
+    layout: Layout
+    shifters: ShifterSet
+    pairs: List[OverlapPair]
+    seconds: float = 0.0
+
+
+@dataclass
+class DetectionArtifact:
+    """One detection pass (pre- or post-correction).
+
+    ``chip`` is present when the pass ran tiled; ``cache_hits`` /
+    ``cache_misses`` are this pass's own deltas, so the ECO scheduler
+    can assert exactly which tiles recomputed per pass.
+    """
+
+    report: DetectionReport
+    front: FrontEnd
+    chip: Optional[ChipReport] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    seconds: float = 0.0
+    front_reused: bool = False
+
+    @property
+    def tiled(self) -> bool:
+        return self.chip is not None
+
+
+@dataclass
+class CorrectionArtifact:
+    """Window-scoped correction plan plus the corrected layout."""
+
+    report: CorrectionReport
+    corrected_layout: Layout
+    seconds: float = 0.0
+
+    @property
+    def unchanged(self) -> bool:
+        """True when no cuts were applied (geometry is unmodified)."""
+        return not self.report.cuts
+
+
+@dataclass
+class AssignmentArtifact:
+    """Phase assignment outcome plus the geometric verifier verdict."""
+
+    assignment: Optional[PhaseAssignment] = None
+    problems: List[str] = field(default_factory=list)
+    success: bool = False
+    seconds: float = 0.0
+
+
+@dataclass
+class PipelineResult:
+    """Everything one run of the staged pipeline produced."""
+
+    layout: Layout
+    front: FrontEnd
+    detection: DetectionArtifact
+    correction: CorrectionArtifact
+    verification: DetectionArtifact
+    phase: AssignmentArtifact
+    wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Flat views (FlowResult-compatible field names)
+    # ------------------------------------------------------------------
+    @property
+    def corrected_layout(self) -> Layout:
+        return self.correction.corrected_layout
+
+    @property
+    def post_detection(self) -> DetectionReport:
+        return self.verification.report
+
+    @property
+    def assignment(self) -> Optional[PhaseAssignment]:
+        return self.phase.assignment
+
+    @property
+    def success(self) -> bool:
+        return self.phase.success
+
+    @property
+    def tiled(self) -> bool:
+        return self.detection.tiled
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage wall-clock, keyed by stage name."""
+        return {
+            STAGE_SHIFTERS: self.front.seconds,
+            STAGE_DETECT: self.detection.seconds,
+            STAGE_CORRECT: self.correction.seconds,
+            STAGE_VERIFY: self.verification.seconds,
+            STAGE_ASSIGN: self.phase.seconds,
+        }
+
+    def cache_counts(self) -> Tuple[int, int]:
+        """(hits, misses) summed over both detection passes."""
+        hits = self.detection.cache_hits + self.verification.cache_hits
+        misses = (self.detection.cache_misses
+                  + self.verification.cache_misses)
+        return hits, misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits, misses = self.cache_counts()
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,211 @@
+"""The staged AAPSM pipeline: explicit stages over shared artifacts.
+
+The paper's flow — detect, correct, re-verify, assign — as five
+explicit stages::
+
+    shifters -> detect -> correct -> verify -> assign
+
+Each stage is an ordinary function from artifacts to artifacts
+(:mod:`repro.pipeline.artifacts`), so callers can run the whole thing
+via :func:`run_pipeline` or drive stages individually (the ECO
+scheduler re-enters the pipeline with a warm tile cache).  Compared to
+the old monolithic ``run_aapsm_flow`` body:
+
+* shifter generation runs **once per layout revision** and is shared
+  by detection, correction planning, stitching, and the phase
+  verifier (previously regenerated up to four times);
+* both detection passes can run tiled through
+  :func:`repro.chip.run_chip_flow` with one shared
+  :class:`~repro.chip.TileCache`, and each pass records its own cache
+  hit/miss deltas — the accounting the dirty-tile ECO scheduler
+  asserts on;
+* correction is window-scoped: the weighted set cover is solved per
+  independent conflict window and the cuts merged chip-wide
+  (:mod:`repro.correction.windows`), matching the whole-instance
+  result exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..chip import TileCache, run_chip_flow
+from ..chip.partition import TileSpec
+from ..conflict import (
+    PCG,
+    build_layout_conflict_graph,
+    detect_conflicts,
+    layout_front_end,
+)
+from ..correction import CutRestrictions, apply_cuts, plan_correction
+from ..graph import METHOD_GADGET
+from ..layout import Layout, Technology
+from ..phase import assign_phases, verify_assignment
+from .artifacts import (
+    AssignmentArtifact,
+    CorrectionArtifact,
+    DetectionArtifact,
+    FrontEnd,
+    PipelineResult,
+)
+
+
+@dataclass
+class PipelineConfig:
+    """Everything that parameterises a pipeline run.
+
+    ``tiled`` forces the tiled path even with an automatic grid
+    (``tiles=None``); by default the pipeline tiles exactly when a
+    grid spec is given, preserving ``run_aapsm_flow`` semantics.
+    """
+
+    kind: str = PCG
+    method: str = METHOD_GADGET
+    cover: str = "auto"
+    tiles: TileSpec = None
+    jobs: Optional[int] = None
+    cache_dir: Optional[str] = None
+    halo: Optional[int] = None
+    restrictions: Optional[CutRestrictions] = None
+    tiled: Optional[bool] = None
+
+    @property
+    def is_tiled(self) -> bool:
+        if self.tiled is not None:
+            return self.tiled
+        return self.tiles is not None
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+def stage_front_end(layout: Layout, tech: Technology) -> FrontEnd:
+    """Stage 1 — shifter generation for one layout revision."""
+    start = time.perf_counter()
+    shifters, pairs = layout_front_end(layout, tech)
+    return FrontEnd(layout=layout, shifters=shifters, pairs=pairs,
+                    seconds=time.perf_counter() - start)
+
+
+def stage_detect(front: FrontEnd, tech: Technology,
+                 config: PipelineConfig,
+                 cache: Optional[TileCache] = None) -> DetectionArtifact:
+    """Stage 2/4 — conflict detection on one layout revision.
+
+    Tiled when the config says so (partition -> execute -> stitch with
+    the shared cache); monolithic otherwise, reusing the front end for
+    the graph build.
+    """
+    start = time.perf_counter()
+    if config.is_tiled:
+        chip = run_chip_flow(front.layout, tech, tiles=config.tiles,
+                             jobs=config.jobs, cache=cache,
+                             kind=config.kind, method=config.method,
+                             halo=config.halo, shifters=front.shifters)
+        return DetectionArtifact(
+            report=chip.detection, front=front, chip=chip,
+            cache_hits=chip.cache_hits, cache_misses=chip.cache_misses,
+            seconds=time.perf_counter() - start)
+    prebuilt = build_layout_conflict_graph(
+        front.layout, tech, config.kind,
+        front=(front.shifters, front.pairs))
+    report = detect_conflicts(front.layout, tech, kind=config.kind,
+                              method=config.method, prebuilt=prebuilt)
+    return DetectionArtifact(report=report, front=front,
+                             seconds=time.perf_counter() - start)
+
+
+def stage_correct(detection: DetectionArtifact, tech: Technology,
+                  config: PipelineConfig) -> CorrectionArtifact:
+    """Stage 3 — window-scoped correction, cuts merged chip-wide."""
+    start = time.perf_counter()
+    front = detection.front
+    conflicts = [c.key for c in detection.report.conflicts]
+    report = plan_correction(front.layout, tech, conflicts,
+                             shifters=front.shifters, cover=config.cover,
+                             restrictions=config.restrictions,
+                             windowed=True)
+    corrected = apply_cuts(front.layout, report.cuts)
+    return CorrectionArtifact(report=report, corrected_layout=corrected,
+                              seconds=time.perf_counter() - start)
+
+
+def stage_verify(correction: CorrectionArtifact, tech: Technology,
+                 config: PipelineConfig,
+                 base_front: FrontEnd,
+                 cache: Optional[TileCache] = None) -> DetectionArtifact:
+    """Stage 4 — re-detect on the corrected layout.
+
+    When correction applied no cuts the geometry is untouched, so the
+    base revision's shifter pass is reused instead of regenerated.
+    """
+    start = time.perf_counter()
+    if correction.unchanged:
+        front = FrontEnd(layout=correction.corrected_layout,
+                         shifters=base_front.shifters,
+                         pairs=base_front.pairs, seconds=0.0)
+        reused = True
+    else:
+        front = stage_front_end(correction.corrected_layout, tech)
+        reused = False
+    artifact = stage_detect(front, tech, config, cache=cache)
+    artifact.front_reused = reused
+    artifact.seconds = time.perf_counter() - start
+    return artifact
+
+
+def stage_assign(verification: DetectionArtifact, tech: Technology,
+                 config: PipelineConfig) -> AssignmentArtifact:
+    """Stage 5 — 0/180 assignment plus the geometric verifier."""
+    start = time.perf_counter()
+    artifact = AssignmentArtifact()
+    if verification.report.phase_assignable:
+        front = verification.front
+        cg, _shifters, _pairs = build_layout_conflict_graph(
+            front.layout, tech, config.kind,
+            front=(front.shifters, front.pairs))
+        artifact.assignment = assign_phases(cg)
+        if artifact.assignment is not None:
+            artifact.problems = verify_assignment(
+                front.shifters, artifact.assignment, tech,
+                pairs=front.pairs)
+            artifact.success = not artifact.problems
+    artifact.seconds = time.perf_counter() - start
+    return artifact
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+def run_pipeline(layout: Layout, tech: Technology,
+                 config: Optional[PipelineConfig] = None,
+                 cache: Optional[TileCache] = None) -> PipelineResult:
+    """Run the full staged pipeline on one layout.
+
+    ``cache`` shares one tile cache across both detection passes *and*
+    across calls — pass the same cache for a base and an edited run
+    and only dirty tiles recompute (the ECO warm path).
+    """
+    config = config or PipelineConfig()
+    start = time.perf_counter()
+    if cache is None and config.is_tiled:
+        cache = TileCache(config.cache_dir)
+
+    front = stage_front_end(layout, tech)
+    detection = stage_detect(front, tech, config, cache=cache)
+    correction = stage_correct(detection, tech, config)
+    verification = stage_verify(correction, tech, config, front,
+                                cache=cache)
+    phase = stage_assign(verification, tech, config)
+
+    return PipelineResult(
+        layout=layout,
+        front=front,
+        detection=detection,
+        correction=correction,
+        verification=verification,
+        phase=phase,
+        wall_seconds=time.perf_counter() - start,
+    )

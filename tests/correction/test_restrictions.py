@@ -76,3 +76,83 @@ class TestCutRestrictions:
                                  restrictions=restricted)
         for c in report.cuts:
             assert restricted.allows(c.axis, c.position)
+
+
+class TestForbiddenBandEndpoints:
+    """Closed-interval semantics at band boundaries: a cut *at* the
+    edge of a forbidden band is banned; one DB-unit outside is legal."""
+
+    def test_band_endpoint_is_inclusive(self):
+        r = CutRestrictions(forbidden_x=(Interval(100, 200),))
+        assert not r.allows("x", 100)
+        assert not r.allows("x", 200)
+        assert r.allows("x", 99)
+        assert r.allows("x", 201)
+
+    def test_degenerate_point_band(self):
+        r = CutRestrictions(forbidden_y=(Interval(50, 50),))
+        assert not r.allows("y", 50)
+        assert r.allows("y", 49)
+        assert r.allows("y", 51)
+
+    def _corridor(self, lay, tech):
+        """The single cut's legal band (its grid-line interval)."""
+        from repro.correction import conflict_options
+        from repro.shifters import generate_shifters
+
+        conflicts = conflicts_of(lay, tech)
+        shifters = generate_shifters(lay, tech)
+        options = conflict_options(conflicts, shifters, tech)
+        (opt,) = [o for opts in options.values() for o in opts]
+        return conflicts, opt
+
+    def test_band_covering_one_cut_endpoint_still_plans(self, tech):
+        """Forbidding exactly the corridor's low endpoint leaves the
+        rest of the interval legal: the conflict stays correctable and
+        the cut lands off the banned point."""
+        lay = figure1_layout()
+        conflicts, opt = self._corridor(lay, tech)
+        axis = opt.axis
+        band = Interval(opt.interval.lo, opt.interval.lo)
+        restricted = CutRestrictions(
+            forbidden_x=(band,) if axis == "x" else (),
+            forbidden_y=(band,) if axis == "y" else ())
+        report = plan_correction(lay, tech, conflicts,
+                                 restrictions=restricted)
+        assert report.uncorrectable == []
+        assert report.num_cuts == 1
+        assert report.cuts[0].position != opt.interval.lo
+
+    def test_band_covering_both_endpoints_interior_survives(self, tech):
+        """Candidate grid lines live at interval *endpoints*; banning
+        both endpoints of a one-option conflict kills every candidate
+        line, so the conflict is reported uncorrectable (cuts are never
+        silently moved into the interior)."""
+        lay = figure1_layout()
+        conflicts, opt = self._corridor(lay, tech)
+        axis = opt.axis
+        bands = (Interval(opt.interval.lo, opt.interval.lo),
+                 Interval(opt.interval.hi, opt.interval.hi))
+        restricted = CutRestrictions(
+            forbidden_x=bands if axis == "x" else (),
+            forbidden_y=bands if axis == "y" else ())
+        report = plan_correction(lay, tech, conflicts,
+                                 restrictions=restricted)
+        assert report.uncorrectable == conflicts
+        assert report.cuts == []
+
+    def test_band_abutting_corridor_changes_nothing(self, tech):
+        """A forbidden band that *touches* the corridor endpoint from
+        outside (band.hi == corridor.lo - 1) must not perturb the plan."""
+        lay = figure1_layout()
+        conflicts, opt = self._corridor(lay, tech)
+        axis = opt.axis
+        band = Interval(opt.interval.lo - 500, opt.interval.lo - 1)
+        restricted = CutRestrictions(
+            forbidden_x=(band,) if axis == "x" else (),
+            forbidden_y=(band,) if axis == "y" else ())
+        base = plan_correction(lay, tech, conflicts)
+        report = plan_correction(lay, tech, conflicts,
+                                 restrictions=restricted)
+        assert [(c.axis, c.position, c.width) for c in report.cuts] \
+            == [(c.axis, c.position, c.width) for c in base.cuts]

@@ -113,3 +113,51 @@ class TestValidation:
         sets = make_sets([({1, 2}, 1), ({3}, 1)])
         assert is_cover({1, 2, 3}, sets, [0, 1])
         assert not is_cover({1, 2, 3}, sets, [0])
+
+
+class TestTieBreaking:
+    """Equal-weight cover sets must resolve deterministically: ties go
+    to the lowest set id, at every solver level."""
+
+    def test_greedy_equal_everything_picks_lowest_id(self):
+        sets = make_sets([({1, 2}, 4), ({1, 2}, 4), ({1, 2}, 4)])
+        assert greedy_weighted_set_cover({1, 2}, sets) == [0]
+
+    def test_greedy_weight_breaks_ratio_tie(self):
+        # Same weight-per-new-element (2/1 vs 4/2): the lighter set wins.
+        sets = make_sets([({1}, 2), ({1, 2}, 4), ({2}, 2)])
+        chosen = greedy_weighted_set_cover({1, 2}, sets)
+        assert chosen == [0, 2]
+
+    def test_exact_equal_optima_deterministic(self):
+        # Two disjoint optimal covers of identical cost.
+        sets = make_sets([({1}, 3), ({2}, 3), ({1}, 3), ({2}, 3)])
+        first = exact_weighted_set_cover({1, 2}, sets)
+        assert first == [0, 1]
+        for _ in range(5):
+            assert exact_weighted_set_cover({1, 2}, sets) == first
+
+    def test_exact_keeps_greedy_incumbent_on_ties(self):
+        # The branch-and-bound only replaces its incumbent on *strict*
+        # improvement, so among equal optima it returns greedy's choice.
+        sets = make_sets([({1, 2}, 6), ({1}, 3), ({2}, 3)])
+        greedy = greedy_weighted_set_cover({1, 2}, sets)
+        exact = exact_weighted_set_cover({1, 2}, sets)
+        assert sorted(exact) == sorted(greedy)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_tie_instances_are_stable(self, seed):
+        """All-equal weights maximise tie pressure; the chosen cover
+        must be identical run to run (and a valid cover)."""
+        rng = random.Random(seed)
+        universe = set(range(8))
+        specs = [(set(rng.sample(sorted(universe),
+                                 rng.randint(1, 4))), 5)
+                 for _ in range(10)]
+        covered = set().union(*(els for els, _ in specs))
+        specs.append((universe - covered or {0}, 5))
+        sets = make_sets(specs)
+        first = greedy_weighted_set_cover(universe, sets)
+        for _ in range(3):
+            assert greedy_weighted_set_cover(universe, sets) == first
+        assert is_cover(universe, sets, first)

@@ -1,0 +1,171 @@
+"""Dirty-tile ECO scheduling: diff, plan, and end-to-end equivalence.
+
+The acceptance contract: editing a single feature and running the
+incremental pipeline produces a DetectionReport, cut set, and phase
+assignment identical to a cold full run on the edited layout, while
+recomputing only the tiles whose capture window intersects the edit
+(asserted via cache hit counts).
+"""
+
+import json
+
+import pytest
+
+from repro.bench import build_design
+from repro.chip import TileCache
+from repro.core import flow_result_dict, flow_result_from_pipeline
+from repro.geometry import Rect
+from repro.layout import Layout, layout_from_rects
+from repro.pipeline import (
+    PipelineConfig,
+    diff_layouts,
+    isolated_interior_features,
+    perturb_feature,
+    plan_eco,
+    propose_eco_edit,
+    run_eco_flow,
+    run_pipeline,
+)
+
+# The >= 3 benchmark layouts of the ECO equivalence obligation, with
+# grids coarse enough that the edit leaves clean tiles.
+ECO_CASES = [("D1", 2), ("D2", 3), ("D3", 4)]
+
+
+def canonical(pipe) -> str:
+    """The domain outcome (detection/cuts/phases), cache stats excluded."""
+    data = flow_result_dict(flow_result_from_pipeline(pipe),
+                            timings=False)
+    data.pop("pipeline", None)
+    return json.dumps(data, sort_keys=True)
+
+
+class TestDiff:
+    def test_identical_layouts(self):
+        lay = layout_from_rects([Rect(0, 0, 100, 800)])
+        diff = diff_layouts(lay, lay.copy())
+        assert diff.unchanged
+
+    def test_single_edit(self):
+        base = layout_from_rects([Rect(0, 0, 100, 800),
+                                  Rect(500, 0, 600, 800)])
+        edited = perturb_feature(base, 1, delta=10)
+        diff = diff_layouts(base, edited)
+        assert len(diff.added) == 1
+        assert len(diff.removed) == 1
+        assert diff.removed == ((500, 0, 600, 800),)
+
+    def test_duplicate_rects_counted_as_multiset(self):
+        r = Rect(0, 0, 100, 800)
+        base = layout_from_rects([r, r])
+        edited = layout_from_rects([r])
+        diff = diff_layouts(base, edited)
+        assert len(diff.removed) == 1
+
+
+class TestEditHelpers:
+    @pytest.mark.parametrize("name", ["D1", "D2"])
+    def test_proposed_edit_is_conflict_neutral(self, tech, name):
+        """The canonical edit never touches the conflict set — the
+        property the ECO benchmarks rely on."""
+        from repro.conflict import detect_conflicts
+
+        base = build_design(name)
+        edited, index = propose_eco_edit(base, tech)
+        assert edited.num_polygons == base.num_polygons
+        assert edited.bbox() == base.bbox()
+        before = detect_conflicts(base, tech)
+        after = detect_conflicts(edited, tech)
+        assert ([c.key for c in before.conflicts]
+                == [c.key for c in after.conflicts])
+
+    def test_isolated_features_have_no_pairs(self, tech):
+        from repro.conflict import layout_front_end
+
+        lay = build_design("D2")
+        shifters, pairs = layout_front_end(lay, tech)
+        involved = {shifters[p.a].feature_index for p in pairs} \
+            | {shifters[p.b].feature_index for p in pairs}
+        assert not set(isolated_interior_features(lay, tech)) & involved
+
+    def test_empty_layout_has_no_candidates(self, tech):
+        with pytest.raises(ValueError):
+            propose_eco_edit(Layout(), tech)
+
+
+class TestPlanEco:
+    def test_unchanged_layout_all_clean(self, tech):
+        lay = build_design("D2")
+        plan = plan_eco(lay, lay.copy(), tech, tiles=3)
+        assert plan.num_dirty == 0
+        assert plan.num_clean == plan.num_tiles == 9
+        assert plan.diff.unchanged
+
+    def test_edit_dirties_only_capture_windows(self, tech):
+        lay = build_design("D3")
+        edited, index = propose_eco_edit(lay, tech)
+        plan = plan_eco(lay, edited, tech, tiles=4)
+        assert 0 < plan.num_dirty < plan.num_tiles
+        # Every dirty tile's capture window intersects the edit.
+        rect = lay.features[index]
+        for ix, iy in plan.dirty:
+            x1, y1, x2, y2 = plan.grid.tile_at(ix, iy).bounds
+            assert rect.x1 <= x2 and x1 <= rect.x2
+            assert rect.y1 <= y2 and y1 <= rect.y2
+
+    def test_bbox_change_dirties_everything(self, tech):
+        lay = build_design("D1")
+        box = lay.bbox()
+        edited = lay.copy()
+        edited.add_feature(Rect(box.x2 + 2000, box.y1,
+                                box.x2 + 2100, box.y1 + 800))
+        plan = plan_eco(lay, edited, tech, tiles=2)
+        assert plan.bbox_changed
+        assert plan.num_dirty == plan.num_tiles
+
+
+class TestEcoEquivalence:
+    @pytest.mark.parametrize("name,tiles", ECO_CASES)
+    def test_eco_equals_cold_run(self, tech, name, tiles):
+        base = build_design(name)
+        edited, _index = propose_eco_edit(base, tech)
+        cfg = PipelineConfig(tiles=tiles)
+
+        cold = run_pipeline(edited, tech, cfg, cache=TileCache())
+        eco = run_eco_flow(base, edited, tech,
+                           config=PipelineConfig(tiles=tiles))
+
+        # Identical DetectionReport, cut set, and phase assignment.
+        assert canonical(eco.result) == canonical(cold)
+
+        # Only the dirty tiles recomputed in the detect pass...
+        assert eco.result.detection.cache_misses == eco.plan.num_dirty
+        assert eco.result.detection.cache_hits == eco.plan.num_clean
+        # ...and only the corrected-layout dirty tiles in the verify
+        # pass (the conflict-neutral edit keeps the cut set, so clean
+        # tiles of the corrected layout are base-run cache hits too).
+        post_plan = plan_eco(eco.base.corrected_layout,
+                             eco.result.corrected_layout, tech,
+                             tiles=tiles)
+        assert (eco.result.verification.cache_misses
+                == post_plan.num_dirty)
+
+    def test_clean_tiles_exist_on_biggest_case(self, tech):
+        """Guard: the equivalence above must actually exercise splicing
+        (an edit that dirties every tile would pass vacuously)."""
+        name, tiles = ECO_CASES[-1]
+        base = build_design(name)
+        edited, _ = propose_eco_edit(base, tech)
+        plan = plan_eco(base, edited, tech, tiles=tiles)
+        assert plan.num_clean > 0
+
+    def test_prewarmed_cache_skips_base_run(self, tech):
+        base = build_design("D1")
+        edited, _ = propose_eco_edit(base, tech)
+        cache = TileCache()
+        run_pipeline(base, tech, PipelineConfig(tiles=2), cache=cache)
+        eco = run_eco_flow(base, edited, tech,
+                           config=PipelineConfig(tiles=2),
+                           cache=cache, warm_base=False)
+        assert eco.base is None
+        assert eco.result.detection.cache_misses == eco.plan.num_dirty

@@ -1,0 +1,125 @@
+"""Staged-pipeline tests: stages, artifacts, and reuse guarantees."""
+
+import pytest
+
+from repro.chip import TileCache
+from repro.core import run_aapsm_flow
+from repro.layout import (
+    GeneratorParams,
+    figure1_layout,
+    grating_layout,
+    standard_cell_layout,
+)
+from repro.pipeline import (
+    STAGE_ORDER,
+    PipelineConfig,
+    run_pipeline,
+    stage_assign,
+    stage_correct,
+    stage_detect,
+    stage_front_end,
+    stage_verify,
+)
+
+
+class TestStages:
+    def test_stages_compose_like_run_pipeline(self, tech):
+        """Driving the stages by hand reproduces run_pipeline."""
+        lay = figure1_layout()
+        cfg = PipelineConfig()
+        front = stage_front_end(lay, tech)
+        detection = stage_detect(front, tech, cfg)
+        correction = stage_correct(detection, tech, cfg)
+        verification = stage_verify(correction, tech, cfg, front)
+        phase = stage_assign(verification, tech, cfg)
+
+        whole = run_pipeline(lay, tech, cfg)
+        assert phase.success == whole.success
+        assert ([c.key for c in detection.report.conflicts]
+                == [c.key for c in whole.detection.report.conflicts])
+        assert (correction.report.cuts
+                == whole.correction.report.cuts)
+
+    def test_stage_timings_cover_all_stages(self, tech):
+        result = run_pipeline(figure1_layout(), tech)
+        seconds = result.stage_seconds()
+        assert set(seconds) == set(STAGE_ORDER)
+        assert all(s >= 0 for s in seconds.values())
+        assert result.wall_seconds >= max(seconds.values())
+
+    def test_front_end_shared_with_correction(self, tech):
+        """Correction plans against the detection pass's shifter set,
+        not a regenerated one."""
+        lay = figure1_layout()
+        result = run_pipeline(lay, tech)
+        assert result.detection.front is result.front
+        assert result.correction.report.num_conflicts == 1
+
+
+class TestFrontEndReuse:
+    def test_clean_layout_reuses_shifter_pass(self, tech):
+        """No cuts -> the verify pass reuses the base shifter set."""
+        result = run_pipeline(grating_layout(6), tech)
+        assert result.correction.unchanged
+        assert result.verification.front_reused
+        assert result.verification.front.shifters is result.front.shifters
+
+    def test_corrected_layout_regenerates(self, tech):
+        result = run_pipeline(figure1_layout(), tech)
+        assert not result.correction.unchanged
+        assert not result.verification.front_reused
+        assert (result.verification.front.shifters
+                is not result.front.shifters)
+
+    def test_assignment_reuses_verify_front(self, tech):
+        """Phase assignment builds its graph from the verify pass's
+        front end — the corrected layout's shifters are generated at
+        most once."""
+        result = run_pipeline(figure1_layout(), tech)
+        assert result.success
+        ids = {s.id for s in result.verification.front.shifters}
+        assert set(result.assignment.phases) == ids
+
+
+class TestTiledPipeline:
+    @pytest.mark.parametrize("seed", [31, 32])
+    def test_tiled_equals_monolithic(self, tech, seed):
+        lay = standard_cell_layout(GeneratorParams(rows=4, cols=15),
+                                   seed=seed)
+        mono = run_pipeline(lay, tech)
+        tiled = run_pipeline(lay, tech, PipelineConfig(tiles=3),
+                             cache=TileCache())
+        assert ([c.key for c in mono.detection.report.conflicts]
+                == [c.key for c in tiled.detection.report.conflicts])
+        assert (mono.correction.report.cuts
+                == tiled.correction.report.cuts)
+        assert mono.success == tiled.success
+        if mono.assignment is not None:
+            assert mono.assignment.phases == tiled.assignment.phases
+
+    def test_second_pass_hits_clean_tiles(self, tech):
+        """Tiles the cuts leave untouched are verify-pass cache hits."""
+        lay = standard_cell_layout(GeneratorParams(rows=4, cols=15),
+                                   seed=33)
+        result = run_pipeline(lay, tech, PipelineConfig(tiles=3),
+                              cache=TileCache())
+        assert result.detection.cache_misses == 9
+        assert result.detection.cache_hits == 0
+        # Per-pass deltas, not cumulative cache counters.
+        assert (result.verification.cache_hits
+                + result.verification.cache_misses) == 9
+
+    def test_incremental_flag_forces_tiling(self, tech):
+        result = run_aapsm_flow(grating_layout(6), tech,
+                                incremental=True)
+        assert result.pipeline.tiled
+        assert result.pipeline.detection.chip is not None
+
+
+class TestFlowCompatibility:
+    def test_flow_result_carries_pipeline(self, tech):
+        result = run_aapsm_flow(figure1_layout(), tech)
+        assert result.pipeline is not None
+        assert result.pipeline.success == result.success
+        assert result.detection is result.pipeline.detection.report
+        assert result.corrected_layout is result.pipeline.corrected_layout

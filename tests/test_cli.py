@@ -111,6 +111,106 @@ class TestFlow:
         assert data["detection"]["conflicts"] == [[0, 5]]
 
 
+class TestJsonOutput:
+    def test_flow_json_is_pure_machine_readable(self, figure1_gds,
+                                                tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "fixed.gds")
+        assert main(["flow", figure1_gds, "--json",
+                     "-o", out_path]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out)  # stdout must be valid JSON, nothing else
+        assert data["success"] is True
+        assert data["detection"]["conflicts"] == [[0, 5]]
+        assert data["correction"]["num_windows"] == 1
+        assert "stage_seconds" in data["pipeline"]
+        assert "hit_rate" in data["pipeline"]["cache"]
+
+    def test_chip_json_counts_and_cache(self, figure1_gds, tmp_path,
+                                        capsys):
+        import json
+
+        cache = str(tmp_path / "cache")
+        main(["chip", figure1_gds, "--tiles", "2", "--jobs", "1",
+              "--cache-dir", cache, "--json"])
+        capsys.readouterr()
+        assert main(["chip", figure1_gds, "--tiles", "2", "--jobs", "1",
+                     "--cache-dir", cache, "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["grid"] == {"nx": 2, "ny": 2, "halo": data["grid"]["halo"]}
+        assert data["cache"]["hits"] == 4
+        assert data["cache"]["hit_rate"] == 1.0
+        assert data["detection"]["num_features"] == 3
+        assert "wall_seconds" in data
+
+    def test_flow_incremental_reports_cache(self, figure1_gds, tmp_path,
+                                            capsys):
+        import json
+
+        cache = str(tmp_path / "cache")
+        assert main(["flow", figure1_gds, "--incremental",
+                     "--cache-dir", cache, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["pipeline"]["tiled"] is True
+        assert first["pipeline"]["cache"]["hits"] == 0
+        assert main(["flow", figure1_gds, "--incremental",
+                     "--cache-dir", cache, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["pipeline"]["cache"]["misses"] == 0
+        for report in (first, second):
+            report["detection"].pop("detect_seconds")
+        assert second["detection"] == first["detection"]
+
+
+class TestEco:
+    def _write_pair(self, tmp_path):
+        from repro.bench import build_design
+        from repro.layout import Technology
+        from repro.pipeline import propose_eco_edit
+
+        base_layout = build_design("D1")
+        edited_layout, _ = propose_eco_edit(
+            base_layout, Technology.node_90nm())
+        base = str(tmp_path / "base.gds")
+        edited = str(tmp_path / "edited.gds")
+        write_gds(layout_to_gds(base_layout), base)
+        write_gds(layout_to_gds(edited_layout), edited)
+        return base, edited
+
+    def test_eco_summary(self, tmp_path, capsys):
+        base, edited = self._write_pair(tmp_path)
+        code = main(["eco", base, edited, "--tiles", "2", "--jobs", "1",
+                     "--cache-dir", str(tmp_path / "cache")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dirty" in out and "clean" in out
+        assert "cached" in out
+
+    def test_eco_json_dirty_accounting(self, tmp_path, capsys):
+        import json
+
+        base, edited = self._write_pair(tmp_path)
+        assert main(["eco", base, edited, "--tiles", "2", "--jobs", "1",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        plan = data["plan"]
+        assert plan["num_dirty"] + plan["num_clean"] == plan["num_tiles"]
+        assert plan["features_added"] == 1
+        assert plan["features_removed"] == 1
+        assert (data["flow"]["pipeline"]["detect_cache"]["misses"]
+                == plan["num_dirty"])
+        assert data["flow"]["success"] is True
+
+    def test_eco_writes_corrected_gds(self, tmp_path, capsys):
+        base, edited = self._write_pair(tmp_path)
+        out_path = str(tmp_path / "fixed.gds")
+        assert main(["eco", base, edited, "--tiles", "2", "--jobs", "1",
+                     "-o", out_path]) == 0
+        capsys.readouterr()
+        assert main(["detect", out_path]) == 0
+
+
 class TestGenerateAndTables:
     def test_generate(self, tmp_path, capsys):
         path = str(tmp_path / "d1.gds")
