@@ -14,8 +14,6 @@ Run with ``pytest benchmarks/bench_eco.py --benchmark-only -s``.
 import json
 import os
 
-import pytest
-
 from repro.bench import build_design
 from repro.chip import TileCache
 from repro.core import flow_result_dict, flow_result_from_pipeline

@@ -9,7 +9,7 @@ and records near-linear wall-clock growth.
 
 import pytest
 
-from repro.bench import build_design, design_names
+from repro.bench import build_design
 from repro.conflict import detect_conflicts
 from repro.graph import METHOD_PATHS
 

@@ -10,7 +10,6 @@ multiple conflicts somewhere in the suite (the Figure 5 observation).
 import pytest
 
 from repro.bench import build_design, design_names, table2_row
-from repro.conflict import detect_conflicts
 from repro.core import run_aapsm_flow
 
 DESIGNS = design_names("medium")

@@ -10,7 +10,7 @@ interesting stages.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..conflict import (
     FG,

@@ -1,0 +1,166 @@
+"""Unified content-addressed artifact store.
+
+Every expensive intermediate of the pipeline is a pure function of a
+describable set of inputs, so each can be cached under a content hash
+of exactly those inputs.  This module is the one store they all share,
+namespaced by *artifact kind*:
+
+========= ==========================================================
+kind      value / key inputs
+========= ==========================================================
+tile      :class:`~repro.chip.executor.TileResult`; key hashes the
+          captured geometry, rule deck, graph kind/method and the
+          ownership window (:func:`repro.chip.cache.tile_cache_key`).
+window    a conflict window's solved cut choice (local line indices);
+          key hashes the window's canonical set-cover instance —
+          line axis/position/width, dense cover structure — plus the
+          resolved solver and its caps
+          (:func:`repro.correction.windows.window_solution_key`).
+coloring  a conflict-graph component's canonical 2-coloring; key is
+          the component's content id
+          (:func:`repro.graph.components.component_content_id`).
+verify    the geometric verifier's verdict for one component's
+          shifters; key is the component content id plus rule deck
+          (:func:`repro.phase.incremental.verify_key`).
+========= ==========================================================
+
+Values are pickled one file per ``(kind, key)`` (atomically renamed
+into place, so a crashed run never leaves a truncated entry).  An
+in-memory layer sits in front of the directory; with no ``cache_dir``
+the store is memory-only and lives for the process.  Per-kind hit/miss
+counters let each pipeline stage report its own cache delta.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+KIND_TILE = "tile"
+KIND_WINDOW = "window"
+KIND_COLORING = "coloring"
+KIND_VERIFY = "verify"
+
+ARTIFACT_KINDS = (KIND_TILE, KIND_WINDOW, KIND_COLORING, KIND_VERIFY)
+
+
+@dataclass
+class KindStats:
+    """Hit/miss counters for one artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.hits, self.misses)
+
+
+class ArtifactCache:
+    """Two-level (memory, then directory) content-addressed store.
+
+    Keys are caller-computed content hashes; the store never inspects
+    values beyond pickling them.  A value exposing ``cache_copy()``
+    (e.g. :class:`~repro.chip.executor.TileResult`) is copied on every
+    hit so cached entries are never aliased into mutable pipeline
+    state.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache_dir = cache_dir
+        self._memory: Dict[Tuple[str, str], Any] = {}
+        self._stats: Dict[str, KindStats] = {}
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, kind: str, key: str) -> str:
+        assert self.cache_dir
+        return os.path.join(self.cache_dir, f"{kind}-{key}.pkl")
+
+    def stats(self, kind: str) -> KindStats:
+        stats = self._stats.get(kind)
+        if stats is None:
+            stats = self._stats[kind] = KindStats()
+        return stats
+
+    def counters(self) -> Dict[str, Tuple[int, int]]:
+        """Snapshot of (hits, misses) per kind — subtract two snapshots
+        for a stage's own cache delta."""
+        return {kind: stats.as_tuple()
+                for kind, stats in self._stats.items()}
+
+    # ------------------------------------------------------------------
+    def get(self, kind: str, key: str) -> Optional[Any]:
+        value = self._memory.get((kind, key))
+        if value is None and self.cache_dir:
+            try:
+                with open(self._path(kind, key), "rb") as fh:
+                    value = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError):
+                value = None  # missing or stale entry: treat as a miss
+            if value is not None:
+                self._memory[(kind, key)] = value
+        stats = self.stats(kind)
+        if value is None:
+            stats.misses += 1
+            return None
+        stats.hits += 1
+        copier = getattr(value, "cache_copy", None)
+        return copier() if copier is not None else value
+
+    def put(self, kind: str, key: str, value: Any) -> None:
+        self._memory[(kind, key)] = value
+        if not self.cache_dir:
+            return
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(kind, key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self._stats.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self._stats.values())
+
+    def summary(self) -> str:
+        parts = [f"{kind}: {s.hits}/{s.requests}"
+                 for kind, s in sorted(self._stats.items()) if s.requests]
+        return "artifact cache hits — " + (", ".join(parts) or "no requests")
+
+
+def as_store(cache: Any) -> Optional[ArtifactCache]:
+    """Normalize a caller-supplied cache to the underlying store.
+
+    Accepts an :class:`ArtifactCache`, anything wrapping one in a
+    ``.store`` attribute (:class:`~repro.chip.cache.TileCache`), or
+    None.
+    """
+    if cache is None or isinstance(cache, ArtifactCache):
+        return cache
+    store = getattr(cache, "store", None)
+    if isinstance(store, ArtifactCache):
+        return store
+    raise TypeError(f"not an artifact store: {cache!r}")

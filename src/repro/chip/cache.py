@@ -12,22 +12,20 @@ The cache key hashes exactly those inputs, so:
 * changing the rule deck, graph kind, tile grid or halo invalidates
   cleanly, because all of them land in the key.
 
-Values are pickled :class:`~repro.chip.executor.TileResult` objects in
-one file per key (atomically renamed into place, so a crashed run never
-leaves a truncated entry).  An in-memory layer sits in front of the
-directory; with no ``cache_dir`` the cache is memory-only and lives for
-the process.
+Storage lives in the unified artifact store
+(:class:`repro.cache.ArtifactCache`) under the ``tile`` kind, shared
+with window solutions and component colorings; :class:`TileCache` is
+the tile-shaped view of that store the chip orchestrator programs
+against.
 """
 
 from __future__ import annotations
 
 import hashlib
-import os
-import pickle
-import tempfile
 from dataclasses import astuple
-from typing import Dict, Optional
+from typing import Optional
 
+from ..cache import KIND_TILE, ArtifactCache
 from .executor import TileJob, TileResult
 
 # Bump when TileResult/CanonicalConflict shape changes so stale
@@ -49,55 +47,42 @@ def tile_cache_key(job: TileJob) -> str:
 
 
 class TileCache:
-    """Two-level (memory, then directory) cache of tile results."""
+    """Tile-kind view over the unified artifact store.
 
-    def __init__(self, cache_dir: Optional[str] = None):
-        self.cache_dir = cache_dir
-        self._memory: Dict[str, TileResult] = {}
-        self.hits = 0
-        self.misses = 0
-        if cache_dir:
-            os.makedirs(cache_dir, exist_ok=True)
+    Keeps the historical tile-cache API (``get``/``put`` by bare key,
+    ``hits``/``misses`` counters) while delegating storage to one
+    :class:`~repro.cache.ArtifactCache` that the rest of the pipeline
+    shares — pass ``store`` to join an existing one, or ``cache_dir``
+    to own a fresh (optionally persistent) store.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 store: Optional[ArtifactCache] = None):
+        self.store = store if store is not None else ArtifactCache(cache_dir)
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        return self.store.cache_dir
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
-        assert self.cache_dir
-        return os.path.join(self.cache_dir, f"tile-{key}.pkl")
+        return self.store._path(KIND_TILE, key)
 
     def get(self, key: str) -> Optional[TileResult]:
-        result = self._memory.get(key)
-        if result is None and self.cache_dir:
-            try:
-                with open(self._path(key), "rb") as fh:
-                    result = pickle.load(fh)
-            except (OSError, pickle.UnpicklingError, EOFError,
-                    AttributeError, ImportError):
-                result = None  # missing or stale entry: treat as a miss
-            if result is not None:
-                self._memory[key] = result
-        if result is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return result.cache_copy()
+        return self.store.get(KIND_TILE, key)
 
     def put(self, key: str, result: TileResult) -> None:
-        self._memory[key] = result
-        if not self.cache_dir:
-            return
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self.store.put(KIND_TILE, key, result)
 
     # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self.store.stats(KIND_TILE).hits
+
+    @property
+    def misses(self) -> int:
+        return self.store.stats(KIND_TILE).misses
+
     @property
     def requests(self) -> int:
         return self.hits + self.misses

@@ -21,10 +21,10 @@ from ..conflict import PCG, DetectionReport
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology
 from .cache import TileCache, tile_cache_key
-from .executor import TileJob, TileResult, detect_tile, make_jobs, \
+from .executor import TileResult, detect_tile, make_jobs, \
     resolve_executor
-from .partition import TileGrid, TileSpec, partition_layout
-from .stitch import StitchStats, stitch_results
+from .partition import TileSpec, partition_layout
+from .stitch import stitch_results
 
 
 @dataclass

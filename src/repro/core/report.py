@@ -102,7 +102,15 @@ def cache_dict(hits: int, misses: int) -> Dict[str, Any]:
 
 
 def pipeline_dict(pipe, timings: bool = True) -> Dict[str, Any]:
-    """Stage-level accounting of a :class:`~repro.pipeline.PipelineResult`."""
+    """Stage-level accounting of a :class:`~repro.pipeline.PipelineResult`.
+
+    ``cache``/``detect_cache``/``verify_cache`` keep their historical
+    tile-pass meaning; ``correct_cache`` and ``phase`` carry the
+    per-stage deltas of the unified artifact store (window solutions,
+    component colorings, verifier verdicts), so a warm ECO's "only
+    dirty work recomputed" property is assertable straight off the
+    JSON report.
+    """
     hits, misses = pipe.cache_counts()
     out: Dict[str, Any] = {
         "tiled": pipe.tiled,
@@ -112,6 +120,16 @@ def pipeline_dict(pipe, timings: bool = True) -> Dict[str, Any]:
                                    pipe.detection.cache_misses),
         "verify_cache": cache_dict(pipe.verification.cache_hits,
                                    pipe.verification.cache_misses),
+        "correct_cache": cache_dict(pipe.correction.cache_hits,
+                                    pipe.correction.cache_misses),
+        "phase": {
+            "incremental": pipe.phase.incremental,
+            "components": pipe.phase.components,
+            "coloring": cache_dict(pipe.phase.coloring_hits,
+                                   pipe.phase.recolored),
+            "verify": cache_dict(pipe.phase.verify_hits,
+                                 pipe.phase.verified),
+        },
     }
     if timings:
         out["stage_seconds"] = pipe.stage_seconds()

@@ -223,7 +223,8 @@ def plan_correction(layout: Layout, tech: Technology,
                     shifters: Optional[ShifterSet] = None,
                     cover: str = "auto",
                     restrictions: Optional[CutRestrictions] = None,
-                    windowed: bool = True) -> CorrectionReport:
+                    windowed: bool = True,
+                    store=None) -> CorrectionReport:
     """Choose end-to-end cuts correcting the given conflicts.
 
     Args:
@@ -239,6 +240,9 @@ def plan_correction(layout: Layout, tech: Technology,
             way; exact covers produce identical total width, with the
             same cut set whenever the optimum is tie-free (ties pick
             an equally optimal, deterministic representative).
+        store: optional :class:`repro.cache.ArtifactCache`; with
+            ``windowed`` it replays content-addressed window solutions
+            instead of re-solving unchanged windows.
     """
     if shifters is None:
         shifters = generate_shifters(layout, tech)
@@ -265,7 +269,8 @@ def plan_correction(layout: Layout, tech: Technology,
 
     if windowed:
         chosen, report.cover_method, report.windows = \
-            solve_cover_windows(correctable, lines, cover=cover)
+            solve_cover_windows(correctable, lines, cover=cover,
+                                store=store)
     else:
         cover_sets = [CoverSet(id=i, elements=frozenset(line.covers),
                                weight=line.width)

@@ -123,9 +123,13 @@ def exact_weighted_set_cover(universe: Set[Hashable],
             return
         if cost + lower_bound(remaining) >= best_cost:
             return
+        # Tie-break on repr, not set order: element sets may contain
+        # strings, whose hash (and thus iteration order) varies per
+        # process, and equally-constrained pivots steer which of
+        # several equal-cost optima the search reports first.
         pivot = min(remaining,
-                    key=lambda el: sum(1 for s in sets
-                                       if el in s.elements))
+                    key=lambda el: (sum(1 for s in sets
+                                        if el in s.elements), repr(el)))
         for s in sorted(sets, key=lambda s: (s.weight, s.id)):
             if pivot not in s.elements:
                 continue

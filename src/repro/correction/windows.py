@@ -22,21 +22,37 @@ whole-instance optimum exactly.
   representatives — cost equality is the guarantee, cut-set identity
   only holds tie-free.
 
-Windows are also the unit of incremental correction: an ECO edit that
-leaves a window's conflicts and grid lines untouched leaves its chosen
-cuts untouched by construction.
+Windows are also the unit of incremental correction: each window's
+set-cover instance is canonicalised (conflicts and candidate lines
+renumbered densely, in sorted order) and its solved cut choice is
+content-addressed in the unified artifact store under the ``window``
+kind.  An ECO edit that leaves a window's conflicts and grid lines
+untouched leaves its key — and therefore its replayed solution —
+untouched by construction, even when every shifter id shifted; only
+dirty windows re-enter the solver.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
-from .setcover import CoverSet, EXACT_CAP_ELEMENTS, EXACT_CAP_SETS, \
-    UncoverableError, exact_weighted_set_cover, \
-    greedy_weighted_set_cover, use_exact_cover
+from .setcover import (
+    CoverSet,
+    EXACT_CAP_ELEMENTS,
+    EXACT_CAP_SETS,
+    UncoverableError,
+    exact_weighted_set_cover,
+    greedy_weighted_set_cover,
+    use_exact_cover,
+)
 
 ConflictKey = Hashable
+
+# Bump when the canonical window instance or stored solution encoding
+# changes so stale cache directories self-invalidate.
+WINDOW_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -110,20 +126,85 @@ def cluster_windows(lines: Sequence) -> List[CorrectionWindow]:
     return windows
 
 
+def _dense_window_instance(window: CorrectionWindow, lines: Sequence,
+                           universe: Set[ConflictKey]
+                           ) -> Tuple[Set[int], List[CoverSet]]:
+    """One window's set-cover instance in canonical dense ids.
+
+    Conflicts become their rank in the window's sorted conflict list;
+    candidate lines become their rank in the window's sorted line-id
+    list.  Dense renumbering is order-preserving, so greedy picks (and
+    exact-solver exploration order) match the historical global-id
+    instance pick for pick — and the instance, being free of raw
+    shifter ids and of string hashing, is identical across runs,
+    processes, and layout revisions that leave the window alone.
+    """
+    rank = {key: j for j, key in enumerate(window.conflicts)}
+    sub_universe = {rank[key] for key in window.conflicts
+                    if key in universe}
+    sub_sets = [CoverSet(id=j,
+                         elements=frozenset(rank[key]
+                                            for key in lines[i].covers),
+                         weight=lines[i].width)
+                for j, i in enumerate(window.line_ids)]
+    return sub_universe, sub_sets
+
+
+def _instance_key(window: CorrectionWindow, lines: Sequence,
+                  sub_universe: Set[int], sub_sets: Sequence[CoverSet],
+                  method: str) -> str:
+    """Hash the *already-built* canonical instance (plus each line's
+    axis/position — the window geometry — and the resolved solver
+    configuration).  Keying off the same structure the solver consumes
+    keeps the stored local indices and the key mutually consistent by
+    construction, and puts universe membership in the key, so a store
+    shared across calls with different universes can never replay a
+    partial cover."""
+    h = hashlib.sha256()
+    h.update(f"window-format:{WINDOW_FORMAT};method:{method};".encode())
+    h.update(f"caps:{EXACT_CAP_ELEMENTS},{EXACT_CAP_SETS};".encode())
+    h.update(f"universe:{','.join(map(str, sorted(sub_universe)))};"
+             .encode())
+    for i, cover in zip(window.line_ids, sub_sets):
+        line = lines[i]
+        elements = ",".join(map(str, sorted(cover.elements)))
+        h.update(f"line:{line.axis},{line.position},"
+                 f"{line.width}:{elements};".encode())
+    return h.hexdigest()
+
+
+def window_solution_key(window: CorrectionWindow, lines: Sequence,
+                        method: str,
+                        universe: Optional[Set[ConflictKey]] = None
+                        ) -> str:
+    """Content hash of everything a window's solved cut choice depends
+    on; ``universe`` defaults to the window's full conflict set."""
+    if universe is None:
+        universe = set(window.conflicts)
+    sub_universe, sub_sets = _dense_window_instance(window, lines,
+                                                    universe)
+    return _instance_key(window, lines, sub_universe, sub_sets, method)
+
+
 def solve_cover_windows(universe: Set[ConflictKey],
                         lines: Sequence,
                         cover: str = "auto",
+                        store=None,
                         ) -> Tuple[List[int], str, List[CorrectionWindow]]:
     """Window-decomposed weighted set cover over candidate grid lines.
 
     The exact-vs-greedy ``auto`` decision is made on the *global*
     instance size via the shared :func:`use_exact_cover` policy (so
     windowed and whole-instance planning agree on the method), then
-    each window is solved independently.
+    each window is solved independently — or, when ``store`` (a
+    :class:`repro.cache.ArtifactCache`) holds a solution for the
+    window's content key, replayed without entering the solver at all.
 
     Returns ``(chosen line ids, method, windows)`` with the ids sorted
     — the same contract the whole-instance solve has.
     """
+    from ..cache import KIND_WINDOW
+
     windows = cluster_windows(lines)
     covered = {key for window in windows for key in window.conflicts}
     missing = set(universe) - covered
@@ -131,21 +212,31 @@ def solve_cover_windows(universe: Set[ConflictKey],
         # Same guard the whole-instance solvers enforce: never return
         # a silently partial cover.
         raise UncoverableError(f"elements not coverable: {sorted(missing)}")
-    cover_sets = [CoverSet(id=i, elements=frozenset(line.covers),
-                           weight=line.width)
-                  for i, line in enumerate(lines)]
-    use_exact = use_exact_cover(cover, len(universe), len(cover_sets))
+    use_exact = use_exact_cover(cover, len(universe), len(lines))
+    method = "exact" if use_exact else "greedy"
 
     chosen: List[int] = []
     for window in windows:
-        sub_universe = set(window.conflicts) & universe
-        if not sub_universe:
-            continue
-        sub_sets = [cover_sets[i] for i in window.line_ids]
-        if use_exact:
-            chosen += exact_weighted_set_cover(
-                sub_universe, sub_sets,
-                max_elements=EXACT_CAP_ELEMENTS, max_sets=EXACT_CAP_SETS)
-        else:
-            chosen += greedy_weighted_set_cover(sub_universe, sub_sets)
-    return sorted(chosen), ("exact" if use_exact else "greedy"), windows
+        sub_universe, sub_sets = _dense_window_instance(window, lines,
+                                                        universe)
+        local: Optional[Sequence[int]] = None
+        key = None
+        if store is not None:
+            key = _instance_key(window, lines, sub_universe, sub_sets,
+                                method)
+            local = store.get(KIND_WINDOW, key)
+        if local is None:
+            if not sub_universe:
+                local = ()
+            elif use_exact:
+                local = exact_weighted_set_cover(
+                    sub_universe, sub_sets,
+                    max_elements=EXACT_CAP_ELEMENTS,
+                    max_sets=EXACT_CAP_SETS)
+            else:
+                local = greedy_weighted_set_cover(sub_universe, sub_sets)
+            local = tuple(sorted(local))
+            if store is not None:
+                store.put(KIND_WINDOW, key, local)
+        chosen += [window.line_ids[j] for j in local]
+    return sorted(chosen), method, windows

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..geometry import Rect
 from ..layout import Layout
-from .model import ARef, Boundary, GdsLibrary, GdsStructure, Path, SRef
+from .model import Boundary, GdsLibrary, GdsStructure, Path
 
 Point = Tuple[int, int]
 

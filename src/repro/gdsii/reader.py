@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import BinaryIO, List, Optional, Union
+from typing import BinaryIO, Optional, Union
 
 from . import records as rec
 from .model import ARef, Boundary, GdsLibrary, GdsStructure, Path, SRef, Text

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import io
 from typing import BinaryIO, List, Union
 
 from . import records as rec

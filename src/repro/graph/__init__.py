@@ -15,7 +15,23 @@ from .bipartize import (
     greedy_spanning_tree_bipartization,
     optimal_planar_bipartization,
 )
-from .coloring import ParityDSU, is_bipartite, residual_conflicts, two_color
+from .coloring import (
+    ParityDSU,
+    color_component,
+    is_bipartite,
+    residual_conflicts,
+    two_color,
+)
+from .components import (
+    ODD_COMPONENT,
+    GraphComponent,
+    RecolorStats,
+    component_content_id,
+    decode_coloring,
+    decompose,
+    encode_coloring,
+    two_color_incremental,
+)
 from .crossings import count_crossings, find_crossing_pairs, greedy_planarize
 from .dual import DualGraph, build_dual
 from .embedding import PlanarEmbedding, build_embedding
@@ -66,9 +82,18 @@ __all__ = [
     "extract_tjoin",
     "min_tjoin_gadget",
     "two_color",
+    "color_component",
     "is_bipartite",
     "residual_conflicts",
     "ParityDSU",
+    "GraphComponent",
+    "RecolorStats",
+    "decompose",
+    "component_content_id",
+    "encode_coloring",
+    "decode_coloring",
+    "two_color_incremental",
+    "ODD_COMPONENT",
     "BipartizationResult",
     "optimal_planar_bipartization",
     "greedy_spanning_tree_bipartization",

@@ -9,7 +9,7 @@ step 3 of the detection flow.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .geomgraph import GeomGraph
 
@@ -63,34 +63,54 @@ class ParityDSU:
         return True
 
 
+def color_component(graph: GeomGraph, start: int,
+                    skip_edges: Iterable[int] = ()
+                    ) -> Optional[Dict[int, int]]:
+    """2-color the connected component containing ``start``.
+
+    The canonical polarity rule of the whole coloring stack: the
+    traversal root gets color 0.  Returns colors for every node
+    reachable from ``start`` over live edges minus ``skip_edges``, or
+    None when that component is not bipartite.
+    """
+    skip = skip_edges if isinstance(skip_edges, set) else set(skip_edges)
+    colors: Dict[int, int] = {start: 0}
+    queue = [start]
+    while queue:
+        node = queue.pop()
+        for e in graph.incident(node):
+            if e.id in skip:
+                continue
+            if e.is_self_loop:
+                return None
+            nxt = e.other(node)
+            if nxt not in colors:
+                colors[nxt] = colors[node] ^ 1
+                queue.append(nxt)
+            elif colors[nxt] == colors[node]:
+                return None
+    return colors
+
+
 def two_color(graph: GeomGraph,
               skip_edges: Iterable[int] = ()) -> Optional[Dict[int, int]]:
     """Proper 2-coloring of the live graph minus ``skip_edges``.
 
     Returns node -> {0, 1}, or None when the remaining graph is not
-    bipartite.  Deterministic: BFS from nodes in sorted order, color 0
-    at every BFS root.
+    bipartite.  Deterministic, one component at a time: each
+    component's root is its minimum node id and is colored 0 — the
+    same polarity :mod:`repro.graph.components` replays from cache, so
+    incremental recoloring reproduces this function bit for bit.
     """
     skip = set(skip_edges)
     colors: Dict[int, int] = {}
     for start in sorted(graph.nodes):
         if start in colors:
             continue
-        colors[start] = 0
-        queue = [start]
-        while queue:
-            node = queue.pop()
-            for e in graph.incident(node):
-                if e.id in skip:
-                    continue
-                if e.is_self_loop:
-                    return None
-                nxt = e.other(node)
-                if nxt not in colors:
-                    colors[nxt] = colors[node] ^ 1
-                    queue.append(nxt)
-                elif colors[nxt] == colors[node]:
-                    return None
+        component = color_component(graph, start, skip)
+        if component is None:
+            return None
+        colors.update(component)
     return colors
 
 

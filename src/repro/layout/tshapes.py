@@ -12,7 +12,7 @@ corrector and (b) report line-end pairs for the layout generator's DRC.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import List, Set, Tuple
 
 from ..geometry import Rect, neighbor_pairs
 from .layout import Layout

@@ -1,16 +1,15 @@
-"""Phase assignment and verification.
+"""Phase assignment: the 0/180 coloring itself.
 
-Once a layout is phase-assignable (its conflict graph is bipartite), the
-actual 0/180 assignment is a 2-coloring of the shifter nodes.  The
-verifier re-checks both paper conditions straight from geometry — it
-does not trust the graph — which makes it the independent oracle for the
-whole flow's integration tests.
+Once a layout is phase-assignable (its conflict graph is bipartite),
+the actual 0/180 assignment is a 2-coloring of the shifter nodes.  The
+geometric verifier lives in :mod:`repro.phase.verify`; the
+component-scoped incremental driver in :mod:`repro.phase.incremental`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..graph import two_color
 from ..layout import (
@@ -19,7 +18,8 @@ from ..layout import (
     SHIFTER_180_LAYER,
     Technology,
 )
-from ..shifters import ShifterSet, find_overlap_pairs, generate_shifters
+from ..shifters import ShifterSet
+from .verify import verify_assignment
 
 PHASE_0 = 0
 PHASE_180 = 180
@@ -45,16 +45,14 @@ class PhaseAssignment:
         return out
 
 
-def assign_phases(conflict_graph) -> Optional[PhaseAssignment]:
-    """2-color a conflict graph; None when it is not bipartite.
+def assignment_from_colors(conflict_graph,
+                           colors: Dict[int, int]) -> PhaseAssignment:
+    """Project a node coloring onto shifter phases.
 
     Works for both PCG and FG: shifter nodes occupy ids
     ``0..len(shifters)-1`` by construction; auxiliary node colors are
     discarded.
     """
-    colors = two_color(conflict_graph.graph)
-    if colors is None:
-        return None
     assignment = PhaseAssignment()
     for shifter_id, node in conflict_graph.shifter_node.items():
         assignment.phases[shifter_id] = (
@@ -62,29 +60,12 @@ def assign_phases(conflict_graph) -> Optional[PhaseAssignment]:
     return assignment
 
 
-def verify_assignment(shifters: ShifterSet, assignment: PhaseAssignment,
-                      tech: Technology, pairs=None) -> List[str]:
-    """Check Conditions 1 and 2 directly from geometry.
-
-    Returns human-readable violation strings (empty = valid).
-    ``pairs`` accepts the layout's already-computed overlap pairs (the
-    pipeline's front end); they are recomputed from geometry otherwise.
-    """
-    problems: List[str] = []
-    for sa, sb in shifters.feature_pairs():
-        if assignment.phases[sa.id] == assignment.phases[sb.id]:
-            problems.append(
-                f"condition1: feature {sa.feature_index} shifters "
-                f"{sa.id}/{sb.id} share phase "
-                f"{assignment.phases[sa.id]}")
-    if pairs is None:
-        pairs = find_overlap_pairs(shifters, tech)
-    for pair in pairs:
-        if assignment.phases[pair.a] != assignment.phases[pair.b]:
-            problems.append(
-                f"condition2: overlapping shifters {pair.a}/{pair.b} "
-                f"have opposite phases")
-    return problems
+def assign_phases(conflict_graph) -> Optional[PhaseAssignment]:
+    """2-color a conflict graph; None when it is not bipartite."""
+    colors = two_color(conflict_graph.graph)
+    if colors is None:
+        return None
+    return assignment_from_colors(conflict_graph, colors)
 
 
 def assign_and_verify(layout: Layout, tech: Technology

@@ -1,0 +1,124 @@
+"""Component-scoped incremental phase assignment and re-verification.
+
+The last whole-chip passes of the warm ECO path used to live here: a
+chip-wide 2-coloring and a chip-wide geometric verification on every
+run, even when 15 of 16 tiles were known-clean.  Both distribute over
+conflict-graph components (a coloring never crosses a component, and
+every geometric constraint relates graph-adjacent shifters), so this
+driver works per component against the unified artifact store:
+
+* colorings replay through :func:`repro.graph.two_color_incremental`
+  (kind ``coloring``, keyed by component content id);
+* verifier verdicts replay under kind ``verify``, keyed by component
+  content id plus the rule deck.
+
+A component whose geometry an edit left untouched costs two cache
+lookups; only dirty components re-run BFS and the geometric checks.
+The result is *identical* to the cold chip-wide path — canonical
+polarity pins the coloring, and scoped verification partitions the
+full check exactly — which the determinism suite asserts.
+
+Cached verdicts store violation strings verbatim.  Shifter ids inside
+those strings reflect the revision that produced them; a replayed
+verdict with violations may therefore cite stale ids.  That only
+affects diagnostics on already-failing layouts — emptiness (the
+success signal) is revision-independent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import astuple, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cache import KIND_VERIFY, ArtifactCache
+from ..graph import decompose, two_color_incremental
+from ..layout import Technology
+from ..shifters import OverlapPair
+from .assignment import PhaseAssignment, assignment_from_colors
+from .verify import condition1_problems, condition2_problems
+
+
+@dataclass
+class PhaseStats:
+    """Per-component accounting of one incremental assign+verify run."""
+
+    components: int = 0
+    recolored: int = 0                 # coloring cache misses
+    coloring_hits: int = 0
+    verified: int = 0                  # verify cache misses
+    verify_hits: int = 0
+
+    @property
+    def chip_wide(self) -> bool:
+        """True when nothing replayed — the cost of a cold full pass."""
+        return (self.components > 0
+                and self.recolored == self.components
+                and self.verified == self.components)
+
+
+def verify_key(content_id: str, tech: Technology) -> str:
+    """Cache key of one component's verifier verdict.
+
+    The component content id pins the geometry-anchored node/edge
+    structure (and with it the deterministic coloring); the rule deck
+    is hashed in because overlap extraction — the geometric meaning of
+    the checks — depends on it.
+    """
+    h = hashlib.sha256()
+    h.update(f"verify:{content_id};".encode())
+    h.update(repr(astuple(tech)).encode())
+    return h.hexdigest()
+
+
+def assign_and_verify_incremental(
+        conflict_graph, tech: Technology,
+        pairs: Sequence[OverlapPair],
+        store: ArtifactCache,
+) -> Tuple[Optional[PhaseAssignment], List[str], PhaseStats]:
+    """Assign phases and verify them, one component at a time.
+
+    Returns ``(assignment, problems, stats)``; ``assignment`` is None
+    when the graph is not bipartite (problems then empty — there is
+    nothing to verify).  Output equals ``assign_phases`` plus a
+    full-chip ``verify_assignment`` on every input, warm or cold.
+    """
+    graph = conflict_graph.graph
+    components = decompose(graph)
+    colors, recolor = two_color_incremental(graph, store,
+                                            components=components)
+    stats = PhaseStats(components=recolor.components,
+                       recolored=recolor.recolored,
+                       coloring_hits=recolor.reused)
+    if colors is None:
+        return None, [], stats
+    assignment = assignment_from_colors(conflict_graph, colors)
+
+    comp_of: Dict[int, int] = {}
+    for component in components:
+        for node in component.nodes:
+            comp_of[node] = component.index
+    feature_pairs_by: Dict[int, list] = {}
+    for sa, sb in conflict_graph.shifters.feature_pairs():
+        feature_pairs_by.setdefault(comp_of[sa.id], []).append((sa, sb))
+    pairs_by: Dict[int, list] = {}
+    for pair in pairs:
+        pairs_by.setdefault(comp_of[pair.a], []).append(pair)
+
+    problems: List[str] = []
+    for component in components:
+        key = verify_key(component.content_id, tech)
+        cached = store.get(KIND_VERIFY, key)
+        if cached is None:
+            stats.verified += 1
+            verdict = tuple(
+                condition1_problems(
+                    feature_pairs_by.get(component.index, ()), assignment)
+                + condition2_problems(
+                    pairs_by.get(component.index, ()), assignment))
+            store.put(KIND_VERIFY, key, verdict)
+        else:
+            stats.verify_hits += 1
+            verdict = cached
+        problems.extend(verdict)
+    return assignment, problems, stats

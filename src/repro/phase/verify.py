@@ -1,0 +1,80 @@
+"""The geometric phase verifier.
+
+Checks the paper's two conditions straight from geometry — it does not
+trust the conflict graph — which makes it the independent oracle for
+the whole flow's integration tests:
+
+* Condition 1: the two shifters flanking a critical feature carry
+  opposite phases.
+* Condition 2: overlapping shifters carry the same phase.
+
+:func:`verify_assignment` is the historical full-chip check.  It can
+also be *scoped* to a set of shifter ids: both conditions relate
+shifters that are graph-adjacent (feature edges, overlap paths), so
+every check lives entirely inside one conflict-graph component and
+verification distributes over components.  The incremental phase layer
+(:mod:`repro.phase.incremental`) exploits exactly that — re-verifying
+only components whose content changed — while the unscoped verifier
+stays available as the ground truth the scoped union is tested
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..layout import Technology
+from ..shifters import OverlapPair, Shifter, ShifterSet, find_overlap_pairs
+
+
+def condition1_problems(feature_pairs: Iterable[Tuple[Shifter, Shifter]],
+                        assignment) -> List[str]:
+    """Opposite-phase violations among flanking shifter pairs."""
+    problems: List[str] = []
+    for sa, sb in feature_pairs:
+        if assignment.phases[sa.id] == assignment.phases[sb.id]:
+            problems.append(
+                f"condition1: feature {sa.feature_index} shifters "
+                f"{sa.id}/{sb.id} share phase "
+                f"{assignment.phases[sa.id]}")
+    return problems
+
+
+def condition2_problems(pairs: Iterable[OverlapPair],
+                        assignment) -> List[str]:
+    """Same-phase violations among overlapping shifter pairs."""
+    problems: List[str] = []
+    for pair in pairs:
+        if assignment.phases[pair.a] != assignment.phases[pair.b]:
+            problems.append(
+                f"condition2: overlapping shifters {pair.a}/{pair.b} "
+                f"have opposite phases")
+    return problems
+
+
+def verify_assignment(shifters: ShifterSet, assignment,
+                      tech: Technology,
+                      pairs: Optional[Sequence[OverlapPair]] = None,
+                      scope: Optional[Set[int]] = None) -> List[str]:
+    """Check Conditions 1 and 2 directly from geometry.
+
+    Returns human-readable violation strings (empty = valid).
+    ``pairs`` accepts the layout's already-computed overlap pairs (the
+    pipeline's front end); they are recomputed from geometry otherwise.
+    ``scope`` restricts the check to constraints touching the given
+    shifter ids; None checks the whole chip.  Because both endpoints
+    of any constraint share a conflict-graph component, scoping by
+    component partitions the full check exactly — no constraint is
+    double-counted or dropped across a union of component scopes.
+    """
+    feature_pairs = shifters.feature_pairs()
+    if scope is not None:
+        feature_pairs = [(sa, sb) for sa, sb in feature_pairs
+                         if sa.id in scope or sb.id in scope]
+    problems = condition1_problems(feature_pairs, assignment)
+    if pairs is None:
+        pairs = find_overlap_pairs(shifters, tech)
+    if scope is not None:
+        pairs = [p for p in pairs if p.a in scope or p.b in scope]
+    problems += condition2_problems(pairs, assignment)
+    return problems

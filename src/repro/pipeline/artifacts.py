@@ -69,11 +69,18 @@ class DetectionArtifact:
 
 @dataclass
 class CorrectionArtifact:
-    """Window-scoped correction plan plus the corrected layout."""
+    """Window-scoped correction plan plus the corrected layout.
+
+    ``cache_hits`` / ``cache_misses`` count this pass's window-solution
+    replays versus fresh solves (the ``window`` artifact kind) when the
+    pipeline runs over a store.
+    """
 
     report: CorrectionReport
     corrected_layout: Layout
     seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def unchanged(self) -> bool:
@@ -83,12 +90,26 @@ class CorrectionArtifact:
 
 @dataclass
 class AssignmentArtifact:
-    """Phase assignment outcome plus the geometric verifier verdict."""
+    """Phase assignment outcome plus the geometric verifier verdict.
+
+    On the incremental path (``incremental`` True) the coloring and
+    verification ran per conflict-graph component against the artifact
+    store: ``recolored``/``verified`` are that pass's cache misses,
+    ``coloring_hits``/``verify_hits`` its replays.  A warm ECO run is
+    expected to miss only on components the edit actually touched —
+    the "no chip-wide phase pass" property the ECO suite asserts.
+    """
 
     assignment: Optional[PhaseAssignment] = None
     problems: List[str] = field(default_factory=list)
     success: bool = False
     seconds: float = 0.0
+    incremental: bool = False
+    components: int = 0
+    recolored: int = 0
+    coloring_hits: int = 0
+    verified: int = 0
+    verify_hits: int = 0
 
 
 @dataclass
@@ -142,6 +163,16 @@ class PipelineResult:
         misses = (self.detection.cache_misses
                   + self.verification.cache_misses)
         return hits, misses
+
+    def artifact_cache_counts(self) -> Dict[str, Tuple[int, int]]:
+        """(hits, misses) per artifact kind across the whole run."""
+        return {
+            "tile": self.cache_counts(),
+            "window": (self.correction.cache_hits,
+                       self.correction.cache_misses),
+            "coloring": (self.phase.coloring_hits, self.phase.recolored),
+            "verify": (self.phase.verify_hits, self.phase.verified),
+        }
 
     @property
     def cache_hit_rate(self) -> float:

@@ -27,12 +27,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from ..chip import TileCache
+from ..cache import ArtifactCache, as_store
 from ..chip.partition import TileGrid, TileSpec, auto_tile_grid, \
     normalize_tile_spec, partition_layout
 from ..layout import Layout, Technology
 from .artifacts import PipelineResult
-from .runner import PipelineConfig, run_pipeline
+from .runner import PipelineCache, PipelineConfig, run_pipeline
 
 RectTuple = Tuple[int, int, int, int]
 
@@ -202,6 +202,14 @@ class EcoResult:
 
     @property
     def speedup(self) -> float:
+        """Cold wall-clock over warm wall-clock.
+
+        0.0 when no meaningful cold baseline exists (pre-warmed cache,
+        or a cold run so fast the timer resolution swallowed it) —
+        never a division-by-near-zero artifact.
+        """
+        if self.base_seconds < 1e-9:
+            return 0.0
         return self.base_seconds / max(self.eco_seconds, 1e-9)
 
     def summary(self) -> str:
@@ -218,6 +226,11 @@ class EcoResult:
             f"{r.detection.cache_misses} recomputed; verify pass: "
             f"{r.verification.cache_hits} cached, "
             f"{r.verification.cache_misses} recomputed",
+            f"correction: {r.correction.cache_hits} window(s) replayed, "
+            f"{r.correction.cache_misses} solved; phase: "
+            f"{r.phase.coloring_hits} component(s) replayed, "
+            f"{r.phase.recolored} recolored, {r.phase.verified} "
+            f"re-verified",
             f"result: {r.post_detection.num_conflicts} residual "
             f"conflicts, {r.correction.report.num_cuts} cuts, "
             f"success: {r.success}",
@@ -231,16 +244,18 @@ class EcoResult:
 
 def run_eco_flow(base: Layout, edited: Layout, tech: Technology,
                  config: Optional[PipelineConfig] = None,
-                 cache: Optional[TileCache] = None,
+                 cache: PipelineCache = None,
                  warm_base: bool = True) -> EcoResult:
     """Run the edited layout through the pipeline, reusing every clean
-    tile of the base run.
+    tile, window solution, and component coloring of the base run.
 
     Args:
         config: pipeline knobs; the tile grid is pinned from the base
             layout so both revisions partition identically.
-        cache: a tile cache already warmed by a previous base run; a
-            fresh one is created (at ``config.cache_dir``) otherwise.
+        cache: an artifact store already warmed by a previous base run
+            (or a :class:`~repro.chip.TileCache` wrapping one); a
+            fresh store is created (at ``config.cache_dir``)
+            otherwise.
         warm_base: run the base layout first when True — the cold run
             that both warms the cache and provides the baseline
             timing.  Pass False with a pre-warmed ``cache`` to skip it.
@@ -255,8 +270,9 @@ def run_eco_flow(base: Layout, edited: Layout, tech: Technology,
     from dataclasses import replace
 
     config = replace(config, tiles=spec, tiled=True)
+    cache = as_store(cache)
     if cache is None:
-        cache = TileCache(config.cache_dir)
+        cache = ArtifactCache(config.cache_dir)
 
     plan = plan_eco(base, edited, tech, tiles=spec, halo=config.halo)
 

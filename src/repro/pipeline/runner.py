@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
+from ..cache import KIND_WINDOW, ArtifactCache, as_store
 from ..chip import TileCache, run_chip_flow
 from ..chip.partition import TileSpec
 from ..conflict import (
@@ -42,7 +43,11 @@ from ..conflict import (
 from ..correction import CutRestrictions, apply_cuts, plan_correction
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology
-from ..phase import assign_phases, verify_assignment
+from ..phase import (
+    assign_and_verify_incremental,
+    assign_phases,
+    verify_assignment,
+)
 from .artifacts import (
     AssignmentArtifact,
     CorrectionArtifact,
@@ -50,6 +55,10 @@ from .artifacts import (
     FrontEnd,
     PipelineResult,
 )
+
+# Every stage accepts the shared store, or the historical TileCache
+# wrapper around it, or None (run cold).
+PipelineCache = Union[ArtifactCache, TileCache, None]
 
 
 @dataclass
@@ -91,7 +100,7 @@ def stage_front_end(layout: Layout, tech: Technology) -> FrontEnd:
 
 def stage_detect(front: FrontEnd, tech: Technology,
                  config: PipelineConfig,
-                 cache: Optional[TileCache] = None) -> DetectionArtifact:
+                 cache: PipelineCache = None) -> DetectionArtifact:
     """Stage 2/4 — conflict detection on one layout revision.
 
     Tiled when the config says so (partition -> execute -> stitch with
@@ -100,8 +109,10 @@ def stage_detect(front: FrontEnd, tech: Technology,
     """
     start = time.perf_counter()
     if config.is_tiled:
+        store = as_store(cache)
+        tiles = TileCache(store=store) if store is not None else None
         chip = run_chip_flow(front.layout, tech, tiles=config.tiles,
-                             jobs=config.jobs, cache=cache,
+                             jobs=config.jobs, cache=tiles,
                              kind=config.kind, method=config.method,
                              halo=config.halo, shifters=front.shifters)
         return DetectionArtifact(
@@ -118,24 +129,38 @@ def stage_detect(front: FrontEnd, tech: Technology,
 
 
 def stage_correct(detection: DetectionArtifact, tech: Technology,
-                  config: PipelineConfig) -> CorrectionArtifact:
-    """Stage 3 — window-scoped correction, cuts merged chip-wide."""
+                  config: PipelineConfig,
+                  cache: PipelineCache = None) -> CorrectionArtifact:
+    """Stage 3 — window-scoped correction, cuts merged chip-wide.
+
+    Over a store, each conflict window's solved cut choice is
+    content-addressed: unchanged windows replay their solution instead
+    of re-entering the set-cover solver, and the artifact records this
+    pass's replay/solve delta.
+    """
     start = time.perf_counter()
+    store = as_store(cache)
     front = detection.front
     conflicts = [c.key for c in detection.report.conflicts]
+    hits0, misses0 = (store.stats(KIND_WINDOW).as_tuple()
+                      if store is not None else (0, 0))
     report = plan_correction(front.layout, tech, conflicts,
                              shifters=front.shifters, cover=config.cover,
                              restrictions=config.restrictions,
-                             windowed=True)
+                             windowed=True, store=store)
     corrected = apply_cuts(front.layout, report.cuts)
-    return CorrectionArtifact(report=report, corrected_layout=corrected,
-                              seconds=time.perf_counter() - start)
+    artifact = CorrectionArtifact(report=report, corrected_layout=corrected,
+                                  seconds=time.perf_counter() - start)
+    if store is not None:
+        artifact.cache_hits = store.stats(KIND_WINDOW).hits - hits0
+        artifact.cache_misses = store.stats(KIND_WINDOW).misses - misses0
+    return artifact
 
 
 def stage_verify(correction: CorrectionArtifact, tech: Technology,
                  config: PipelineConfig,
                  base_front: FrontEnd,
-                 cache: Optional[TileCache] = None) -> DetectionArtifact:
+                 cache: PipelineCache = None) -> DetectionArtifact:
     """Stage 4 — re-detect on the corrected layout.
 
     When correction applied no cuts the geometry is untouched, so the
@@ -157,21 +182,45 @@ def stage_verify(correction: CorrectionArtifact, tech: Technology,
 
 
 def stage_assign(verification: DetectionArtifact, tech: Technology,
-                 config: PipelineConfig) -> AssignmentArtifact:
-    """Stage 5 — 0/180 assignment plus the geometric verifier."""
+                 config: PipelineConfig,
+                 cache: PipelineCache = None) -> AssignmentArtifact:
+    """Stage 5 — 0/180 assignment plus the geometric verifier.
+
+    Over a store, both run component-scoped: unchanged conflict-graph
+    components replay their cached coloring and verifier verdict, and
+    only components whose content an edit touched are recolored and
+    geometrically re-checked.  The outcome is identical to the cold
+    chip-wide coloring + full-chip verification (canonical polarity
+    pins the coloring; component scopes partition the checks exactly).
+    """
     start = time.perf_counter()
+    store = as_store(cache)
     artifact = AssignmentArtifact()
     if verification.report.phase_assignable:
         front = verification.front
         cg, _shifters, _pairs = build_layout_conflict_graph(
             front.layout, tech, config.kind,
             front=(front.shifters, front.pairs))
-        artifact.assignment = assign_phases(cg)
-        if artifact.assignment is not None:
-            artifact.problems = verify_assignment(
-                front.shifters, artifact.assignment, tech,
-                pairs=front.pairs)
-            artifact.success = not artifact.problems
+        if store is None:
+            artifact.assignment = assign_phases(cg)
+            if artifact.assignment is not None:
+                artifact.problems = verify_assignment(
+                    front.shifters, artifact.assignment, tech,
+                    pairs=front.pairs)
+                artifact.success = not artifact.problems
+        else:
+            assignment, problems, stats = assign_and_verify_incremental(
+                cg, tech, front.pairs, store)
+            artifact.assignment = assignment
+            artifact.incremental = True
+            artifact.components = stats.components
+            artifact.recolored = stats.recolored
+            artifact.coloring_hits = stats.coloring_hits
+            artifact.verified = stats.verified
+            artifact.verify_hits = stats.verify_hits
+            if assignment is not None:
+                artifact.problems = problems
+                artifact.success = not problems
     artifact.seconds = time.perf_counter() - start
     return artifact
 
@@ -181,24 +230,29 @@ def stage_assign(verification: DetectionArtifact, tech: Technology,
 # ----------------------------------------------------------------------
 def run_pipeline(layout: Layout, tech: Technology,
                  config: Optional[PipelineConfig] = None,
-                 cache: Optional[TileCache] = None) -> PipelineResult:
+                 cache: PipelineCache = None) -> PipelineResult:
     """Run the full staged pipeline on one layout.
 
-    ``cache`` shares one tile cache across both detection passes *and*
-    across calls — pass the same cache for a base and an edited run
-    and only dirty tiles recompute (the ECO warm path).
+    ``cache`` (an :class:`~repro.cache.ArtifactCache`, or a
+    :class:`~repro.chip.TileCache` wrapping one) shares one artifact
+    store across every stage *and* across calls — pass the same store
+    for a base and an edited run and only dirty tiles, windows, and
+    graph components recompute (the ECO warm path).  A tiled config
+    with no cache gets a fresh store at ``config.cache_dir``; an
+    untiled, uncached run stays on the historical chip-wide code path.
     """
     config = config or PipelineConfig()
     start = time.perf_counter()
-    if cache is None and config.is_tiled:
-        cache = TileCache(config.cache_dir)
+    store = as_store(cache)
+    if store is None and config.is_tiled:
+        store = ArtifactCache(config.cache_dir)
 
     front = stage_front_end(layout, tech)
-    detection = stage_detect(front, tech, config, cache=cache)
-    correction = stage_correct(detection, tech, config)
+    detection = stage_detect(front, tech, config, cache=store)
+    correction = stage_correct(detection, tech, config, cache=store)
     verification = stage_verify(correction, tech, config, front,
-                                cache=cache)
-    phase = stage_assign(verification, tech, config)
+                                cache=store)
+    phase = stage_assign(verification, tech, config, cache=store)
 
     return PipelineResult(
         layout=layout,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..geometry import Rect
 from ..layout import Layout, Technology, extract_critical_features
-from .shifter import BOTTOM, LEFT, RIGHT, TOP, Shifter, ShifterSet
+from .shifter import BOTTOM, LEFT, RIGHT, TOP, ShifterSet
 
 
 def shifter_rects_for_feature(rect: Rect, vertical: bool,

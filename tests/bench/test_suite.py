@@ -12,7 +12,7 @@ from repro.bench import (
     table1_row,
     table2_row,
 )
-from repro.layout import Technology, check_layout
+from repro.layout import check_layout
 
 
 class TestSuite:

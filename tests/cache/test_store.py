@@ -1,0 +1,103 @@
+"""Unified artifact store: kind namespacing, persistence, counters."""
+
+import pytest
+
+from repro.cache import (
+    KIND_COLORING,
+    KIND_TILE,
+    KIND_WINDOW,
+    ArtifactCache,
+    as_store,
+)
+from repro.chip import TileCache
+
+
+class TestKindNamespacing:
+    def test_same_key_different_kinds_are_distinct(self):
+        store = ArtifactCache()
+        store.put(KIND_WINDOW, "k", (1, 2))
+        store.put(KIND_COLORING, "k", (0, 1, 0))
+        assert store.get(KIND_WINDOW, "k") == (1, 2)
+        assert store.get(KIND_COLORING, "k") == (0, 1, 0)
+
+    def test_miss_returns_none_and_counts(self):
+        store = ArtifactCache()
+        assert store.get(KIND_WINDOW, "absent") is None
+        assert store.stats(KIND_WINDOW).misses == 1
+        assert store.stats(KIND_WINDOW).hits == 0
+        # Other kinds untouched.
+        assert store.stats(KIND_COLORING).requests == 0
+
+    def test_per_kind_counters_are_independent(self):
+        store = ArtifactCache()
+        store.put(KIND_WINDOW, "a", ())
+        store.get(KIND_WINDOW, "a")
+        store.get(KIND_COLORING, "a")
+        assert store.stats(KIND_WINDOW).as_tuple() == (1, 0)
+        assert store.stats(KIND_COLORING).as_tuple() == (0, 1)
+        assert store.hits == 1 and store.misses == 1
+
+    def test_counters_snapshot_for_stage_deltas(self):
+        store = ArtifactCache()
+        store.put(KIND_WINDOW, "a", ())
+        store.get(KIND_WINDOW, "a")
+        before = store.counters()
+        store.get(KIND_WINDOW, "a")
+        store.get(KIND_WINDOW, "b")
+        after = store.counters()
+        hits0, misses0 = before[KIND_WINDOW]
+        hits1, misses1 = after[KIND_WINDOW]
+        assert (hits1 - hits0, misses1 - misses0) == (1, 1)
+
+
+class TestPersistence:
+    def test_directory_roundtrip_across_instances(self, tmp_path):
+        ArtifactCache(str(tmp_path)).put(KIND_WINDOW, "w1", (3, 1))
+        fresh = ArtifactCache(str(tmp_path))
+        assert fresh.get(KIND_WINDOW, "w1") == (3, 1)
+        assert fresh.stats(KIND_WINDOW).hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ArtifactCache(str(tmp_path))
+        store.put(KIND_WINDOW, "w1", (3, 1))
+        with open(store._path(KIND_WINDOW, "w1"), "wb") as fh:
+            fh.write(b"not a pickle")
+        assert ArtifactCache(str(tmp_path)).get(KIND_WINDOW, "w1") is None
+
+    def test_kinds_do_not_collide_on_disk(self, tmp_path):
+        store = ArtifactCache(str(tmp_path))
+        store.put(KIND_WINDOW, "k", "window-value")
+        store.put(KIND_TILE, "k", "tile-value")
+        fresh = ArtifactCache(str(tmp_path))
+        assert fresh.get(KIND_TILE, "k") == "tile-value"
+        assert fresh.get(KIND_WINDOW, "k") == "window-value"
+
+
+class TestAsStore:
+    def test_passthrough_and_none(self):
+        store = ArtifactCache()
+        assert as_store(store) is store
+        assert as_store(None) is None
+
+    def test_unwraps_tile_cache(self):
+        tiles = TileCache()
+        assert as_store(tiles) is tiles.store
+
+    def test_rejects_foreign_objects(self):
+        with pytest.raises(TypeError):
+            as_store(object())
+
+
+class TestTileCacheView:
+    def test_shares_store_counters(self, tmp_path):
+        store = ArtifactCache(str(tmp_path))
+        a = TileCache(store=store)
+        b = TileCache(store=store)
+        a.put("key", ())
+        a.get("key")
+        assert b.hits == 1 and b.misses == 0
+        assert store.stats(KIND_TILE).hits == 1
+
+    def test_cache_dir_follows_store(self, tmp_path):
+        assert TileCache(str(tmp_path)).cache_dir == str(tmp_path)
+        assert TileCache().cache_dir is None

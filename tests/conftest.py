@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.conflict import detect_conflicts
 from repro.correction import (
-    apply_cuts,
     build_grid_lines,
     conflict_options,
     correct_layout,

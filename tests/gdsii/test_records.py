@@ -1,6 +1,5 @@
 """GDSII record primitive tests."""
 
-import math
 import struct
 
 import pytest
@@ -9,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.gdsii import decode_real8, encode_real8
 from repro.gdsii.records import (
-    DT_ASCII,
     DT_INT16,
     GdsFormatError,
     HEADER,

@@ -1,6 +1,5 @@
 """Unit and property tests for rectangles."""
 
-import math
 
 import pytest
 from hypothesis import given

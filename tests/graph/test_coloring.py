@@ -2,10 +2,20 @@
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph import GeomGraph, ParityDSU, is_bipartite, residual_conflicts, two_color
+from repro.cache import ArtifactCache
+from repro.graph import (
+    GeomGraph,
+    ParityDSU,
+    color_component,
+    is_bipartite,
+    residual_conflicts,
+    two_color,
+    two_color_incremental,
+)
 
 
 def graph_from_edges(n, edges):
@@ -48,6 +58,32 @@ class TestTwoColor:
         g.add_node(7)
         colors = two_color(g)
         assert colors == {7: 0}
+
+    def test_multi_component_deterministic_colors(self):
+        """Each component's minimum node id gets color 0 — the
+        canonical polarity rule the incremental recoloring replays."""
+        g = graph_from_edges(6, [(1, 0, 1), (4, 3, 1), (3, 5, 1)])
+        colors = two_color(g)
+        assert colors == {0: 0, 1: 1, 2: 0, 3: 0, 4: 1, 5: 1}
+
+    def test_one_odd_component_fails_whole_coloring(self):
+        g = graph_from_edges(5, [(0, 1, 1),
+                                 (2, 3, 1), (3, 4, 1), (4, 2, 1)])
+        assert two_color(g) is None
+
+    def test_color_component_scopes_to_reachable_nodes(self):
+        g = graph_from_edges(5, [(0, 1, 1), (2, 3, 1)])
+        colors = color_component(g, 2)
+        assert colors == {2: 0, 3: 1}
+
+    def test_color_component_root_polarity(self):
+        g = graph_from_edges(2, [(0, 1, 1)])
+        assert color_component(g, 1) == {1: 0, 0: 1}
+
+    def test_skip_edges_respected_per_component(self):
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        assert color_component(g, 0, skip_edges={2}) is not None
+        assert color_component(g, 0) is None
 
 
 class TestParityDSU:
@@ -121,3 +157,67 @@ class TestResidualConflicts:
         except ValueError:
             return
         raise AssertionError("odd graph accepted without candidates")
+
+    def test_no_candidates_on_bipartite_graph(self):
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1)])
+        assert residual_conflicts(g, deleted=[], candidates=[]) == []
+
+    def test_all_edges_deleted_keeps_every_candidate_free(self):
+        """With the whole graph deleted there is no parity structure
+        left, so no candidate can close an odd cycle."""
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        assert residual_conflicts(g, deleted=[0, 1, 2],
+                                  candidates=[]) == []
+
+    def test_candidate_listed_as_deleted_stays_a_candidate(self):
+        """An edge in both sets is skipped from the base structure but
+        still re-added as a candidate — here closing the odd triangle,
+        so it is flagged rather than silently dropped."""
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        assert residual_conflicts(g, deleted=[2],
+                                  candidates=[2]) == [2]
+
+    def test_parallel_unequal_candidates_are_consistent(self):
+        # Parallel edges assert the *same* "different colors"
+        # constraint; re-adding both conflicts with nothing.
+        g = graph_from_edges(2, [(0, 1, 5), (0, 1, 2)])
+        assert residual_conflicts(g, deleted=[],
+                                  candidates=[0, 1]) == []
+
+    def test_self_loop_candidate_always_conflicts(self):
+        g = graph_from_edges(1, [(0, 0, 1)])
+        assert residual_conflicts(g, deleted=[], candidates=[0]) == [0]
+
+    def test_result_sorted_by_edge_id_not_processing_order(self):
+        # Path 0-1-2 plus two parallel (0,2) candidates: both close an
+        # odd cycle.  Heavy-first processes edge 3 before edge 2, but
+        # the report is sorted by id.
+        g = graph_from_edges(3, [(0, 1, 1), (1, 2, 1),
+                                 (0, 2, 1), (0, 2, 5)])
+        assert residual_conflicts(g, deleted=[],
+                                  candidates=[2, 3]) == [2, 3]
+
+
+class TestRecolorVsCold:
+    """Satellite obligation: incremental recoloring equals a cold
+    chip-wide two_color on the D1-D3 benchmark conflict graphs."""
+
+    @pytest.mark.parametrize("name", ["D1", "D2", "D3"])
+    def test_benchmark_conflict_graphs(self, tech, name):
+        from repro.bench import build_design
+        from repro.conflict import build_layout_conflict_graph
+        from repro.core import run_aapsm_flow
+
+        # The corrected layout's graph is bipartite (colorable); the
+        # raw layout's graph generally is not (both paths must agree).
+        raw = build_design(name)
+        corrected = run_aapsm_flow(raw, tech).corrected_layout
+        for layout in (raw, corrected):
+            cg, _s, _p = build_layout_conflict_graph(layout, tech)
+            cold = two_color(cg.graph)
+            store = ArtifactCache()
+            warm1, s1 = two_color_incremental(cg.graph, store)
+            warm2, s2 = two_color_incremental(cg.graph, store)
+            assert warm1 == cold and warm2 == cold
+            assert s1.recolored == s1.components
+            assert s2.reused == s2.components and s2.recolored == 0

@@ -1,0 +1,141 @@
+"""Component decomposition, content ids, and incremental recoloring."""
+
+from repro.cache import KIND_COLORING, ArtifactCache
+from repro.graph import (
+    GeomGraph,
+    decode_coloring,
+    decompose,
+    encode_coloring,
+    two_color,
+    two_color_incremental,
+)
+
+
+def coord_graph(nodes, edges):
+    """Graph with explicit (node, coord) pairs and (u, v, w) edges."""
+    g = GeomGraph()
+    for node, coord in nodes:
+        g.add_node(node, coord)
+    for u, v, w in edges:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestDecompose:
+    def test_components_ordered_by_min_node(self):
+        g = coord_graph([(5, (50, 0)), (1, (10, 0)), (2, (20, 0))],
+                        [(5, 1, 1)])
+        comps = decompose(g)
+        assert [c.nodes for c in comps] == [(1, 5), (2,)]
+        assert [c.index for c in comps] == [0, 1]
+
+    def test_isolated_nodes_are_singletons(self):
+        g = coord_graph([(0, (0, 0)), (1, (9, 9))], [])
+        assert [c.nodes for c in decompose(g)] == [(0,), (1,)]
+
+    def test_canonical_order_sorts_by_coordinate(self):
+        g = coord_graph([(0, (90, 0)), (1, (10, 0)), (2, (50, 0))],
+                        [(0, 1, 1), (1, 2, 1)])
+        comp, = decompose(g)
+        assert comp.order == (1, 2, 0)
+
+    def test_removed_edges_split_components(self):
+        g = coord_graph([(0, (0, 0)), (1, (10, 0))], [(0, 1, 1)])
+        assert len(decompose(g)) == 1
+        g.remove_edge(0)
+        assert len(decompose(g)) == 2
+
+
+class TestContentIds:
+    def test_stable_under_node_renumbering(self):
+        """The ECO property: same geometry under shifted ids -> same
+        content id, so cached colorings survive shifter renumbering."""
+        a = coord_graph([(0, (0, 0)), (1, (10, 0)), (2, (20, 0))],
+                        [(0, 1, 3), (1, 2, 3)])
+        b = coord_graph([(7, (0, 0)), (8, (10, 0)), (9, (20, 0))],
+                        [(7, 8, 3), (8, 9, 3)])
+        assert (decompose(a)[0].content_id
+                == decompose(b)[0].content_id)
+
+    def test_sensitive_to_coordinates_edges_and_weights(self):
+        base = coord_graph([(0, (0, 0)), (1, (10, 0))], [(0, 1, 3)])
+        moved = coord_graph([(0, (0, 2)), (1, (10, 0))], [(0, 1, 3)])
+        reweighted = coord_graph([(0, (0, 0)), (1, (10, 0))], [(0, 1, 4)])
+        doubled = coord_graph([(0, (0, 0)), (1, (10, 0))],
+                              [(0, 1, 3), (0, 1, 3)])
+        ids = {decompose(g)[0].content_id
+               for g in (base, moved, reweighted, doubled)}
+        assert len(ids) == 4
+
+    def test_coordinate_free_graphs_fall_back_to_ids(self):
+        g = GeomGraph()
+        g.add_node(3)
+        g.add_node(4)
+        g.add_edge(3, 4)
+        comp, = decompose(g)
+        assert comp.order == (3, 4)
+        assert comp.content_id  # hashable content, just not id-stable
+
+
+class TestCanonicalCodec:
+    def test_roundtrip_restores_min_node_polarity(self):
+        g = coord_graph([(4, (90, 0)), (5, (10, 0))], [(4, 5, 1)])
+        comp, = decompose(g)
+        cold = two_color(g)
+        canonical = encode_coloring(comp, cold)
+        assert canonical[0] == 0  # normalized to the canonical root
+        assert decode_coloring(comp, canonical) == cold
+        assert decode_coloring(comp, canonical)[comp.min_node] == 0
+
+
+class TestIncrementalRecolor:
+    def test_matches_cold_and_replays(self):
+        g = coord_graph(
+            [(i, (10 * i, 0)) for i in range(6)],
+            [(0, 1, 1), (1, 2, 1), (3, 4, 1)])
+        store = ArtifactCache()
+        cold = two_color(g)
+        warm1, s1 = two_color_incremental(g, store)
+        warm2, s2 = two_color_incremental(g, store)
+        assert warm1 == cold == warm2
+        assert s1.recolored == s1.components == 3
+        assert s2.reused == s2.components and s2.recolored == 0
+
+    def test_only_changed_component_recolors(self):
+        nodes = [(i, (10 * i, 0)) for i in range(4)]
+        a = coord_graph(nodes, [(0, 1, 1), (2, 3, 1)])
+        store = ArtifactCache()
+        two_color_incremental(a, store)
+        # Move one component's node; the other must replay.
+        b = coord_graph([(0, (0, 5)), (1, (10, 0)),
+                         (2, (20, 0)), (3, (30, 0))],
+                        [(0, 1, 1), (2, 3, 1)])
+        colors, stats = two_color_incremental(b, store)
+        assert colors == two_color(b)
+        assert stats.recolored == 1 and stats.reused == 1
+        assert [c.nodes for c in stats.dirty] == [(0, 1)]
+
+    def test_odd_component_fails_like_cold(self):
+        g = coord_graph([(0, (0, 0)), (1, (10, 0)), (2, (20, 0)),
+                         (3, (99, 99))],
+                        [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        store = ArtifactCache()
+        colors, stats = two_color_incremental(g, store)
+        assert colors is None and two_color(g) is None
+        # The verdict replays too — still None, no recoloring.
+        colors2, stats2 = two_color_incremental(g, store)
+        assert colors2 is None and stats2.recolored == 0
+
+    def test_self_loop_component_is_odd(self):
+        g = coord_graph([(0, (0, 0))], [(0, 0, 1)])
+        colors, _stats = two_color_incremental(g, ArtifactCache())
+        assert colors is None
+
+    def test_persisted_store_replays_across_instances(self, tmp_path):
+        g = coord_graph([(0, (0, 0)), (1, (10, 0))], [(0, 1, 1)])
+        two_color_incremental(g, ArtifactCache(str(tmp_path)))
+        fresh = ArtifactCache(str(tmp_path))
+        colors, stats = two_color_incremental(g, fresh)
+        assert colors == two_color(g)
+        assert stats.reused == stats.components == 1
+        assert fresh.stats(KIND_COLORING).hits == 1

@@ -2,7 +2,6 @@
 
 from repro.geometry import Rect
 from repro.layout import (
-    Technology,
     critical_fraction,
     extract_critical_features,
     layout_from_rects,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.layout import (
     GeneratorParams,
-    Technology,
     check_layout,
     conflict_grid_layout,
     figure1_layout,

@@ -1,6 +1,5 @@
 """Phase assignment and geometric verification tests."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

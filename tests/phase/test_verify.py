@@ -1,0 +1,129 @@
+"""Scoped verification and the incremental phase driver."""
+
+import pytest
+
+from repro.bench import build_design
+from repro.cache import KIND_COLORING, KIND_VERIFY, ArtifactCache
+from repro.conflict import build_layout_conflict_graph
+from repro.core import run_aapsm_flow
+from repro.graph import decompose
+from repro.layout import grating_layout
+from repro.phase import (
+    PHASE_0,
+    PHASE_180,
+    assign_and_verify_incremental,
+    assign_phases,
+    verify_assignment,
+    verify_key,
+)
+
+
+def corrected_design(name, tech):
+    return run_aapsm_flow(build_design(name), tech).corrected_layout
+
+
+class TestScopedVerify:
+    def test_scoped_union_equals_full_chip(self, tech):
+        """Component scopes partition the full check exactly — every
+        constraint appears in exactly one component's scope."""
+        lay = corrected_design("D2", tech)
+        cg, shifters, pairs = build_layout_conflict_graph(lay, tech)
+        assignment = assign_phases(cg)
+        # Break a couple of constraints so problems are non-trivial.
+        assignment.phases[0] = assignment.phases[1]
+        full = verify_assignment(shifters, assignment, tech, pairs=pairs)
+        union = []
+        num_shifters = len(shifters)
+        for comp in decompose(cg.graph):
+            scope = {n for n in comp.nodes if n < num_shifters}
+            union += verify_assignment(shifters, assignment, tech,
+                                       pairs=pairs, scope=scope)
+        assert sorted(union) == sorted(full)
+        assert full  # the broken constraint was actually caught
+
+    def test_scope_filters_out_of_scope_violations(self, tech):
+        cg, shifters, pairs = build_layout_conflict_graph(
+            grating_layout(4), tech)
+        assignment = assign_phases(cg)
+        assignment.phases[0] = assignment.phases[1]  # break feature 0
+        in_scope = verify_assignment(shifters, assignment, tech,
+                                     pairs=pairs, scope={0, 1})
+        far_scope = verify_assignment(shifters, assignment, tech,
+                                      pairs=pairs,
+                                      scope={len(shifters) - 1})
+        assert any("condition1" in p for p in in_scope)
+        assert far_scope == []
+
+    def test_empty_scope_checks_nothing(self, tech):
+        cg, shifters, pairs = build_layout_conflict_graph(
+            grating_layout(3), tech)
+        assignment = assign_phases(cg)
+        assignment.phases[0] = assignment.phases[1]
+        assert verify_assignment(shifters, assignment, tech,
+                                 pairs=pairs, scope=set()) == []
+
+    def test_scope_recomputes_pairs_when_not_given(self, tech):
+        """Scoping must not cost the verifier its oracle independence:
+        without pairs it still derives them from geometry."""
+        cg, shifters, pairs = build_layout_conflict_graph(
+            grating_layout(4), tech)
+        assignment = assign_phases(cg)
+        scope = set(range(len(shifters)))
+        assert (verify_assignment(shifters, assignment, tech, scope=scope)
+                == verify_assignment(shifters, assignment, tech,
+                                     pairs=pairs, scope=scope))
+
+
+class TestIncrementalDriver:
+    @pytest.mark.parametrize("name", ["D1", "D2"])
+    def test_equals_cold_assign_and_verify(self, tech, name):
+        lay = corrected_design(name, tech)
+        cg, shifters, pairs = build_layout_conflict_graph(lay, tech)
+        cold = assign_phases(cg)
+        cold_problems = verify_assignment(shifters, cold, tech,
+                                          pairs=pairs)
+        store = ArtifactCache()
+        warm1, p1, s1 = assign_and_verify_incremental(cg, tech, pairs,
+                                                      store)
+        warm2, p2, s2 = assign_and_verify_incremental(cg, tech, pairs,
+                                                      store)
+        assert warm1.phases == cold.phases == warm2.phases
+        assert sorted(p1) == sorted(cold_problems) == sorted(p2)
+        assert s1.chip_wide  # cold store: everything recolored
+        assert s2.coloring_hits == s2.components and s2.recolored == 0
+        assert s2.verify_hits == s2.components and s2.verified == 0
+
+    def test_non_bipartite_returns_none(self, tech):
+        cg, _s, pairs = build_layout_conflict_graph(build_design("D1"),
+                                                    tech)
+        assert assign_phases(cg) is None
+        assignment, problems, stats = assign_and_verify_incremental(
+            cg, tech, pairs, ArtifactCache())
+        assert assignment is None and problems == []
+        assert stats.verified == 0  # nothing to verify without phases
+
+    def test_phases_are_0_and_180(self, tech):
+        cg, _s, pairs = build_layout_conflict_graph(grating_layout(3),
+                                                    tech)
+        assignment, _p, _s2 = assign_and_verify_incremental(
+            cg, tech, pairs, ArtifactCache())
+        assert set(assignment.phases.values()) <= {PHASE_0, PHASE_180}
+
+    def test_store_kinds_populated(self, tech):
+        cg, _s, pairs = build_layout_conflict_graph(grating_layout(4),
+                                                    tech)
+        store = ArtifactCache()
+        _a, _p, stats = assign_and_verify_incremental(cg, tech, pairs,
+                                                      store)
+        assert store.stats(KIND_COLORING).misses == stats.components
+        assert store.stats(KIND_VERIFY).misses == stats.components
+
+
+class TestVerifyKey:
+    def test_depends_on_content_and_tech(self, tech):
+        from repro.layout import Technology
+
+        assert verify_key("abc", tech) == verify_key("abc", tech)
+        assert verify_key("abc", tech) != verify_key("abd", tech)
+        assert (verify_key("abc", tech)
+                != verify_key("abc", Technology.node_65nm()))

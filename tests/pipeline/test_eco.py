@@ -17,6 +17,7 @@ from repro.core import flow_result_dict, flow_result_from_pipeline
 from repro.geometry import Rect
 from repro.layout import Layout, layout_from_rects
 from repro.pipeline import (
+    EcoResult,
     PipelineConfig,
     diff_layouts,
     isolated_interior_features,
@@ -169,3 +170,124 @@ class TestEcoEquivalence:
                            cache=cache, warm_base=False)
         assert eco.base is None
         assert eco.result.detection.cache_misses == eco.plan.num_dirty
+
+
+class TestSpeedupHardening:
+    """EcoResult.speedup must never be a division-by-near-zero artifact."""
+
+    def _result(self, base, eco):
+        return EcoResult(plan=None, result=None,
+                         base_seconds=base, eco_seconds=eco)
+
+    def test_zero_cold_baseline_reports_zero(self):
+        assert self._result(0.0, 0.5).speedup == 0.0
+
+    def test_near_zero_cold_baseline_reports_zero(self):
+        assert self._result(1e-12, 0.5).speedup == 0.0
+
+    def test_prewarmed_run_has_no_baseline(self, tech):
+        base = build_design("D1")
+        edited, _ = propose_eco_edit(base, tech)
+        cache = TileCache()
+        run_pipeline(base, tech, PipelineConfig(tiles=2), cache=cache)
+        eco = run_eco_flow(base, edited, tech,
+                           config=PipelineConfig(tiles=2),
+                           cache=cache, warm_base=False)
+        assert eco.base_seconds == 0.0
+        assert eco.speedup == 0.0
+
+    def test_normal_ratio(self):
+        assert self._result(3.0, 1.5).speedup == pytest.approx(2.0)
+
+    def test_zero_warm_time_is_finite(self):
+        assert self._result(1.0, 0.0).speedup == pytest.approx(1e9)
+
+
+def critical_isolated_edit(layout, tech):
+    """A single-feature ECO edit that moves shifters (dirties exactly
+    one conflict-graph component) while staying conflict-neutral."""
+    from repro.shifters import generate_shifters
+
+    shifters = generate_shifters(layout, tech)
+    for index in isolated_interior_features(layout, tech):
+        if shifters.of_feature(index):
+            return perturb_feature(layout, index)
+    raise AssertionError("no critical isolated feature")
+
+
+class TestWarmPathIncremental:
+    """The tentpole acceptance: a warm ECO run performs no chip-wide
+    coloring, verification, or window re-solve — only dirty
+    components/windows recompute — and the domain report is
+    byte-identical to a cold run."""
+
+    @pytest.mark.parametrize("name,tiles", ECO_CASES)
+    def test_conflict_graph_neutral_edit_replays_everything(
+            self, tech, name, tiles):
+        """The canonical edit touches a non-critical polygon: the
+        conflict graph and windows are untouched, so the warm phase
+        and correction stages do zero recompute work."""
+        base = build_design(name)
+        edited, _ = propose_eco_edit(base, tech)
+        eco = run_eco_flow(base, edited, tech,
+                           config=PipelineConfig(tiles=tiles))
+        r = eco.result
+        assert r.phase.incremental
+        assert r.phase.recolored == 0 and r.phase.verified == 0
+        assert r.phase.coloring_hits == r.phase.components > 0
+        assert r.correction.cache_misses == 0
+        assert (r.correction.cache_hits
+                == r.correction.report.num_windows)
+
+    @pytest.mark.parametrize("name,tiles", ECO_CASES)
+    def test_shifter_moving_edit_recolors_one_component(
+            self, tech, name, tiles):
+        base = build_design(name)
+        edited = critical_isolated_edit(base, tech)
+        cfg = PipelineConfig(tiles=tiles)
+        cold = run_pipeline(edited, tech, cfg, cache=TileCache())
+        eco = run_eco_flow(base, edited, tech,
+                           config=PipelineConfig(tiles=tiles))
+        r = eco.result
+        assert canonical(r) == canonical(cold)
+        assert r.phase.recolored == 1 and r.phase.verified == 1
+        assert r.phase.coloring_hits == r.phase.components - 1
+        assert r.phase.verify_hits == r.phase.components - 1
+        assert r.correction.cache_misses == 0
+
+    def test_artifact_cache_counts_view(self, tech):
+        base = build_design("D1")
+        edited, _ = propose_eco_edit(base, tech)
+        eco = run_eco_flow(base, edited, tech,
+                           config=PipelineConfig(tiles=2))
+        counts = eco.result.artifact_cache_counts()
+        assert set(counts) == {"tile", "window", "coloring", "verify"}
+        assert counts["tile"] == eco.result.cache_counts()
+        assert counts["window"][1] == 0  # no window re-solves when warm
+
+    def test_summary_reports_incremental_stages(self, tech):
+        base = build_design("D1")
+        edited, _ = propose_eco_edit(base, tech)
+        eco = run_eco_flow(base, edited, tech,
+                           config=PipelineConfig(tiles=2))
+        text = eco.summary()
+        assert "window(s) replayed" in text
+        assert "component(s) replayed" in text
+
+    def test_persistent_store_across_processes_shape(self, tech,
+                                                     tmp_path):
+        """Cold run persists tile/window/coloring/verify artifacts; a
+        fresh store in a new 'process' replays them all."""
+        base = build_design("D2")
+        edited, _ = propose_eco_edit(base, tech)
+        cfg = PipelineConfig(tiles=3, cache_dir=str(tmp_path))
+        run_pipeline(base, tech, cfg)
+        from repro.cache import ArtifactCache
+
+        eco = run_eco_flow(base, edited, tech, config=cfg,
+                           cache=ArtifactCache(str(tmp_path)),
+                           warm_base=False)
+        r = eco.result
+        assert r.detection.cache_hits == eco.plan.num_clean
+        assert r.phase.recolored == 0
+        assert r.correction.cache_misses == 0

@@ -1,9 +1,7 @@
 """Shifter generation tests."""
 
-import pytest
-
 from repro.geometry import Rect
-from repro.layout import Technology, layout_from_rects
+from repro.layout import layout_from_rects
 from repro.shifters import (
     LEFT,
     RIGHT,

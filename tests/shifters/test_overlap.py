@@ -3,7 +3,7 @@
 import pytest
 
 from repro.geometry import Rect
-from repro.layout import Technology, layout_from_rects
+from repro.layout import layout_from_rects
 from repro.shifters import (
     find_overlap_pairs,
     generate_shifters,

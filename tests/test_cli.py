@@ -231,3 +231,37 @@ class TestGenerateAndTables:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestBench:
+    def test_bench_table(self, capsys):
+        assert main(["bench", "--designs", "D1"]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark suite" in out
+        assert "D1" in out
+
+    def test_bench_json_uses_flow_report_plumbing(self, capsys):
+        import json as json_mod
+
+        assert main(["bench", "--designs", "D1", "--incremental",
+                     "--json"]) == 0
+        captured = capsys.readouterr()
+        data = json_mod.loads(captured.out)  # stdout is pure JSON
+        assert data["subset"] is None  # --designs overrides --subset
+        assert data["selected"] == ["D1"]
+        (design,) = data["designs"]
+        assert design["design"] == "D1"
+        # Same sections as `repro flow --json`, plus wall clock and
+        # the per-stage artifact-cache accounting.
+        for key in ("detection", "correction", "post_detection",
+                    "phases", "pipeline", "wall_seconds"):
+            assert key in design, key
+        pipe = design["pipeline"]
+        assert pipe["phase"]["incremental"] is True
+        assert "correct_cache" in pipe
+
+    def test_bench_json_progress_on_stderr(self, capsys):
+        main(["bench", "--designs", "D1", "--json"])
+        captured = capsys.readouterr()
+        assert "D1:" in captured.err
+        assert "D1:" not in captured.out.splitlines()[0]

@@ -4,8 +4,6 @@ These are the executable versions of the paper's illustrative figures;
 the corresponding tables live in ``benchmarks/``.
 """
 
-import pytest
-
 from repro.conflict import (
     FG,
     PCG,
@@ -15,7 +13,6 @@ from repro.conflict import (
 from repro.correction import plan_correction
 from repro.graph import (
     build_gadget_graph,
-    count_crossings,
     is_bipartite,
     min_tjoin_gadget,
     min_tjoin_shortest_paths,

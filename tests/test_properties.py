@@ -8,7 +8,6 @@ and detection idempotence.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
