@@ -87,6 +87,10 @@ def test_eco_speedup_d8(benchmark, tech, collect_row):
     assert eco.result.detection.cache_misses == eco.plan.num_dirty
     assert eco.result.detection.cache_hits == eco.plan.num_clean
     assert 0 < eco.plan.num_dirty < eco.plan.num_tiles
+    # The incremental front end: zero clean-tile shifter regeneration
+    # on the warm D8 run.
+    assert eco.result.front.cache_misses == eco.plan.num_dirty
+    assert eco.result.front.cache_hits == eco.plan.num_clean
     # Same machinery as the D5 equivalence case; here the cheap proxy
     # (identical conflict sets between the base and the
     # conflict-neutral edit) avoids paying a second full cold run.

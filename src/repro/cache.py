@@ -8,6 +8,11 @@ namespaced by *artifact kind*:
 ========= ==========================================================
 kind      value / key inputs
 ========= ==========================================================
+frontend  a tile's front end — owned shifters + overlap pairs in
+          coordinate-anchored identity
+          (:class:`~repro.shifters.frontend.TileFrontEnd`); key
+          hashes the captured geometry, rule deck and ownership
+          window (:func:`repro.shifters.frontend.frontend_cache_key`).
 tile      :class:`~repro.chip.executor.TileResult`; key hashes the
           captured geometry, rule deck, graph kind/method and the
           ownership window (:func:`repro.chip.cache.tile_cache_key`).
@@ -39,12 +44,14 @@ import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+KIND_FRONTEND = "frontend"
 KIND_TILE = "tile"
 KIND_WINDOW = "window"
 KIND_COLORING = "coloring"
 KIND_VERIFY = "verify"
 
-ARTIFACT_KINDS = (KIND_TILE, KIND_WINDOW, KIND_COLORING, KIND_VERIFY)
+ARTIFACT_KINDS = (KIND_FRONTEND, KIND_TILE, KIND_WINDOW,
+                  KIND_COLORING, KIND_VERIFY)
 
 
 @dataclass
@@ -102,6 +109,14 @@ class ArtifactCache:
 
     # ------------------------------------------------------------------
     def get(self, kind: str, key: str) -> Optional[Any]:
+        """Fetch one artifact, counting the hit or miss for ``kind``.
+
+        Checks the in-memory layer first, then the directory (promoting
+        disk hits into memory).  Missing, corrupt, or unpicklable
+        entries degrade to ``None`` — a miss, never an exception — so a
+        stale cache directory can only cost recomputation, not
+        correctness.
+        """
         value = self._memory.get((kind, key))
         if value is None and self.cache_dir:
             try:
@@ -121,6 +136,13 @@ class ArtifactCache:
         return copier() if copier is not None else value
 
     def put(self, kind: str, key: str, value: Any) -> None:
+        """Store one artifact under ``(kind, key)``.
+
+        Persistent stores write via a temp file renamed atomically into
+        place, so a crashed or concurrent run never leaves a truncated
+        entry; ``put`` is idempotent (same key, same content) because
+        keys are content hashes of every input the value depends on.
+        """
         self._memory[(kind, key)] = value
         if not self.cache_dir:
             return

@@ -25,11 +25,8 @@ from ..conflict import PCG, DetectionReport, build_layout_conflict_graph, \
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology, tshape_feature_indices
 from ..shifters import region_center2
+from ..shifters.frontend import ShifterKey
 from .partition import Bounds, Tile, interaction_distance
-
-# A canonical shifter key: the guarded feature's rect (as a plain
-# tuple) plus which side of it the shifter sits on.
-ShifterKey = Tuple[Tuple[int, int, int, int], str]
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ from ..layout import Layout, Technology
 from .cache import TileCache, tile_cache_key
 from .executor import TileResult, detect_tile, make_jobs, \
     resolve_executor
-from .partition import TileSpec, partition_layout
+from .partition import TileGrid, TileSpec, partition_layout
 from .stitch import stitch_results
 
 
@@ -106,8 +106,15 @@ def run_chip_flow(layout: Layout, tech: Technology,
                   kind: str = PCG,
                   method: str = METHOD_GADGET,
                   halo: Optional[int] = None,
-                  shifters=None) -> ChipReport:
+                  shifters=None,
+                  grid: Optional[TileGrid] = None) -> ChipReport:
     """Tiled, parallel, cached full-chip conflict detection.
+
+    Deterministic by construction: the partition, per-tile detection
+    (tie-free generic weights), and cluster-arbitrated stitching are
+    all pure functions of ``(layout, tech, tiles, halo, kind,
+    method)``, so two runs — serial or parallel, cold or cached —
+    produce the identical chip-level report.
 
     Args:
         layout: the chip layout.
@@ -124,6 +131,10 @@ def run_chip_flow(layout: Layout, tech: Technology,
         halo: capture halo in nm (default from the rule deck).
         shifters: the layout's already-generated global shifter set
             (skips regeneration in the stitcher).
+        grid: an already-computed partition of ``layout`` (e.g. the
+            tiled front-end stage's); must have been produced with the
+            same ``tiles``/``halo``/``jobs`` arguments.  None
+            partitions here.
 
     Returns:
         A :class:`ChipReport`; ``report.detection`` is a chip-level
@@ -132,8 +143,9 @@ def run_chip_flow(layout: Layout, tech: Technology,
         passes reports each pass separately).
     """
     start = time.perf_counter()
-    grid = partition_layout(layout, tech, tiles=tiles, halo=halo,
-                            jobs=jobs)
+    if grid is None:
+        grid = partition_layout(layout, tech, tiles=tiles, halo=halo,
+                                jobs=jobs)
     if cache is None:
         cache = TileCache(cache_dir)
     hits0, misses0 = cache.hits, cache.misses

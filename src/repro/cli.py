@@ -81,7 +81,9 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=os.cpu_count(),
                         help="worker processes (default: all cores)")
     parser.add_argument("--cache-dir",
-                        help="persistent per-tile result cache directory")
+                        help="persistent artifact store directory "
+                             "(front ends, tile results, window "
+                             "solutions, colorings, verdicts)")
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable JSON report "
                              "(counts, timings, cache hit rate)")
@@ -195,11 +197,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
     flow --json`` (detection/correction/phases plus per-stage cache
     deltas), so CI and regression tooling consume one format across
     flow, chip, eco, and bench runs.
+
+    With ``--cache-dir`` (or ``--incremental``) the whole suite runs
+    over **one persistent artifact store**: every design's tile,
+    front-end, window, coloring, and verifier artifacts land in the
+    same content-addressed directory, so re-invoking the suite against
+    the same ``--cache-dir`` is a warm-path run — the regression
+    surface for incremental behaviour.  The aggregate per-kind
+    counters are reported (``cache_kinds`` in ``--json``, a footer
+    line otherwise).
     """
     from .core import flow_result_dict
 
     tech = TECH_PRESETS[args.tech]()
     names = args.designs or design_names(args.subset)
+    # --cache-dir implies the incremental (tiled, store-backed) path:
+    # a persistent store is meaningless to the untiled pipeline.
+    incremental = args.incremental or bool(args.cache_dir)
+    store = None
+    if incremental:
+        from .cache import ArtifactCache
+
+        store = ArtifactCache(args.cache_dir)
     rows: List[dict] = []
     reports: List[dict] = []
     all_ok = True
@@ -208,8 +227,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         start = time.perf_counter()
         result = run_aapsm_flow(layout, tech, cover=args.cover,
                                 tiles=args.tiles, jobs=args.jobs,
-                                cache_dir=args.cache_dir,
-                                incremental=args.incremental)
+                                cache_dir=args.cache_dir, cache=store,
+                                incremental=incremental)
         wall = time.perf_counter() - start
         all_ok &= result.success
         report = flow_result_dict(result)
@@ -229,11 +248,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
         _note(args, f"{name}: {wall:.2f}s")
     if args.json:
         # --designs overrides --subset; don't mislabel explicit runs.
-        print(json.dumps({"subset": None if args.designs else args.subset,
-                          "selected": names, "designs": reports},
-                         indent=2, sort_keys=True))
+        out = {"subset": None if args.designs else args.subset,
+               "selected": names, "designs": reports}
+        if store is not None:
+            out["cache_dir"] = args.cache_dir
+            out["cache_kinds"] = {
+                kind: {"hits": hits, "misses": misses}
+                for kind, (hits, misses) in sorted(
+                    store.counters().items())}
+        print(json.dumps(out, indent=2, sort_keys=True))
     else:
         print(format_table(rows, "Benchmark suite — staged pipeline"))
+        if store is not None:
+            print(store.summary())
     return 0 if all_ok else 1
 
 
@@ -332,8 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cover", choices=["auto", "greedy", "exact"],
                    default="auto")
     p.add_argument("--incremental", action="store_true",
-                   help="run tiled with the artifact cache (see "
-                        "`repro flow --incremental`)")
+                   help="run tiled with the artifact cache (implied "
+                        "by --cache-dir; the whole suite shares one "
+                        "store, so a re-run against the same "
+                        "--cache-dir exercises the warm path)")
     _add_scale_arguments(p)
     _add_tech_argument(p)
     p.set_defaults(func=cmd_bench)

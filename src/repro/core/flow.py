@@ -99,14 +99,32 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
                    incremental: bool = False) -> FlowResult:
     """Detect conflicts, insert spaces, verify, and assign phases.
 
-    With ``tiles`` set (or ``incremental=True``), both detection passes
-    run through the tiled chip orchestrator
-    (:func:`repro.chip.run_chip_flow`) — partitioned, optionally
-    multi-process (``jobs``), with one shared per-tile result cache
-    (``cache_dir``/``cache``): tiles the correction leaves untouched
-    are hits in the post-correction pass, and a persistent cache makes
-    a re-run after an edit recompute only dirty tiles (see
+    Args:
+        layout: the input layout (poly layer as rectangles).
+        tech: rule deck.
+        kind: conflict-graph kind ("pcg", the paper's, or "fg").
+        method: bipartization engine per detection pass.
+        cover: set-cover solver ("auto"/"greedy"/"exact").
+        tiles: tile grid spec; enables the tiled path.
+        jobs: worker processes for tiled detection.
+        cache_dir: directory for the persistent artifact store.
+        cache: an existing store (overrides ``cache_dir``).
+        incremental: run tiled (with a jobs-blind pinned auto grid)
+            even when ``tiles`` is None.
+
+    With ``tiles`` set (or ``incremental=True``), shifter generation
+    and both detection passes run tile-scoped through the shared
+    artifact store (``cache_dir``/``cache``; kinds ``frontend`` and
+    ``tile``, plus ``window``/``coloring``/``verify`` downstream):
+    tiles the correction leaves untouched are hits in the
+    post-correction pass, and a persistent store makes a re-run after
+    an edit recompute only dirty tiles — shifters included (see
     :mod:`repro.pipeline.eco`).
+
+    Determinism guarantee: the domain outcome (conflicts, cuts,
+    phases, area) is identical across every configuration of
+    ``tiles``/``jobs``/``cache`` — the knobs trade wall-clock and
+    reuse, never the answer.
     """
     if incremental and tiles is None:
         # Pin the auto grid jobs-blind, exactly as the ECO scheduler

@@ -109,13 +109,24 @@ def pipeline_dict(pipe, timings: bool = True) -> Dict[str, Any]:
     per-stage deltas of the unified artifact store (window solutions,
     component colorings, verifier verdicts), so a warm ECO's "only
     dirty work recomputed" property is assertable straight off the
-    JSON report.
+    JSON report.  ``frontend_cache`` is the ``frontend`` kind's delta
+    over the whole run (``front_cache`` / ``verify_front_cache`` split
+    it per front-end pass): on a warm run ``front_cache.misses`` is
+    exactly the dirty-tile count — zero clean-tile shifter
+    regeneration.
     """
     hits, misses = pipe.cache_counts()
+    fe_hits, fe_misses = pipe.frontend_cache_counts()
     out: Dict[str, Any] = {
         "tiled": pipe.tiled,
         "front_reused_for_verify": pipe.verification.front_reused,
         "cache": cache_dict(hits, misses),
+        "frontend_cache": cache_dict(fe_hits, fe_misses),
+        "front_cache": cache_dict(pipe.front.cache_hits,
+                                  pipe.front.cache_misses),
+        "verify_front_cache": cache_dict(
+            pipe.verification.front.cache_hits,
+            pipe.verification.front.cache_misses),
         "detect_cache": cache_dict(pipe.detection.cache_hits,
                                    pipe.detection.cache_misses),
         "verify_cache": cache_dict(pipe.verification.cache_hits,
@@ -153,6 +164,11 @@ def eco_result_dict(eco, timings: bool = True) -> Dict[str, Any]:
             "bbox_changed": plan.bbox_changed,
             "features_added": len(plan.diff.added),
             "features_removed": len(plan.diff.removed),
+            # Front-end dirtiness coincides with tile dirtiness by
+            # construction (shared geometric key inputs); spelled out
+            # so warm-path assertions read straight off the JSON.
+            "frontend": {"num_dirty": plan.num_dirty,
+                         "num_clean": plan.num_clean},
         },
         "flow": flow_result_dict(flow_result_from_pipeline(eco.result),
                                  timings=timings),

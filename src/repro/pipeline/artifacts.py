@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..chip import ChipReport
+from ..chip.partition import TileGrid
 from ..conflict import DetectionReport
 from ..correction import CorrectionReport
 from ..layout import Layout
@@ -37,12 +38,26 @@ class FrontEnd:
     Reused by every stage working on the same revision: graph builds,
     correction planning, chip-level stitching, and the geometric phase
     verifier.
+
+    On the tiled path (``tiled`` True) the shifter set and pair list
+    were spliced from per-tile ``frontend`` artifacts — byte-identical
+    to the monolithic pass — and ``cache_hits`` / ``cache_misses`` are
+    this pass's own store delta (``cache_misses`` counts the tiles
+    whose shifters were actually regenerated; a fully warm revision
+    reports 0 misses).  ``grid`` carries the partition so the detect
+    stage can reuse it instead of re-partitioning; :func:`run_pipeline`
+    clears it once both detection passes have consumed it, so retained
+    results do not pin tile sub-layouts in memory.
     """
 
     layout: Layout
     shifters: ShifterSet
     pairs: List[OverlapPair]
     seconds: float = 0.0
+    grid: Optional[TileGrid] = None
+    tiled: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass
@@ -164,9 +179,19 @@ class PipelineResult:
                   + self.verification.cache_misses)
         return hits, misses
 
+    def frontend_cache_counts(self) -> Tuple[int, int]:
+        """(hits, misses) of the ``frontend`` kind over both front-end
+        passes (base revision + corrected revision; the second is
+        all-zero when the verify stage reused the base front end)."""
+        hits = self.front.cache_hits + self.verification.front.cache_hits
+        misses = (self.front.cache_misses
+                  + self.verification.front.cache_misses)
+        return hits, misses
+
     def artifact_cache_counts(self) -> Dict[str, Tuple[int, int]]:
         """(hits, misses) per artifact kind across the whole run."""
         return {
+            "frontend": self.frontend_cache_counts(),
             "tile": self.cache_counts(),
             "window": (self.correction.cache_hits,
                        self.correction.cache_misses),

@@ -3,10 +3,13 @@
 An engineering change order (ECO) edits a few polygons of a chip that
 has already been through the flow.  Because per-tile detection results
 are content-addressed (:func:`repro.chip.cache.tile_cache_key` hashes
-exactly the geometry a tile captured), re-running the pipeline on the
-edited layout with the base run's cache recomputes *only* the tiles
-whose capture window intersects the edit; every clean tile's cached
-result is spliced back into the stitched chip report unchanged.
+exactly the geometry a tile captured) — and, since the incremental
+front end, per-tile shifter sets and overlap pairs are too
+(:func:`repro.shifters.frontend.frontend_cache_key`) — re-running the
+pipeline on the edited layout with the base run's cache recomputes
+*only* the tiles whose capture window intersects the edit; every clean
+tile's cached front end and detection result are spliced back into the
+chip-level view unchanged.
 
 :func:`plan_eco` predicts that dirty set by diffing the two layouts'
 partitions — the same comparison the cache keys make — so the ECO
@@ -69,6 +72,14 @@ class EcoPlan:
     ``dirty`` tiles are exactly those whose cache key changes between
     the base and edited layouts: a different captured-geometry multiset
     or (after a bounding-box change) different grid cut lines.
+
+    The same diff marks *front-end* dirtiness: the ``frontend`` and
+    ``tile`` cache keys hash the identical geometric inputs (captured
+    multiset + owner window + rule deck; the tile key merely adds the
+    graph kind/method, which no layout edit changes), so a warm run
+    regenerates shifters for exactly ``dirty`` and replays a cached
+    front end for exactly ``clean`` — the accounting
+    :meth:`EcoResult.summary` and the ECO test suite assert.
     """
 
     grid: TileGrid                      # partition of the edited layout
@@ -88,6 +99,17 @@ class EcoPlan:
     @property
     def num_clean(self) -> int:
         return len(self.clean)
+
+    @property
+    def frontend_dirty(self) -> List[Tuple[int, int]]:
+        """Tiles whose front end must regenerate — identical to
+        ``dirty`` by construction (shared key inputs, see class doc)."""
+        return self.dirty
+
+    @property
+    def frontend_clean(self) -> List[Tuple[int, int]]:
+        """Tiles whose cached front end replays on a warm run."""
+        return self.clean
 
 
 def plan_eco(base: Layout, edited: Layout, tech: Technology,
@@ -222,6 +244,12 @@ class EcoResult:
             f"{self.plan.num_clean} clean of {self.plan.num_tiles}"
             + (" (bbox changed: full recompute)"
                if self.plan.bbox_changed else ""),
+            f"front end: {r.front.cache_hits} tile(s) replayed, "
+            f"{r.front.cache_misses} regenerated"
+            + (f" (verify pass: {r.verification.front.cache_hits} "
+               f"replayed, {r.verification.front.cache_misses} "
+               f"regenerated)"
+               if not r.verification.front_reused else ""),
             f"detect pass: {r.detection.cache_hits} cached, "
             f"{r.detection.cache_misses} recomputed; verify pass: "
             f"{r.verification.cache_hits} cached, "
@@ -247,9 +275,14 @@ def run_eco_flow(base: Layout, edited: Layout, tech: Technology,
                  cache: PipelineCache = None,
                  warm_base: bool = True) -> EcoResult:
     """Run the edited layout through the pipeline, reusing every clean
-    tile, window solution, and component coloring of the base run.
+    tile front end, tile result, window solution, and component
+    coloring of the base run.
 
     Args:
+        base: the already-flowed reference revision.
+        edited: the revision to re-run incrementally.
+        tech: rule deck (must match the warming run's, or every
+            content key misses).
         config: pipeline knobs; the tile grid is pinned from the base
             layout so both revisions partition identically.
         cache: an artifact store already warmed by a previous base run
@@ -264,6 +297,14 @@ def run_eco_flow(base: Layout, edited: Layout, tech: Technology,
         An :class:`EcoResult`; ``result`` is a full
         :class:`~repro.pipeline.artifacts.PipelineResult` on the edited
         layout, indistinguishable from a cold run's.
+
+    Determinism guarantee: equivalence is structural, not timed-out —
+    every cache key covers every input its artifact depends on, so the
+    warm result equals the cold result byte for byte; the accounting
+    (``plan`` dirty set, per-stage hit/miss deltas) proves how little
+    was recomputed (on the canonical single-feature edit: shifters and
+    detection recompute for dirty tiles only, zero window re-solves,
+    zero recolors).
     """
     config = config or PipelineConfig()
     spec = resolve_eco_tiles(base, config.tiles)

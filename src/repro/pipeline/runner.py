@@ -13,7 +13,13 @@ the old monolithic ``run_aapsm_flow`` body:
 
 * shifter generation runs **once per layout revision** and is shared
   by detection, correction planning, stitching, and the phase
-  verifier (previously regenerated up to four times);
+  verifier (previously regenerated up to four times); on the tiled
+  path it runs *per capture-window tile* over the same partition
+  detection uses, with per-tile front ends content-addressed in the
+  shared store (kind ``frontend``) — a warm ECO run regenerates
+  shifters only for dirty tiles and splices every clean tile's cached
+  front end back into the exact monolithic shifter numbering
+  (:mod:`repro.shifters.frontend`);
 * both detection passes can run tiled through
   :func:`repro.chip.run_chip_flow` with one shared
   :class:`~repro.chip.TileCache`, and each pass records its own cache
@@ -33,7 +39,7 @@ from typing import Optional, Union
 
 from ..cache import KIND_WINDOW, ArtifactCache, as_store
 from ..chip import TileCache, run_chip_flow
-from ..chip.partition import TileSpec
+from ..chip.partition import TileSpec, partition_layout
 from ..conflict import (
     PCG,
     build_layout_conflict_graph,
@@ -48,6 +54,7 @@ from ..phase import (
     assign_phases,
     verify_assignment,
 )
+from ..shifters import SpliceError, has_duplicate_features, tiled_front_end
 from .artifacts import (
     AssignmentArtifact,
     CorrectionArtifact,
@@ -90,12 +97,53 @@ class PipelineConfig:
 # ----------------------------------------------------------------------
 # Stages
 # ----------------------------------------------------------------------
-def stage_front_end(layout: Layout, tech: Technology) -> FrontEnd:
-    """Stage 1 — shifter generation for one layout revision."""
+def stage_front_end(layout: Layout, tech: Technology,
+                    config: Optional[PipelineConfig] = None,
+                    cache: PipelineCache = None) -> FrontEnd:
+    """Stage 1 — shifter generation for one layout revision.
+
+    With a tiled ``config`` the front end runs per capture-window tile
+    over the same partition the detect stage uses (``config.tiles`` /
+    ``halo`` / ``jobs`` steer both identically): each tile's owned
+    shifters and overlap pairs are content-addressed in the shared
+    store under the ``frontend`` kind, clean tiles replay their cached
+    artifact, and only dirty tiles regenerate — the artifact's
+    ``cache_hits`` / ``cache_misses`` record exactly that split.  The
+    spliced result is byte-identical to the monolithic pass (same
+    dense shifter ids in feature order, same sorted pair list), so
+    every consumer downstream is oblivious to which path ran.
+
+    Layouts with duplicate feature rectangles (which defeat the
+    coordinate-anchored artifact keys) and empty layouts fall back to
+    the monolithic pass.  Called with just ``(layout, tech)`` — the
+    historical signature — the stage is the plain monolithic front
+    end.
+    """
     start = time.perf_counter()
+    store = as_store(cache)
+    grid = None
+    if config is not None and config.is_tiled \
+            and not has_duplicate_features(layout):
+        grid = partition_layout(layout, tech, tiles=config.tiles,
+                                halo=config.halo, jobs=config.jobs)
+        if grid.bbox is not None:
+            try:
+                shifters, pairs, hits, misses = tiled_front_end(
+                    layout, tech, grid.tiles, store=store)
+            except SpliceError:
+                # A stale or foreign artifact; recompute monolithically
+                # rather than fail the revision.
+                pass
+            else:
+                return FrontEnd(layout=layout, shifters=shifters,
+                                pairs=pairs, grid=grid, tiled=True,
+                                cache_hits=hits, cache_misses=misses,
+                                seconds=time.perf_counter() - start)
+    # Monolithic fallback; any partition already computed still rides
+    # along so the detect stage does not re-partition.
     shifters, pairs = layout_front_end(layout, tech)
     return FrontEnd(layout=layout, shifters=shifters, pairs=pairs,
-                    seconds=time.perf_counter() - start)
+                    grid=grid, seconds=time.perf_counter() - start)
 
 
 def stage_detect(front: FrontEnd, tech: Technology,
@@ -105,7 +153,9 @@ def stage_detect(front: FrontEnd, tech: Technology,
 
     Tiled when the config says so (partition -> execute -> stitch with
     the shared cache); monolithic otherwise, reusing the front end for
-    the graph build.
+    the graph build.  A front end that already carries a partition
+    (the tiled front-end stage ran) hands its grid to the orchestrator
+    so the layout is partitioned once per revision, not once per pass.
     """
     start = time.perf_counter()
     if config.is_tiled:
@@ -114,7 +164,8 @@ def stage_detect(front: FrontEnd, tech: Technology,
         chip = run_chip_flow(front.layout, tech, tiles=config.tiles,
                              jobs=config.jobs, cache=tiles,
                              kind=config.kind, method=config.method,
-                             halo=config.halo, shifters=front.shifters)
+                             halo=config.halo, shifters=front.shifters,
+                             grid=front.grid)
         return DetectionArtifact(
             report=chip.detection, front=front, chip=chip,
             cache_hits=chip.cache_hits, cache_misses=chip.cache_misses,
@@ -170,10 +221,12 @@ def stage_verify(correction: CorrectionArtifact, tech: Technology,
     if correction.unchanged:
         front = FrontEnd(layout=correction.corrected_layout,
                          shifters=base_front.shifters,
-                         pairs=base_front.pairs, seconds=0.0)
+                         pairs=base_front.pairs, seconds=0.0,
+                         grid=base_front.grid, tiled=base_front.tiled)
         reused = True
     else:
-        front = stage_front_end(correction.corrected_layout, tech)
+        front = stage_front_end(correction.corrected_layout, tech,
+                                config, cache=cache)
         reused = False
     artifact = stage_detect(front, tech, config, cache=cache)
     artifact.front_reused = reused
@@ -233,13 +286,34 @@ def run_pipeline(layout: Layout, tech: Technology,
                  cache: PipelineCache = None) -> PipelineResult:
     """Run the full staged pipeline on one layout.
 
-    ``cache`` (an :class:`~repro.cache.ArtifactCache`, or a
-    :class:`~repro.chip.TileCache` wrapping one) shares one artifact
-    store across every stage *and* across calls — pass the same store
-    for a base and an edited run and only dirty tiles, windows, and
-    graph components recompute (the ECO warm path).  A tiled config
-    with no cache gets a fresh store at ``config.cache_dir``; an
-    untiled, uncached run stays on the historical chip-wide code path.
+    Args:
+        layout: the layout revision to push through detect → correct
+            → re-verify → assign.
+        tech: rule deck.
+        config: pipeline knobs (graph kind, bipartization method,
+            set-cover solver, tile grid, workers, halo); defaults to
+            the untiled monolithic configuration.
+        cache: an :class:`~repro.cache.ArtifactCache` (or a
+            :class:`~repro.chip.TileCache` wrapping one) shared by
+            every stage *and* across calls — pass the same store for a
+            base and an edited run and only dirty tiles, windows, and
+            graph components recompute (the ECO warm path).  A tiled
+            config with no cache gets a fresh store at
+            ``config.cache_dir``; an untiled, uncached run stays on
+            the historical chip-wide code path.
+
+    Cache behaviour: on the tiled path all five artifact kinds are
+    exercised — per-tile front ends (``frontend``), per-tile detection
+    results (``tile``), window solutions (``window``), component
+    colorings (``coloring``), and verifier verdicts (``verify``) —
+    with each stage's own hit/miss delta recorded on its artifact.
+
+    Determinism guarantee: the result is a pure function of
+    ``(layout, tech, config)`` — identical conflicts, cuts, and phase
+    assignment whether run cold or warm, serial or parallel, tiled or
+    monolithic (tie-free generic weights make the per-tile optimum
+    view-independent; cached artifacts replay bit-exact).  Only
+    wall-clock fields and work accounting differ between runs.
     """
     config = config or PipelineConfig()
     start = time.perf_counter()
@@ -247,12 +321,18 @@ def run_pipeline(layout: Layout, tech: Technology,
     if store is None and config.is_tiled:
         store = ArtifactCache(config.cache_dir)
 
-    front = stage_front_end(layout, tech)
+    front = stage_front_end(layout, tech, config, cache=store)
     detection = stage_detect(front, tech, config, cache=store)
     correction = stage_correct(detection, tech, config, cache=store)
     verification = stage_verify(correction, tech, config, front,
                                 cache=store)
     phase = stage_assign(verification, tech, config, cache=store)
+
+    # The partitions have served both detection passes; don't pin the
+    # tile sub-layouts (halo-inflated duplicates of the chip geometry)
+    # on artifacts a caller may keep alive long after the run.
+    front.grid = None
+    verification.front.grid = None
 
     return PipelineResult(
         layout=layout,

@@ -1,5 +1,28 @@
-"""Shifter generation and Condition-2 overlap analysis (substrate S4)."""
+"""Shifter generation and Condition-2 overlap analysis (substrate S4).
 
+Entry points:
+
+* :func:`generate_shifters` / :func:`find_overlap_pairs` — the
+  monolithic chip-wide front end (deterministic: dense shifter ids in
+  feature-index order, pairs sorted by id pair);
+* :mod:`repro.shifters.frontend` — the tile-scoped incremental front
+  end: per-capture-window artifacts with coordinate-anchored ids,
+  content-addressed under the ``frontend`` cache kind and spliced back
+  into the exact monolithic shifter set and pair list.
+"""
+
+from .frontend import (
+    FrontFeature,
+    FrontPair,
+    ShifterKey,
+    SpliceError,
+    TileFrontEnd,
+    compute_tile_front_end,
+    frontend_cache_key,
+    has_duplicate_features,
+    splice_front_ends,
+    tiled_front_end,
+)
 from .generation import generate_shifters, shifter_rects_for_feature
 from .overlap import OverlapPair, find_overlap_pairs, needed_space, region_center2
 from .shifter import (
@@ -15,6 +38,7 @@ from .shifter import (
 __all__ = [
     "Shifter",
     "ShifterSet",
+    "ShifterKey",
     "LEFT",
     "RIGHT",
     "TOP",
@@ -26,4 +50,13 @@ __all__ = [
     "find_overlap_pairs",
     "needed_space",
     "region_center2",
+    "FrontFeature",
+    "FrontPair",
+    "TileFrontEnd",
+    "SpliceError",
+    "compute_tile_front_end",
+    "frontend_cache_key",
+    "has_duplicate_features",
+    "splice_front_ends",
+    "tiled_front_end",
 ]

@@ -1,0 +1,341 @@
+"""Tile-scoped incremental front end: cached shifter generation.
+
+The flow's first stage — shifter generation plus Condition-2 overlap
+pairing — is a pure function of layout geometry, so it decomposes over
+the same capture-window tiles the chip orchestrator already uses
+(:mod:`repro.chip.partition`): every critical feature and every overlap
+pair has exactly one *owner* tile (owner regions partition the plane),
+and a tile's haloed sub-layout is guaranteed to contain the complete
+neighbourhood of everything it owns (the partition enforces
+``halo >= interaction_distance``).  Each tile therefore contributes a
+self-contained :class:`TileFrontEnd` artifact:
+
+* the critical features whose centre the tile owns, with their two
+  flanking shifter rects (absolute chip coordinates);
+* the overlap pairs whose geometric anchor (the centre of the overlap
+  region, :func:`~repro.shifters.overlap.region_center2`) the tile
+  owns, with the pair's separation/gap measurements.
+
+Everything is keyed by *coordinate-anchored ids* — ``(feature rect,
+side)`` tuples — never by dense shifter numbers, so a cached tile
+front end stays valid when an edit elsewhere renumbers every shifter
+on the chip.  :func:`splice_front_ends` reassembles the chip-global
+:class:`~repro.shifters.shifter.ShifterSet` and
+:class:`~repro.shifters.overlap.OverlapPair` list from the per-tile
+artifacts, assigning dense ids in layout feature order — byte-identical
+to the monolithic :func:`~repro.shifters.generation.generate_shifters`
++ :func:`~repro.shifters.overlap.find_overlap_pairs` pass.
+
+Artifacts are content-addressed in the unified store
+(:class:`repro.cache.ArtifactCache`, kind ``frontend``):
+:func:`frontend_cache_key` hashes exactly the inputs a tile front end
+depends on — rule deck, owner window, captured geometry — so a warm
+ECO run regenerates shifters only for the tiles an edit dirtied and
+replays every clean tile's front end from the store.
+
+This module deliberately does **not** import :mod:`repro.chip`
+(which imports :mod:`repro.shifters`); tiles are duck-typed as
+anything carrying ``ix``/``iy``/``layout``/``owner``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import astuple, dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..cache import KIND_FRONTEND, ArtifactCache
+from ..geometry import Rect
+from ..layout import Layout, Technology
+from .generation import generate_shifters
+from .overlap import OverlapPair, find_overlap_pairs, region_center2
+from .shifter import ShifterSet
+
+# A feature/shifter rectangle as a plain hashable tuple.
+RectTuple = Tuple[int, int, int, int]
+
+# Canonical, renumbering-stable shifter identity: the guarded feature's
+# rect in absolute chip coordinates plus which side the shifter sits on.
+ShifterKey = Tuple[RectTuple, str]
+
+# Owner-region bounds, as produced by repro.chip.partition.
+Bounds = Tuple[int, int, int, int]
+
+# Bump when the TileFrontEnd shape changes so stale cache directories
+# self-invalidate instead of unpickling garbage.
+FRONTEND_CACHE_FORMAT = 1
+
+
+class SpliceError(ValueError):
+    """Per-tile front ends cannot be reassembled for this layout.
+
+    Raised when the layout contains duplicate feature rectangles (the
+    coordinate-anchored keys would collide) or when an artifact names
+    geometry absent from the layout (a stale or foreign cache entry).
+    Callers fall back to the monolithic front-end pass.
+    """
+
+
+@dataclass(frozen=True)
+class FrontFeature:
+    """One owned critical feature and its two flanking shifters.
+
+    Attributes:
+        rect: the feature rectangle (absolute chip coordinates).
+        shifters: the two ``(side, shifter rect)`` entries in the
+            deterministic generation order (left/right for vertical
+            features, bottom/top for horizontal ones) — the order the
+            monolithic pass numbers them in.
+    """
+
+    rect: RectTuple
+    shifters: Tuple[Tuple[str, RectTuple], Tuple[str, RectTuple]]
+
+
+@dataclass(frozen=True)
+class FrontPair:
+    """One owned Condition-2 pair in coordinate-anchored identity.
+
+    ``a < b`` by canonical key; the measurements are symmetric pure
+    functions of the two shifter rects, so they are identical no matter
+    which tile computed them.
+    """
+
+    a: ShifterKey
+    b: ShifterKey
+    separation_sq: int
+    x_gap: int
+    y_gap: int
+
+
+@dataclass(frozen=True)
+class TileFrontEnd:
+    """One tile's contribution to the chip front end.
+
+    Content is canonical: features sorted by rect, pairs sorted by key,
+    independent of the sub-layout's internal feature order — so the
+    artifact a tile produces is identical across runs, processes, and
+    unrelated renumbering edits elsewhere on the chip.
+    """
+
+    ix: int
+    iy: int
+    features: Tuple[FrontFeature, ...] = ()
+    pairs: Tuple[FrontPair, ...] = ()
+    captured: int = 0
+
+    @property
+    def num_owned_features(self) -> int:
+        return len(self.features)
+
+    @property
+    def num_owned_pairs(self) -> int:
+        return len(self.pairs)
+
+
+def _owns_point2(owner: Bounds, px2: int, py2: int) -> bool:
+    """Half-open ownership test in doubled coordinates (exact ints)."""
+    ox1, oy1, ox2, oy2 = owner
+    return (2 * ox1 <= px2 < 2 * ox2) and (2 * oy1 <= py2 < 2 * oy2)
+
+
+def _rect_tuple(rect: Rect) -> RectTuple:
+    return (rect.x1, rect.y1, rect.x2, rect.y2)
+
+
+def frontend_cache_key(layout: Layout, owner: Bounds,
+                       tech: Technology) -> str:
+    """Stable hex digest of everything a tile front end depends on.
+
+    Hashes the format version, the rule deck, the owner window, and the
+    sorted multiset of captured feature rects — and nothing else.  In
+    particular the graph kind/bipartization method are *not* inputs
+    (the front end is pure geometry), so one cached front end serves
+    every downstream configuration, and global shifter numbering never
+    enters the key, so edits elsewhere on the chip cannot invalidate a
+    clean tile.
+    """
+    h = hashlib.sha256()
+    h.update(f"frontend:{FRONTEND_CACHE_FORMAT}".encode())
+    h.update(repr(astuple(tech)).encode())
+    h.update(f"owner:{owner}".encode())
+    for rect in sorted(_rect_tuple(r) for r in layout.features):
+        h.update(repr(rect).encode())
+    return h.hexdigest()
+
+
+def compute_tile_front_end(layout: Layout, owner: Bounds,
+                           tech: Technology,
+                           ix: int = 0, iy: int = 0) -> TileFrontEnd:
+    """Run the front end on one tile's haloed sub-layout.
+
+    Generates shifters and overlap pairs exactly as the monolithic pass
+    does (the sub-layout keeps absolute coordinates, and criticality is
+    a purely local width test, so shared features produce byte-identical
+    shifter rects in every tile), then keeps only what this tile owns:
+
+    * a critical feature when its rect centre lies in ``owner``;
+    * an overlap pair when its region centre
+      (:func:`~repro.shifters.overlap.region_center2`) lies in
+      ``owner``.
+
+    The partition invariant ``halo >= interaction_distance`` guarantees
+    the sub-layout captures both features of every owned pair, so the
+    owned view is complete, and owner regions partition the plane, so
+    summing tiles covers the chip with no double counting.
+    """
+    shifters = generate_shifters(layout, tech)
+    pairs = find_overlap_pairs(shifters, tech)
+    feats = layout.features
+
+    features: List[FrontFeature] = []
+    for sa, sb in shifters.feature_pairs():
+        fr = feats[sa.feature_index]
+        if _owns_point2(owner, *fr.center2):
+            features.append(FrontFeature(
+                rect=_rect_tuple(fr),
+                shifters=((sa.side, _rect_tuple(sa.rect)),
+                          (sb.side, _rect_tuple(sb.rect)))))
+
+    owned_pairs: List[FrontPair] = []
+    for p in pairs:
+        sa, sb = shifters[p.a], shifters[p.b]
+        if not _owns_point2(owner, *region_center2(sa.rect, sb.rect)):
+            continue
+        ka = (_rect_tuple(feats[sa.feature_index]), sa.side)
+        kb = (_rect_tuple(feats[sb.feature_index]), sb.side)
+        if kb < ka:
+            ka, kb = kb, ka
+        owned_pairs.append(FrontPair(
+            a=ka, b=kb, separation_sq=p.separation_sq,
+            x_gap=p.x_gap, y_gap=p.y_gap))
+
+    features.sort(key=lambda f: f.rect)
+    owned_pairs.sort(key=lambda p: (p.a, p.b))
+    return TileFrontEnd(ix=ix, iy=iy, features=tuple(features),
+                        pairs=tuple(owned_pairs),
+                        captured=layout.num_polygons)
+
+
+def has_duplicate_features(layout: Layout) -> bool:
+    """True when two features share an identical rectangle.
+
+    Coordinate-anchored keys cannot tell such features apart, so the
+    tiled front end (like the chip stitcher's canonical conflict keys)
+    requires geometrically distinct features; callers fall back to the
+    monolithic pass otherwise.
+    """
+    seen = set()
+    for r in layout.features:
+        t = (r.x1, r.y1, r.x2, r.y2)
+        if t in seen:
+            return True
+        seen.add(t)
+    return False
+
+
+def splice_front_ends(layout: Layout,
+                      fronts: Iterable[TileFrontEnd]
+                      ) -> Tuple[ShifterSet, List[OverlapPair]]:
+    """Reassemble the chip-global front end from per-tile artifacts.
+
+    Pure bookkeeping — no geometry is recomputed.  Owned features are
+    ordered by their index in ``layout.features`` and handed dense
+    shifter ids side by side, reproducing the monolithic numbering
+    exactly; owned pairs are mapped from canonical keys to those ids
+    and sorted by id pair, reproducing the monolithic
+    :func:`~repro.shifters.overlap.find_overlap_pairs` order.
+
+    Raises:
+        SpliceError: on duplicate feature rects, a feature owned by two
+            tiles (a partition bug), or an artifact naming geometry the
+            layout does not contain (a stale cache entry).
+    """
+    fronts = list(fronts)  # iterated twice; accept generators safely
+    rect_index = {}
+    for i, r in enumerate(layout.features):
+        t = (r.x1, r.y1, r.x2, r.y2)
+        if t in rect_index:
+            raise SpliceError(
+                f"duplicate feature rect {t} defeats coordinate keys")
+        rect_index[t] = i
+
+    entries: List[Tuple[int, FrontFeature]] = []
+    for tf in fronts:
+        for ff in tf.features:
+            fi = rect_index.get(ff.rect)
+            if fi is None:
+                raise SpliceError(
+                    f"tile[{tf.ix},{tf.iy}] owns unknown feature "
+                    f"{ff.rect} (stale artifact?)")
+            entries.append((fi, ff))
+    entries.sort(key=lambda e: e[0])
+
+    shifters = ShifterSet()
+    key_to_id = {}
+    previous = -1
+    for fi, ff in entries:
+        if fi == previous:
+            raise SpliceError(f"feature {fi} owned by two tiles")
+        previous = fi
+        for side, rt in ff.shifters:
+            s = shifters.add(fi, side, Rect(*rt))
+            key_to_id[(ff.rect, side)] = s.id
+
+    pairs: List[OverlapPair] = []
+    for tf in fronts:
+        for fp in tf.pairs:
+            ga = key_to_id.get(fp.a)
+            gb = key_to_id.get(fp.b)
+            if ga is None or gb is None:
+                raise SpliceError(
+                    f"pair {fp.a} / {fp.b} names an unowned shifter")
+            a, b = (ga, gb) if ga < gb else (gb, ga)
+            pairs.append(OverlapPair(
+                a=a, b=b, separation_sq=fp.separation_sq,
+                x_gap=fp.x_gap, y_gap=fp.y_gap))
+    pairs.sort(key=lambda p: p.key)
+    return shifters, pairs
+
+
+def tiled_front_end(layout: Layout, tech: Technology,
+                    tiles: Sequence,
+                    store: Optional[ArtifactCache] = None
+                    ) -> Tuple[ShifterSet, List[OverlapPair], int, int]:
+    """The chip front end via per-tile artifacts, cached when possible.
+
+    Args:
+        layout: the chip layout the tiles were partitioned from.
+        tech: rule deck.
+        tiles: the partition's tiles (duck-typed: ``ix``, ``iy``,
+            ``layout``, ``owner`` — e.g.
+            :class:`repro.chip.partition.Tile`).
+        store: a unified artifact store; per-tile front ends are
+            content-addressed under the ``frontend`` kind.  None
+            recomputes every tile (still exactly equivalent, no reuse).
+
+    Returns:
+        ``(shifters, pairs, hits, misses)`` — the spliced chip-global
+        front end, byte-identical to the monolithic pass, plus this
+        call's cache delta (``misses`` counts tiles whose shifters were
+        actually regenerated).
+    """
+    fronts: List[TileFrontEnd] = []
+    hits = misses = 0
+    for tile in tiles:
+        front: Optional[TileFrontEnd] = None
+        key = None
+        if store is not None:
+            key = frontend_cache_key(tile.layout, tile.owner, tech)
+            front = store.get(KIND_FRONTEND, key)
+        if front is None:
+            front = compute_tile_front_end(tile.layout, tile.owner, tech,
+                                           ix=tile.ix, iy=tile.iy)
+            misses += 1
+            if store is not None:
+                store.put(KIND_FRONTEND, key, front)
+        else:
+            hits += 1
+        fronts.append(front)
+    shifters, pairs = splice_front_ends(layout, fronts)
+    return shifters, pairs, hits, misses

@@ -36,8 +36,20 @@ def shifter_rects_for_feature(rect: Rect, vertical: bool,
 def generate_shifters(layout: Layout, tech: Technology) -> ShifterSet:
     """Generate the full shifter set of a layout.
 
-    Shifter ids are dense and deterministic: features in index order,
-    left-before-right / bottom-before-top within a feature.
+    Args:
+        layout: the layout; every feature whose drawn width is below
+            the rule deck's critical threshold gets two shifters.
+        tech: rule deck (shifter width/extension and the criticality
+            threshold).
+
+    Determinism guarantee: shifter ids are dense and reproducible —
+    features in index order, left-before-right / bottom-before-top
+    within a feature — and each shifter rect is a pure function of its
+    feature rect and the rule deck.  Two runs (or two tiles capturing
+    the same feature in absolute coordinates) therefore produce
+    byte-identical shifter geometry; the tile-scoped front end
+    (:mod:`repro.shifters.frontend`) reproduces this exact numbering
+    when splicing cached per-tile artifacts.
     """
     shifters = ShifterSet()
     for feat in extract_critical_features(layout, tech):

@@ -58,7 +58,22 @@ def region_center2(ra: Rect, rb: Rect) -> Tuple[int, int]:
 
 def find_overlap_pairs(shifters: ShifterSet,
                        tech: Technology) -> List[OverlapPair]:
-    """All Condition-2 pairs of a shifter set, sorted by id pair."""
+    """All Condition-2 pairs of a shifter set, sorted by id pair.
+
+    Args:
+        shifters: the layout's shifter set (any generation order).
+        tech: rule deck; two shifters closer than
+            ``tech.shifter_spacing`` overlap.
+
+    Determinism guarantee: the result is a pure function of the
+    shifter geometry and the spacing rule — the spatial index only
+    accelerates the search, every candidate is confirmed by the exact
+    integer separation test — and the list is sorted by ``(a, b)`` id
+    pair, so reruns are byte-identical.  Pair measurements
+    (``separation_sq``, ``x_gap``, ``y_gap``) are symmetric in the two
+    rects, which lets the tile-scoped front end cache them
+    tile-independently.
+    """
     rects = shifters.rects
     pairs: List[OverlapPair] = []
     for i, j in neighbor_pairs(rects, tech.shifter_spacing):

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.cache import (
+    ARTIFACT_KINDS,
     KIND_COLORING,
+    KIND_FRONTEND,
     KIND_TILE,
     KIND_WINDOW,
     ArtifactCache,
@@ -13,6 +15,19 @@ from repro.chip import TileCache
 
 
 class TestKindNamespacing:
+    def test_every_pipeline_kind_is_registered(self):
+        assert set(ARTIFACT_KINDS) == {KIND_FRONTEND, KIND_TILE,
+                                       KIND_WINDOW, KIND_COLORING,
+                                       "verify"}
+
+    def test_frontend_kind_is_namespaced(self):
+        store = ArtifactCache()
+        store.put(KIND_FRONTEND, "k", ("front",))
+        store.put(KIND_TILE, "k", ("tile",))
+        assert store.get(KIND_FRONTEND, "k") == ("front",)
+        assert store.stats(KIND_FRONTEND).as_tuple() == (1, 0)
+        assert store.stats(KIND_TILE).as_tuple() == (0, 0)
+
     def test_same_key_different_kinds_are_distinct(self):
         store = ArtifactCache()
         store.put(KIND_WINDOW, "k", (1, 2))

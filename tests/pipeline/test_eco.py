@@ -261,8 +261,10 @@ class TestWarmPathIncremental:
         eco = run_eco_flow(base, edited, tech,
                            config=PipelineConfig(tiles=2))
         counts = eco.result.artifact_cache_counts()
-        assert set(counts) == {"tile", "window", "coloring", "verify"}
+        assert set(counts) == {"frontend", "tile", "window", "coloring",
+                               "verify"}
         assert counts["tile"] == eco.result.cache_counts()
+        assert counts["frontend"] == eco.result.frontend_cache_counts()
         assert counts["window"][1] == 0  # no window re-solves when warm
 
     def test_summary_reports_incremental_stages(self, tech):
@@ -273,6 +275,43 @@ class TestWarmPathIncremental:
         text = eco.summary()
         assert "window(s) replayed" in text
         assert "component(s) replayed" in text
+        assert "front end:" in text
+
+    @pytest.mark.parametrize("name,tiles", ECO_CASES)
+    def test_zero_clean_tile_shifter_regeneration(self, tech, name,
+                                                  tiles):
+        """The incremental front end's acceptance: a warm ECO run
+        regenerates shifters only for dirty tiles — every clean tile's
+        front end replays from the store, in both front-end passes."""
+        base = build_design(name)
+        edited, _ = propose_eco_edit(base, tech)
+        eco = run_eco_flow(base, edited, tech,
+                           config=PipelineConfig(tiles=tiles))
+        r = eco.result
+        assert r.front.tiled
+        assert r.front.cache_misses == eco.plan.num_dirty
+        assert r.front.cache_hits == eco.plan.num_clean
+        assert eco.plan.frontend_dirty == eco.plan.dirty
+        # The verify pass re-fronts the corrected layout; its clean
+        # tiles were cached by the base run's verify pass.
+        if not r.verification.front_reused:
+            post_plan = plan_eco(eco.base.corrected_layout,
+                                 r.corrected_layout, tech, tiles=tiles)
+            assert (r.verification.front.cache_misses
+                    == post_plan.num_dirty)
+            assert (r.verification.front.cache_hits
+                    == post_plan.num_clean)
+
+    def test_unchanged_relayout_regenerates_nothing(self, tech):
+        """Re-running an untouched layout replays every tile front end
+        — zero shifter regeneration chip-wide."""
+        lay = build_design("D2")
+        eco = run_eco_flow(lay, lay.copy(), tech,
+                           config=PipelineConfig(tiles=3))
+        r = eco.result
+        assert r.front.cache_misses == 0
+        assert r.front.cache_hits == eco.plan.num_tiles
+        assert r.verification.front.cache_misses == 0
 
     def test_persistent_store_across_processes_shape(self, tech,
                                                      tmp_path):

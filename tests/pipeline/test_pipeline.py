@@ -56,6 +56,70 @@ class TestStages:
         assert result.correction.report.num_conflicts == 1
 
 
+class TestTiledFrontEnd:
+    """Stage 1 over the partition: spliced == monolithic, cached."""
+
+    def test_tiled_stage_matches_monolithic(self, tech):
+        lay = standard_cell_layout(GeneratorParams(rows=2, cols=6),
+                                   seed=9)
+        mono = stage_front_end(lay, tech)
+        tiled = stage_front_end(lay, tech, PipelineConfig(tiles=2))
+        assert tiled.tiled and not mono.tiled
+        assert tiled.grid is not None and tiled.grid.num_tiles == 4
+        assert len(tiled.shifters) == len(mono.shifters)
+        for a, b in zip(tiled.shifters, mono.shifters):
+            assert (a.id, a.feature_index, a.side, a.rect) \
+                == (b.id, b.feature_index, b.side, b.rect)
+        assert tiled.pairs == mono.pairs
+
+    def test_second_run_replays_every_tile(self, tech):
+        from repro.cache import ArtifactCache
+
+        lay = standard_cell_layout(GeneratorParams(rows=2, cols=6),
+                                   seed=9)
+        store = ArtifactCache()
+        cfg = PipelineConfig(tiles=2)
+        cold = stage_front_end(lay, tech, cfg, cache=store)
+        assert cold.cache_misses == 4 and cold.cache_hits == 0
+        warm = stage_front_end(lay, tech, cfg, cache=store)
+        assert warm.cache_misses == 0 and warm.cache_hits == 4
+        assert warm.pairs == cold.pairs
+
+    def test_untiled_config_stays_monolithic(self, tech):
+        front = stage_front_end(figure1_layout(), tech,
+                                PipelineConfig())
+        assert not front.tiled and front.grid is None
+        assert front.cache_hits == front.cache_misses == 0
+
+    def test_duplicate_rect_layout_falls_back(self, tech):
+        from repro.geometry import Rect
+        from repro.layout import layout_from_rects
+
+        r = Rect(0, 0, 90, 1000)
+        lay = layout_from_rects([r, Rect(500, 0, 590, 1000)])
+        lay.add_feature(r)  # exact duplicate defeats coordinate keys
+        front = stage_front_end(lay, tech, PipelineConfig(tiles=2))
+        assert not front.tiled  # monolithic fallback, still correct
+        mono = stage_front_end(lay, tech)
+        assert front.pairs == mono.pairs
+        assert len(front.shifters) == len(mono.shifters)
+
+    def test_pipeline_threads_grid_to_detection(self, tech):
+        """One partition per revision: the detect stage's chip report
+        runs on the front end's grid, which is released afterwards so
+        retained results don't pin tile sub-layouts."""
+        lay = standard_cell_layout(GeneratorParams(rows=2, cols=6),
+                                   seed=9)
+        result = run_pipeline(lay, tech, PipelineConfig(tiles=(2, 3)))
+        assert result.front.tiled
+        assert (result.detection.chip.nx,
+                result.detection.chip.ny) == (2, 3)
+        hits, misses = result.frontend_cache_counts()
+        assert hits + misses > 0
+        assert result.front.grid is None
+        assert result.verification.front.grid is None
+
+
 class TestFrontEndReuse:
     def test_clean_layout_reuses_shifter_pass(self, tech):
         """No cuts -> the verify pass reuses the base shifter set."""

@@ -1,0 +1,219 @@
+"""Tile-scoped incremental front end: equivalence, keys, splicing.
+
+The contract under test: per-tile front-end artifacts, spliced over
+any capture-window partition, reproduce the monolithic
+``generate_shifters`` + ``find_overlap_pairs`` pass *exactly* — same
+dense shifter ids, same sorted pair list, same measurements — and the
+``frontend`` cache keys are coordinate-anchored, so renumbering every
+feature on the chip invalidates nothing.
+"""
+
+import pytest
+
+from repro.bench import build_design
+from repro.cache import KIND_FRONTEND, ArtifactCache
+from repro.chip.partition import partition_layout
+from repro.conflict import layout_front_end
+from repro.geometry import Rect
+from repro.layout import Layout, layout_from_rects
+from repro.shifters import (
+    FrontFeature,
+    SpliceError,
+    TileFrontEnd,
+    compute_tile_front_end,
+    frontend_cache_key,
+    has_duplicate_features,
+    splice_front_ends,
+    tiled_front_end,
+)
+
+# The equivalence obligation: D1-D3 across assorted grids (D8 rides in
+# benchmarks/bench_frontend.py, same assertion at 45K polygons).
+EQUIVALENCE_CASES = [
+    ("D1", 1), ("D1", 2), ("D2", 2), ("D2", 3),
+    ("D3", 4), ("D3", (2, 5)),
+]
+
+
+def assert_front_ends_equal(got, expected):
+    """Shifter-by-shifter, pair-by-pair equality (ids included)."""
+    got_s, got_p = got
+    exp_s, exp_p = expected
+    assert len(got_s) == len(exp_s)
+    for a, b in zip(got_s, exp_s):
+        assert (a.id, a.feature_index, a.side, a.rect) \
+            == (b.id, b.feature_index, b.side, b.rect)
+    assert got_p == exp_p
+
+
+def permuted(layout: Layout) -> Layout:
+    """The same geometry with every feature index renumbered."""
+    out = Layout(name=f"{layout.name}-permuted")
+    for rect in reversed(layout.features):
+        out.add_feature(rect)
+    return out
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name,tiles", EQUIVALENCE_CASES)
+    def test_spliced_equals_monolithic(self, tech, name, tiles):
+        lay = build_design(name)
+        grid = partition_layout(lay, tech, tiles=tiles)
+        s, p, hits, misses = tiled_front_end(lay, tech, grid.tiles)
+        assert (hits, misses) == (0, grid.num_tiles)
+        assert_front_ends_equal((s, p), layout_front_end(lay, tech))
+
+    def test_warm_replay_is_identical(self, tech):
+        lay = build_design("D2")
+        grid = partition_layout(lay, tech, tiles=3)
+        store = ArtifactCache()
+        cold = tiled_front_end(lay, tech, grid.tiles, store)
+        warm = tiled_front_end(lay, tech, grid.tiles, store)
+        assert warm[2:] == (grid.num_tiles, 0)  # all hits, no misses
+        assert_front_ends_equal(warm[:2], cold[:2])
+        assert_front_ends_equal(warm[:2], layout_front_end(lay, tech))
+
+    def test_empty_layout(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 90, 1000)])
+        grid = partition_layout(lay, tech, tiles=2)
+        s, p, _, _ = tiled_front_end(lay, tech, grid.tiles)
+        assert_front_ends_equal((s, p), layout_front_end(lay, tech))
+
+
+class TestOwnershipPartition:
+    def test_every_feature_and_pair_owned_exactly_once(self, tech):
+        lay = build_design("D2")
+        mono_s, mono_p = layout_front_end(lay, tech)
+        grid = partition_layout(lay, tech, tiles=3)
+        fronts = [compute_tile_front_end(t.layout, t.owner, tech,
+                                         t.ix, t.iy)
+                  for t in grid.tiles]
+        assert (sum(f.num_owned_features for f in fronts)
+                == len(mono_s.feature_pairs()))
+        assert sum(f.num_owned_pairs for f in fronts) == len(mono_p)
+        # No two tiles own the same feature (splice would raise).
+        seen = set()
+        for f in fronts:
+            for ff in f.features:
+                assert ff.rect not in seen
+                seen.add(ff.rect)
+
+    def test_artifact_is_canonical_under_sublayout_order(self, tech):
+        """A tile's artifact is independent of its sub-layout's
+        internal feature order — the property that makes one cached
+        artifact valid for every renumbering of the chip."""
+        lay = build_design("D1")
+        grid = partition_layout(lay, tech, tiles=2)
+        tile = next(t for t in grid.tiles if t.num_features > 1)
+        shuffled = Layout(name="shuffled")
+        for rect in reversed(tile.layout.features):
+            shuffled.add_feature(rect)
+        a = compute_tile_front_end(tile.layout, tile.owner, tech)
+        b = compute_tile_front_end(shuffled, tile.owner, tech)
+        assert a.features == b.features
+        assert a.pairs == b.pairs
+
+    def test_empty_tile_artifact(self, tech):
+        front = compute_tile_front_end(Layout(), (0, 0, 100, 100), tech)
+        assert front.features == () and front.pairs == ()
+
+
+class TestCacheKey:
+    def owner_and_layout(self, tech, name="D1"):
+        lay = build_design(name)
+        grid = partition_layout(lay, tech, tiles=2)
+        tile = next(t for t in grid.tiles if t.num_features)
+        return tile.layout, tile.owner
+
+    def test_key_covers_geometry(self, tech):
+        sub, owner = self.owner_and_layout(tech)
+        edited = sub.copy()
+        r = edited.features[0]
+        edited.features[0] = Rect(r.x1, r.y1, r.x2, r.y2 + 2)
+        assert (frontend_cache_key(sub, owner, tech)
+                != frontend_cache_key(edited, owner, tech))
+
+    def test_key_covers_owner_window_and_tech(self, tech):
+        sub, owner = self.owner_and_layout(tech)
+        other = (owner[0] + 1, owner[1], owner[2], owner[3])
+        assert (frontend_cache_key(sub, owner, tech)
+                != frontend_cache_key(sub, other, tech))
+        from repro.layout import Technology
+
+        other_tech = Technology.node_65nm()
+        assert (frontend_cache_key(sub, owner, tech)
+                != frontend_cache_key(sub, owner, other_tech))
+
+    def test_key_stable_under_renumbering(self, tech):
+        """Permuting the chip's feature order (renumbering every
+        shifter) leaves every tile's key untouched."""
+        lay = build_design("D2")
+        grid_a = partition_layout(lay, tech, tiles=3)
+        grid_b = partition_layout(permuted(lay), tech, tiles=3)
+        keys_a = [frontend_cache_key(t.layout, t.owner, tech)
+                  for t in grid_a.tiles]
+        keys_b = [frontend_cache_key(t.layout, t.owner, tech)
+                  for t in grid_b.tiles]
+        assert keys_a == keys_b
+
+    def test_warm_replay_across_renumbering(self, tech):
+        """Artifacts cached on one feature numbering replay bit-exact
+        on another: the splice re-anchors coordinate keys onto the
+        current layout's dense ids."""
+        lay = build_design("D2")
+        relay = permuted(lay)
+        store = ArtifactCache()
+        grid = partition_layout(lay, tech, tiles=3)
+        tiled_front_end(lay, tech, grid.tiles, store)
+
+        regrid = partition_layout(relay, tech, tiles=3)
+        s, p, hits, misses = tiled_front_end(relay, tech, regrid.tiles,
+                                             store)
+        assert (hits, misses) == (grid.num_tiles, 0)
+        assert_front_ends_equal((s, p), layout_front_end(relay, tech))
+
+    def test_persistent_roundtrip(self, tech, tmp_path):
+        lay = build_design("D1")
+        grid = partition_layout(lay, tech, tiles=2)
+        tiled_front_end(lay, tech, grid.tiles,
+                        ArtifactCache(str(tmp_path)))
+        fresh = ArtifactCache(str(tmp_path))
+        s, p, hits, misses = tiled_front_end(lay, tech, grid.tiles,
+                                             fresh)
+        assert (hits, misses) == (grid.num_tiles, 0)
+        assert fresh.stats(KIND_FRONTEND).hits == grid.num_tiles
+        assert_front_ends_equal((s, p), layout_front_end(lay, tech))
+
+
+class TestSpliceGuards:
+    def test_duplicate_rects_detected(self, tech):
+        r = Rect(0, 0, 90, 1000)
+        lay = layout_from_rects([r, r])
+        assert has_duplicate_features(lay)
+        with pytest.raises(SpliceError):
+            splice_front_ends(lay, [])
+
+    def test_no_duplicates_on_suite_designs(self, tech):
+        for name in ("D1", "D2", "D3"):
+            assert not has_duplicate_features(build_design(name))
+
+    def test_stale_artifact_rejected(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 90, 1000)])
+        stale = TileFrontEnd(
+            ix=0, iy=0,
+            features=(
+                # A feature the layout does not contain.
+                FrontFeature(rect=(5, 5, 95, 1005),
+                             shifters=(("left", (0, 0, 5, 1010)),
+                                       ("right", (95, 0, 100, 1010)))),),
+        )
+        with pytest.raises(SpliceError):
+            splice_front_ends(lay, [stale])
+
+    def test_doubly_owned_feature_rejected(self, tech):
+        lay = layout_from_rects([Rect(0, 0, 90, 1000)])
+        wide_open = (-1 << 40, -1 << 40, 1 << 40, 1 << 40)
+        front = compute_tile_front_end(lay, wide_open, tech)
+        assert front.num_owned_features == 1
+        with pytest.raises(SpliceError):
+            splice_front_ends(lay, [front, front])

@@ -265,3 +265,34 @@ class TestBench:
         captured = capsys.readouterr()
         assert "D1:" in captured.err
         assert "D1:" not in captured.out.splitlines()[0]
+
+    def test_bench_cache_dir_implies_persistent_store(self, capsys,
+                                                      tmp_path):
+        """--cache-dir alone wires the suite to one persistent store;
+        a re-invocation against the same directory runs warm."""
+        import json as json_mod
+
+        cache = str(tmp_path / "suite-store")
+        assert main(["bench", "--designs", "D1", "--cache-dir", cache,
+                     "--json"]) == 0
+        cold = json_mod.loads(capsys.readouterr().out)
+        assert cold["cache_dir"] == cache
+        kinds = cold["cache_kinds"]
+        assert set(kinds) >= {"frontend", "tile"}
+        assert kinds["frontend"]["misses"] > 0  # cold: real work done
+        assert cold["designs"][0]["pipeline"]["tiled"] is True
+
+        assert main(["bench", "--designs", "D1", "--cache-dir", cache,
+                     "--json"]) == 0
+        warm = json_mod.loads(capsys.readouterr().out)
+        for kind in ("frontend", "tile", "window", "coloring",
+                     "verify"):
+            hits = warm["cache_kinds"][kind]
+            assert hits["misses"] == 0, (kind, hits)
+            assert hits["hits"] == kinds[kind]["misses"], (kind, hits)
+
+    def test_bench_table_prints_store_summary(self, capsys, tmp_path):
+        cache = str(tmp_path / "suite-store")
+        assert main(["bench", "--designs", "D1",
+                     "--cache-dir", cache]) == 0
+        assert "artifact cache hits" in capsys.readouterr().out
