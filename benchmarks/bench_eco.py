@@ -91,6 +91,14 @@ def test_eco_speedup_d8(benchmark, tech, collect_row):
     # on the warm D8 run.
     assert eco.result.front.cache_misses == eco.plan.num_dirty
     assert eco.result.front.cache_hits == eco.plan.num_clean
+    # Incremental stitching: zero clean-cluster re-arbitrations on the
+    # warm D8 run — only clusters with a dirty contributing tile
+    # recompute their verdict.
+    assert eco.plan.num_stitch_clean > 0
+    assert (eco.result.detection.stitch_misses
+            == eco.plan.num_stitch_dirty)
+    assert (eco.result.detection.stitch_hits
+            == eco.plan.num_stitch_clean)
     # Same machinery as the D5 equivalence case; here the cheap proxy
     # (identical conflict sets between the base and the
     # conflict-neutral edit) avoids paying a second full cold run.

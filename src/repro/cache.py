@@ -16,6 +16,11 @@ frontend  a tile's front end — owned shifters + overlap pairs in
 tile      :class:`~repro.chip.executor.TileResult`; key hashes the
           captured geometry, rule deck, graph kind/method and the
           ownership window (:func:`repro.chip.cache.tile_cache_key`).
+stitch    a boundary stitch cluster's arbitrated verdict
+          (:class:`~repro.chip.stitch.StitchVerdict`); key hashes the
+          cluster's coordinate-anchored content id plus the
+          contributing tiles' result hashes
+          (:func:`repro.chip.stitch.stitch_verdict_key`).
 window    a conflict window's solved cut choice (local line indices);
           key hashes the window's canonical set-cover instance —
           line axis/position/width, dense cover structure — plus the
@@ -29,10 +34,16 @@ verify    the geometric verifier's verdict for one component's
           (:func:`repro.phase.incremental.verify_key`).
 ========= ==========================================================
 
-Values are pickled one file per ``(kind, key)`` (atomically renamed
-into place, so a crashed run never leaves a truncated entry).  An
-in-memory layer sits in front of the directory; with no ``cache_dir``
-the store is memory-only and lives for the process.  Per-kind hit/miss
+Persistence is pluggable through the :class:`StoreBackend` seam: the
+store pickles values and hands the payload bytes to whichever backend
+it was built over — the default :class:`FilesystemBackend` (one file
+per ``(kind, key)``, atomically renamed into place so a crashed run
+never leaves a truncated entry), an in-process :class:`MemoryBackend`,
+or a :class:`SharedDirectoryBackend` (several logical stores
+multiplexed into one directory under distinct key prefixes — the
+local stand-in for a remote bucket/redis-style backend).  An in-memory
+layer always sits in front of the backend; with no backend at all the
+store is memory-only and lives for the process.  Per-kind hit/miss
 counters let each pipeline stage report its own cache delta.
 """
 
@@ -46,11 +57,12 @@ from typing import Any, Dict, Optional, Tuple
 
 KIND_FRONTEND = "frontend"
 KIND_TILE = "tile"
+KIND_STITCH = "stitch"
 KIND_WINDOW = "window"
 KIND_COLORING = "coloring"
 KIND_VERIFY = "verify"
 
-ARTIFACT_KINDS = (KIND_FRONTEND, KIND_TILE, KIND_WINDOW,
+ARTIFACT_KINDS = (KIND_FRONTEND, KIND_TILE, KIND_STITCH, KIND_WINDOW,
                   KIND_COLORING, KIND_VERIFY)
 
 
@@ -73,27 +85,152 @@ class KindStats:
         return (self.hits, self.misses)
 
 
+# ----------------------------------------------------------------------
+# Persistence backends
+# ----------------------------------------------------------------------
+class StoreBackend:
+    """The persistence seam under :class:`ArtifactCache`.
+
+    A backend stores and retrieves opaque payload *bytes* under
+    ``(kind, key)`` — serialization, the in-memory layer, and all
+    hit/miss accounting stay in the store, so a backend only has to
+    answer two questions: where do bytes live, and how do they get
+    there durably.  Anything implementing ``load``/``save`` works
+    (a remote object store or key-value service would subclass this
+    with network calls; nothing else in the pipeline would change).
+    """
+
+    def load(self, kind: str, key: str) -> Optional[bytes]:
+        """Return the stored payload, or None when absent/unreadable."""
+        raise NotImplementedError
+
+    def save(self, kind: str, key: str, payload: bytes) -> None:
+        """Durably store one payload; must tolerate concurrent writers
+        of the same (content-addressed, hence identical) entry."""
+        raise NotImplementedError
+
+    def location(self) -> Optional[str]:
+        """Human-readable storage location (None when not on disk)."""
+        return None
+
+
+class FilesystemBackend(StoreBackend):
+    """One ``{kind}-{key}.pkl`` file per entry in a directory.
+
+    Writes go through a temp file renamed atomically into place, so a
+    crashed or concurrent run never leaves a truncated entry.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def path(self, kind: str, key: str) -> str:
+        return os.path.join(self.root, f"{kind}-{key}.pkl")
+
+    def load(self, kind: str, key: str) -> Optional[bytes]:
+        try:
+            with open(self.path(kind, key), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    def save(self, kind: str, key: str, payload: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path(kind, key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def location(self) -> Optional[str]:
+        return self.root
+
+
+class MemoryBackend(StoreBackend):
+    """Bytes in a process-local dict.
+
+    By itself this adds nothing over the store's own memory layer; its
+    point is *sharing*: several :class:`ArtifactCache` instances built
+    over one ``MemoryBackend`` see each other's artifacts — the
+    smallest possible model of a remote shared store, which the
+    backend-seam tests exercise.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[Tuple[str, str], bytes] = {}
+
+    def load(self, kind: str, key: str) -> Optional[bytes]:
+        return self._data.get((kind, key))
+
+    def save(self, kind: str, key: str, payload: bytes) -> None:
+        self._data[(kind, key)] = payload
+
+
+class SharedDirectoryBackend(FilesystemBackend):
+    """Several logical stores multiplexed into one directory.
+
+    Entries are prefixed with a ``namespace`` (two stores with
+    different namespaces never see each other's artifacts; two with
+    the same namespace share everything) — the filesystem-shaped proof
+    of the remote pattern where many machines address one bucket or
+    key-value service under per-project key prefixes.
+    """
+
+    def __init__(self, root: str, namespace: str):
+        if not namespace or not namespace.replace("-", "").replace(
+                "_", "").isalnum():
+            raise ValueError(
+                f"namespace must be non-empty [-_a-zA-Z0-9], "
+                f"got {namespace!r}")
+        super().__init__(root)
+        self.namespace = namespace
+
+    def path(self, kind: str, key: str) -> str:
+        return os.path.join(self.root,
+                            f"{self.namespace}--{kind}-{key}.pkl")
+
+
 class ArtifactCache:
-    """Two-level (memory, then directory) content-addressed store.
+    """Two-level (memory, then backend) content-addressed store.
 
     Keys are caller-computed content hashes; the store never inspects
     values beyond pickling them.  A value exposing ``cache_copy()``
     (e.g. :class:`~repro.chip.executor.TileResult`) is copied on every
     hit so cached entries are never aliased into mutable pipeline
     state.
+
+    Args:
+        cache_dir: convenience for the common case — builds a
+            :class:`FilesystemBackend` over the directory.
+        backend: an explicit :class:`StoreBackend`; overrides
+            ``cache_dir``.  None (and no ``cache_dir``) keeps the
+            store memory-only for the process.
     """
 
-    def __init__(self, cache_dir: Optional[str] = None):
-        self.cache_dir = cache_dir
+    def __init__(self, cache_dir: Optional[str] = None,
+                 backend: Optional[StoreBackend] = None):
+        if backend is None and cache_dir:
+            backend = FilesystemBackend(cache_dir)
+        self.backend = backend
         self._memory: Dict[Tuple[str, str], Any] = {}
         self._stats: Dict[str, KindStats] = {}
-        if cache_dir:
-            os.makedirs(cache_dir, exist_ok=True)
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        """The on-disk location, when the backend has one."""
+        return self.backend.location() if self.backend else None
 
     # ------------------------------------------------------------------
     def _path(self, kind: str, key: str) -> str:
-        assert self.cache_dir
-        return os.path.join(self.cache_dir, f"{kind}-{key}.pkl")
+        path = getattr(self.backend, "path", None)
+        assert path is not None, "store backend is not directory-backed"
+        return path(kind, key)
 
     def stats(self, kind: str) -> KindStats:
         stats = self._stats.get(kind)
@@ -111,20 +248,20 @@ class ArtifactCache:
     def get(self, kind: str, key: str) -> Optional[Any]:
         """Fetch one artifact, counting the hit or miss for ``kind``.
 
-        Checks the in-memory layer first, then the directory (promoting
-        disk hits into memory).  Missing, corrupt, or unpicklable
+        Checks the in-memory layer first, then the backend (promoting
+        backend hits into memory).  Missing, corrupt, or unpicklable
         entries degrade to ``None`` — a miss, never an exception — so a
-        stale cache directory can only cost recomputation, not
-        correctness.
+        stale backend can only cost recomputation, not correctness.
         """
         value = self._memory.get((kind, key))
-        if value is None and self.cache_dir:
-            try:
-                with open(self._path(kind, key), "rb") as fh:
-                    value = pickle.load(fh)
-            except (OSError, pickle.UnpicklingError, EOFError,
-                    AttributeError, ImportError):
-                value = None  # missing or stale entry: treat as a miss
+        if value is None and self.backend is not None:
+            payload = self.backend.load(kind, key)
+            if payload is not None:
+                try:
+                    value = pickle.loads(payload)
+                except (pickle.UnpicklingError, EOFError, AttributeError,
+                        ImportError, ValueError):
+                    value = None  # stale or corrupt entry: a miss
             if value is not None:
                 self._memory[(kind, key)] = value
         stats = self.stats(kind)
@@ -138,25 +275,16 @@ class ArtifactCache:
     def put(self, kind: str, key: str, value: Any) -> None:
         """Store one artifact under ``(kind, key)``.
 
-        Persistent stores write via a temp file renamed atomically into
-        place, so a crashed or concurrent run never leaves a truncated
-        entry; ``put`` is idempotent (same key, same content) because
-        keys are content hashes of every input the value depends on.
+        ``put`` is idempotent (same key, same content) because keys are
+        content hashes of every input the value depends on; durability
+        semantics (atomicity, sharing) belong to the backend.
         """
         self._memory[(kind, key)] = value
-        if not self.cache_dir:
+        if self.backend is None:
             return
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, self._path(kind, key))
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        self.backend.save(
+            kind, key, pickle.dumps(value,
+                                    protocol=pickle.HIGHEST_PROTOCOL))
 
     # ------------------------------------------------------------------
     @property

@@ -4,27 +4,34 @@ The monolithic flow in :mod:`repro.core` runs every stage on the whole
 layout in one process.  This package is the production-scale path:
 
 * :mod:`repro.chip.partition` — cut the chip into haloed tiles;
-* :mod:`repro.chip.executor` — per-tile detection, serial or
-  multi-process, in canonical geometric keys;
+* :mod:`repro.chip.executor` — per-tile detection over a pluggable
+  executor backend registry (serial / process / thread, extensible
+  via :func:`register_executor`), in canonical geometric keys;
 * :mod:`repro.chip.cache` — content-addressed per-tile result cache;
 * :mod:`repro.chip.stitch` — merge owned tile conflicts into one
-  chip-level report in global shifter ids;
+  chip-level report in global shifter ids, with per-cluster verdicts
+  content-addressed in the unified store (incremental stitching);
 * :mod:`repro.chip.orchestrator` — ``run_chip_flow`` ties it together.
 
-Later distribution/caching/incremental work plugs in here: a new
-executor for a cluster backend, a remote cache, or a dirty-tile
-scheduler for ECO re-runs — without touching detection itself.
+Distribution plugs in at two seams without touching detection itself:
+an executor backend that maps tile jobs over a cluster, and a
+:class:`~repro.cache.StoreBackend` that shares artifacts across
+machines.
 """
 
 from .cache import TileCache, tile_cache_key
 from .executor import (
+    EXECUTOR_BACKENDS,
     CanonicalConflict,
     ProcessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     TileJob,
     TileResult,
     detect_tile,
+    make_executor,
     make_jobs,
+    register_executor,
     resolve_executor,
 )
 from .orchestrator import ChipReport, TileStat, run_chip_flow
@@ -36,7 +43,16 @@ from .partition import (
     interaction_distance,
     partition_layout,
 )
-from .stitch import StitchStats, stitch_results
+from .stitch import (
+    StitchClusterStat,
+    StitchStats,
+    StitchVerdict,
+    arbitrate_clusters,
+    build_stitch_clusters,
+    stitch_cluster_id,
+    stitch_results,
+    stitch_verdict_key,
+)
 
 __all__ = [
     "run_chip_flow",
@@ -55,9 +71,19 @@ __all__ = [
     "make_jobs",
     "SerialExecutor",
     "ProcessExecutor",
+    "ThreadExecutor",
+    "EXECUTOR_BACKENDS",
+    "make_executor",
+    "register_executor",
     "resolve_executor",
     "TileCache",
     "tile_cache_key",
     "StitchStats",
+    "StitchVerdict",
+    "StitchClusterStat",
+    "arbitrate_clusters",
+    "build_stitch_clusters",
+    "stitch_cluster_id",
+    "stitch_verdict_key",
     "stitch_results",
 ]

@@ -10,15 +10,20 @@ runs, and across unrelated edits elsewhere on the chip, which is what
 makes per-tile results cacheable and stitchable.
 
 Executors are deliberately tiny: anything with a ``map(fn, jobs)``
-method works, so later PRs can plug in distributed backends without
-touching the orchestrator.
+method works.  The built-in backends — ``serial``, ``process``,
+``thread`` — live in a small registry resolved by name
+(:data:`EXECUTOR_BACKENDS` / :func:`make_executor`), which is also the
+extension point for distributed backends: :func:`register_executor` a
+factory whose product maps jobs over a cluster and the orchestrator,
+pipeline, and CLI pick it up unchanged.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..conflict import PCG, DetectionReport, build_layout_conflict_graph, \
     detect_conflicts
@@ -233,6 +238,7 @@ def _rect_point2_within(rect, p2: Tuple[int, int], dist: int) -> bool:
 class SerialExecutor:
     """Run tile jobs in-process, one after another."""
 
+    name = "serial"
     jobs = 1
 
     def map(self, fn: Callable[[TileJob], TileResult],
@@ -248,6 +254,8 @@ class ProcessExecutor:
     data-parallel map; results come back in submission order.
     """
 
+    name = "process"
+
     def __init__(self, jobs: int):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -261,11 +269,84 @@ class ProcessExecutor:
             return list(pool.map(fn, work, chunksize=1))
 
 
-def resolve_executor(jobs: Optional[int]):
-    """None or 1 -> serial; n > 1 -> n worker processes."""
-    if jobs is None or jobs <= 1:
-        return SerialExecutor()
-    return ProcessExecutor(jobs)
+class ThreadExecutor:
+    """Fan tile jobs out over worker threads.
+
+    Pure-Python detection holds the GIL, so threads buy little
+    wall-clock on CPU-bound tiles — this backend exists to exercise
+    the executor seam without process-spawn cost (CI, tests) and for
+    job functions that release the GIL (I/O against a remote store,
+    native extensions).  Results come back in submission order.
+    """
+
+    name = "thread"
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def map(self, fn: Callable[[TileJob], TileResult],
+            work: Sequence[TileJob]) -> List[TileResult]:
+        if not work:
+            return []
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(fn, work))
+
+
+def _default_jobs(jobs: Optional[int]) -> int:
+    return jobs if jobs and jobs >= 1 else (os.cpu_count() or 1)
+
+
+# Backend name -> factory(jobs) -> executor.  The swappable execution
+# seam: everything above (orchestrator, pipeline stages, CLI) selects
+# an executor purely by name.
+EXECUTOR_BACKENDS: Dict[str, Callable[[Optional[int]], object]] = {
+    "serial": lambda jobs: SerialExecutor(),
+    "process": lambda jobs: ProcessExecutor(_default_jobs(jobs)),
+    "thread": lambda jobs: ThreadExecutor(_default_jobs(jobs)),
+}
+
+
+def register_executor(name: str,
+                      factory: Callable[[Optional[int]], object]) -> None:
+    """Register an executor backend under ``name``.
+
+    ``factory(jobs)`` must return an object with a ``map(fn, jobs)``
+    method (and ideally ``name``/``jobs`` attributes for reporting).
+    This is the hook a distributed backend plugs into.
+    """
+    EXECUTOR_BACKENDS[name] = factory
+
+
+def make_executor(backend: str, jobs: Optional[int] = None):
+    """Instantiate a registered executor backend by name."""
+    try:
+        factory = EXECUTOR_BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor backend {backend!r}; registered: "
+            f"{', '.join(sorted(EXECUTOR_BACKENDS))}") from None
+    return factory(jobs)
+
+
+def resolve_executor(jobs: Optional[int], backend: Optional[str] = None):
+    """Pick the executor for a run.
+
+    With ``backend`` named, the registry decides (``jobs`` sizes the
+    worker pool; an explicit executor *object* passes through).  With
+    no backend the historical heuristic applies: None or 1 job runs
+    serially in-process, n > 1 fans out over n worker processes.
+    """
+    if backend is None:
+        if jobs is None or jobs <= 1:
+            return SerialExecutor()
+        return ProcessExecutor(jobs)
+    if isinstance(backend, str):
+        return make_executor(backend, jobs)
+    if hasattr(backend, "map"):
+        return backend
+    raise TypeError(f"not an executor backend: {backend!r}")
 
 
 def make_jobs(tiles: Sequence[Tile], tech: Technology,

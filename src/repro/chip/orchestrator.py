@@ -41,20 +41,30 @@ class TileStat:
 
 @dataclass
 class ChipReport:
-    """Everything a tiled full-chip detection run produced."""
+    """Everything a tiled full-chip detection run produced.
+
+    ``cache_hits``/``cache_misses`` are the tile-kind delta of this
+    run; ``stitch_hits``/``stitch_misses`` the stitch-kind delta
+    (clusters replayed vs re-arbitrated); ``cluster_stats`` the
+    per-cluster accounting the ECO scheduler classifies dirty/clean.
+    """
 
     detection: DetectionReport
     nx: int
     ny: int
     halo: int
     jobs: int
+    executor: str = "serial"
     wall_seconds: float = 0.0
     tile_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
     clusters: int = 0
     boundary_duplicates_dropped: int = 0
+    stitch_hits: int = 0
+    stitch_misses: int = 0
     tile_stats: List[TileStat] = field(default_factory=list)
+    cluster_stats: List = field(default_factory=list)
     unmapped_conflicts: int = 0
 
     # Convenience passthroughs so a ChipReport reads like a report.
@@ -85,6 +95,8 @@ class ChipReport:
             f"detected {d.num_conflicts} conflicts in {self.clusters} "
             f"clusters ({len(d.tshape_conflicts)} routed to "
             f"widening/splitting); phase-assignable: {d.phase_assignable}",
+            f"stitch: {self.stitch_hits} cluster verdict(s) replayed, "
+            f"{self.stitch_misses} re-arbitrated",
             f"wall {self.wall_seconds:.2f}s, tile work "
             f"{self.tile_seconds:.2f}s, cache {self.cache_hits}/"
             f"{self.cache_hits + self.cache_misses} hits",
@@ -107,25 +119,28 @@ def run_chip_flow(layout: Layout, tech: Technology,
                   method: str = METHOD_GADGET,
                   halo: Optional[int] = None,
                   shifters=None,
-                  grid: Optional[TileGrid] = None) -> ChipReport:
+                  grid: Optional[TileGrid] = None,
+                  executor: Optional[str] = None) -> ChipReport:
     """Tiled, parallel, cached full-chip conflict detection.
 
     Deterministic by construction: the partition, per-tile detection
     (tie-free generic weights), and cluster-arbitrated stitching are
     all pure functions of ``(layout, tech, tiles, halo, kind,
-    method)``, so two runs — serial or parallel, cold or cached —
-    produce the identical chip-level report.
+    method)``, so two runs — serial or parallel, cold or cached, any
+    executor backend — produce the identical chip-level report.
 
     Args:
         layout: the chip layout.
         tech: rule deck.
         tiles: grid spec (``n``, ``(nx, ny)``, or None for automatic).
-        jobs: worker processes; None/1 runs serially in-process.
+        jobs: worker count; with no ``executor`` named, None/1 runs
+            serially in-process and n > 1 fans out over n processes.
         cache_dir: directory for the persistent tile cache; None keeps
             caching in-memory only (pass ``cache`` to share one across
             calls, e.g. between the pre- and post-correction runs).
         cache: an existing :class:`TileCache` to use; overrides
-            ``cache_dir``.
+            ``cache_dir``.  Its underlying store also receives the
+            per-cluster stitch verdicts (kind ``stitch``).
         kind: conflict-graph kind ("pcg"/"fg").
         method: bipartization engine for each tile.
         halo: capture halo in nm (default from the rule deck).
@@ -135,6 +150,10 @@ def run_chip_flow(layout: Layout, tech: Technology,
             tiled front-end stage's); must have been produced with the
             same ``tiles``/``halo``/``jobs`` arguments.  None
             partitions here.
+        executor: executor backend name from the registry ("serial",
+            "process", "thread", or anything registered via
+            :func:`repro.chip.executor.register_executor`); None keeps
+            the historical jobs-count heuristic.
 
     Returns:
         A :class:`ChipReport`; ``report.detection`` is a chip-level
@@ -149,7 +168,7 @@ def run_chip_flow(layout: Layout, tech: Technology,
     if cache is None:
         cache = TileCache(cache_dir)
     hits0, misses0 = cache.hits, cache.misses
-    executor = resolve_executor(jobs)
+    runner = resolve_executor(jobs, executor)
 
     jobs_all = make_jobs(grid.tiles, tech, kind=kind, method=method)
     keys = [tile_cache_key(job) for job in jobs_all]
@@ -158,30 +177,36 @@ def run_chip_flow(layout: Layout, tech: Technology,
     pending = [(i, job) for i, (job, res)
                in enumerate(zip(jobs_all, results)) if res is None]
     if pending:
-        fresh = executor.map(detect_tile, [job for _, job in pending])
+        fresh = runner.map(detect_tile, [job for _, job in pending])
         for (i, _job), result in zip(pending, fresh):
             cache.put(keys[i], result)
             results[i] = result
 
     final: List[TileResult] = [r for r in results if r is not None]
     detection, stats = stitch_results(layout, tech, kind, grid, final,
-                                      shifters=shifters)
+                                      shifters=shifters,
+                                      tile_keys=keys,
+                                      store=cache.store)
 
     report = ChipReport(
         detection=detection,
         nx=grid.nx, ny=grid.ny, halo=grid.halo,
-        jobs=getattr(executor, "jobs", 1),
+        jobs=getattr(runner, "jobs", 1),
+        executor=getattr(runner, "name", type(runner).__name__),
         tile_seconds=stats.tile_seconds,
         cache_hits=cache.hits - hits0,
         cache_misses=cache.misses - misses0,
         clusters=stats.clusters,
         boundary_duplicates_dropped=stats.boundary_duplicates_dropped,
+        stitch_hits=stats.cache_hits,
+        stitch_misses=stats.cache_misses,
         tile_stats=[TileStat(ix=r.ix, iy=r.iy,
                              polygons=r.report.num_features,
                              conflicts_reported=len(r.conflicts),
                              seconds=r.seconds,
                              from_cache=r.from_cache)
                     for r in final],
+        cluster_stats=stats.cluster_stats,
         unmapped_conflicts=len(stats.unmapped_conflicts),
     )
     report.wall_seconds = time.perf_counter() - start

@@ -25,6 +25,19 @@ actually works at — the conflict *cluster*:
 3. Keep exactly the chosen tile's conflicts for the cluster; every
    other tile's view of it is dropped as a boundary duplicate.
 
+Since the incremental-stitching refactor, step 2–3 — the arbitration
+*verdict* — is computed per :class:`StitchCluster` and content-
+addressed in the unified artifact store (kind ``stitch``): a cluster's
+cache key combines its coordinate-anchored content id
+(:func:`stitch_cluster_id`, stable under shifter renumbering and
+unrelated far-away edits, exactly like frontend/component ids) with
+the result hashes of the tiles contributing views
+(:func:`stitch_verdict_key`).  A warm ECO run therefore re-arbitrates
+only the clusters some dirty tile contributes to; every clean
+cluster's cached :class:`StitchVerdict` is spliced back unchanged —
+the report stays byte-identical because the verdict *is* the
+arbitration outcome, survivors and duplicate accounting included.
+
 The surviving canonical conflicts are translated back into the
 chip-global shifter numbering, so the stitched
 :class:`~repro.conflict.DetectionReport` speaks the exact same language
@@ -40,26 +53,82 @@ structure more than once; they report work done, not chip-graph sizes.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..cache import KIND_STITCH, ArtifactCache
 from ..conflict import Conflict, DetectionReport
 from ..layout import Layout, Technology
 from ..shifters import ShifterSet, generate_shifters
 from .executor import CanonicalConflict, ShifterKey, TileResult
 from .partition import TileGrid
 
+# Bump when StitchVerdict/CanonicalConflict shape or the arbitration
+# rule changes so stale cache directories self-invalidate.
+STITCH_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class StitchVerdict:
+    """The arbitrated outcome of one stitch cluster.
+
+    ``survivors`` are the chosen tile's deduplicated canonical
+    conflicts (witness sets stripped — they only matter for cluster
+    formation, which always runs); ``dropped`` counts the other tiles'
+    views discarded as boundary duplicates.  Together these are
+    everything the chip report takes from a cluster, which is what
+    makes a cached verdict splice back byte-identically.
+    """
+
+    survivors: Tuple[CanonicalConflict, ...]
+    dropped: int
+
+
+@dataclass(frozen=True)
+class StitchClusterStat:
+    """Per-cluster accounting row the chip report exposes.
+
+    ``tiles`` are the grid positions contributing views (the tiles
+    whose result hashes key the verdict); ``replayed`` is True when
+    the verdict came from the store instead of re-arbitration.
+    """
+
+    cluster_id: str
+    tiles: Tuple[Tuple[int, int], ...]
+    conflicts: int
+    dropped: int
+    replayed: bool
+
+
+@dataclass
+class StitchCluster:
+    """One connected group of cross-tile canonical conflict views."""
+
+    members: List[Tuple[int, CanonicalConflict]]  # (flat tile, view)
+    flats: Tuple[int, ...]                        # contributing tiles
+    content_id: str
+
 
 @dataclass
 class StitchStats:
-    """Bookkeeping the chip report exposes alongside the detection."""
+    """Bookkeeping the chip report exposes alongside the detection.
+
+    ``cache_hits``/``cache_misses`` are this pass's stitch-kind store
+    delta: hits count clusters whose cached verdict replayed, misses
+    count clusters actually re-arbitrated (with no store every cluster
+    is a miss — all arbitration work was done here).
+    """
 
     clusters: int = 0
     boundary_duplicates_dropped: int = 0
     tile_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
     unmapped_conflicts: List[Tuple[ShifterKey, ShifterKey]] = \
         field(default_factory=list)
+    cluster_stats: List[StitchClusterStat] = field(default_factory=list)
 
 
 class _UnionFind:
@@ -81,15 +150,60 @@ class _UnionFind:
             self.parent[rb] = ra
 
 
-def arbitrate_conflicts(grid: TileGrid, results: List[TileResult]
-                        ) -> Tuple[List[CanonicalConflict], int, int]:
-    """Pick one coherent tile view per conflict cluster.
+def stitch_cluster_id(members: Sequence[Tuple[int, CanonicalConflict]]
+                      ) -> str:
+    """Content-derived identity of one stitch cluster.
 
-    Returns (surviving conflicts, number of clusters, instances
-    dropped as boundary duplicates).
+    Hashes the cluster's *distinct* canonical conflicts — coordinate-
+    anchored ``(shifter key, shifter key, weight, anchor, tshape)``
+    rows, view multiplicity and tile indices excluded — so the id is
+    stable under shifter renumbering, unrelated edits elsewhere on the
+    chip, and tile-grid changes that do not move cut lines through the
+    cluster's boundary neighbourhood (a cut line slicing closer can
+    give a halo tile a truncated view that legitimately cuts the same
+    cycle elsewhere, adding distinct rows; correctness never depends
+    on id stability — the verdict key also hashes the contributing
+    tiles' result hashes, which any such grid change already changes).
+    """
+    distinct = sorted({(cc.a, cc.b, cc.weight, cc.ref2, cc.tshape)
+                       for _, cc in members})
+    h = hashlib.sha256(f"stitch-cluster:{STITCH_FORMAT}".encode())
+    for row in distinct:
+        h.update(repr(row).encode())
+    return h.hexdigest()
+
+
+def stitch_verdict_key(content_id: str,
+                       tile_keys: Sequence[str]) -> str:
+    """Cache key of one cluster's arbitrated verdict.
+
+    The verdict is a pure function of the contributing tiles' results
+    (which views exist, where the anchor lands, which tile owns it —
+    each tile's result hash already covers its captured geometry,
+    ownership window, rule deck and graph settings), restricted to this
+    cluster.  Hashing the cluster's content id together with the sorted
+    contributing result hashes therefore covers every input: any dirty
+    contributing tile changes its result hash and forces
+    re-arbitration, while edits that leave every contributing tile
+    clean replay the cached verdict.
+    """
+    h = hashlib.sha256(f"stitch-verdict:{STITCH_FORMAT}".encode())
+    h.update(content_id.encode())
+    for key in sorted(tile_keys):
+        h.update(key.encode())
+    return h.hexdigest()
+
+
+def build_stitch_clusters(grid: TileGrid, results: List[TileResult]
+                          ) -> List[StitchCluster]:
+    """Group every reported conflict view into boundary stitch clusters.
+
+    Pure bookkeeping over already-computed tile results (union-find by
+    shared features and cycle-scale witnesses); runs every pass — it is
+    the cluster *verdicts* that are cached, not the clustering.
+    Clusters come back in deterministic order (smallest anchor first).
     """
     uf = _UnionFind()
-    # instances[i] = (tile flat index, conflict)
     instances: List[Tuple[int, CanonicalConflict]] = []
     for result in results:
         flat = result.iy * grid.nx + result.ix
@@ -102,41 +216,124 @@ def arbitrate_conflicts(grid: TileGrid, results: List[TileResult]
             for rect in cc.witness:
                 uf.union(cc.a[0], rect)
 
-    clusters: Dict[object, List[Tuple[int, CanonicalConflict]]] = \
+    grouped: Dict[object, List[Tuple[int, CanonicalConflict]]] = \
         defaultdict(list)
     for flat, cc in instances:
-        clusters[uf.find(cc.a[0])].append((flat, cc))
+        grouped[uf.find(cc.a[0])].append((flat, cc))
 
-    survivors: List[CanonicalConflict] = []
-    dropped = 0
+    clusters: List[StitchCluster] = []
     for _, members in sorted(
-            clusters.items(),
+            grouped.items(),
             key=lambda item: min(cc.ref2 for _, cc in item[1])):
-        anchor_flat, anchor_cc = min(
-            members, key=lambda m: (m[1].ref2, m[1].key, m[0]))
-        owner = grid.owner_index_of_point2(*anchor_cc.ref2)
-        by_tile: Dict[int, List[CanonicalConflict]] = defaultdict(list)
-        for flat, cc in members:
-            by_tile[flat].append(cc)
-        chosen = owner if owner in by_tile else anchor_flat
-        seen = set()
-        for cc in sorted(by_tile[chosen], key=lambda c: (c.ref2, c.key)):
-            if cc.key not in seen:
-                seen.add(cc.key)
-                survivors.append(cc)
-        dropped += len(members) - len(seen)
-    return survivors, len(clusters), dropped
+        clusters.append(StitchCluster(
+            members=members,
+            flats=tuple(sorted({flat for flat, _ in members})),
+            content_id=stitch_cluster_id(members)))
+    return clusters
+
+
+def _arbitrate_cluster(grid: TileGrid,
+                       members: List[Tuple[int, CanonicalConflict]]
+                       ) -> StitchVerdict:
+    """Pick one coherent tile view for a single cluster."""
+    anchor_flat, anchor_cc = min(
+        members, key=lambda m: (m[1].ref2, m[1].key, m[0]))
+    owner = grid.owner_index_of_point2(*anchor_cc.ref2)
+    by_tile: Dict[int, List[CanonicalConflict]] = defaultdict(list)
+    for flat, cc in members:
+        by_tile[flat].append(cc)
+    chosen = owner if owner in by_tile else anchor_flat
+    seen = set()
+    survivors: List[CanonicalConflict] = []
+    for cc in sorted(by_tile[chosen], key=lambda c: (c.ref2, c.key)):
+        if cc.key not in seen:
+            seen.add(cc.key)
+            survivors.append(replace(cc, witness=()))
+    return StitchVerdict(survivors=tuple(survivors),
+                         dropped=len(members) - len(seen))
+
+
+def arbitrate_clusters(grid: TileGrid, results: List[TileResult],
+                       tile_keys: Optional[Sequence[str]] = None,
+                       store: Optional[ArtifactCache] = None
+                       ) -> Tuple[List[CanonicalConflict], StitchStats]:
+    """Arbitrate every stitch cluster, replaying cached verdicts.
+
+    Args:
+        grid: the partition the results came from.
+        results: per-tile detection results (halo views included).
+        tile_keys: each tile's content-addressed result hash, indexed
+            by flat tile index (``iy * nx + ix``) — what
+            :func:`repro.chip.cache.tile_cache_key` produced for the
+            run.  Required for verdict caching; None arbitrates
+            everything in place.
+        store: the unified artifact store (kind ``stitch``).  None
+            likewise arbitrates everything in place.
+
+    Returns:
+        ``(surviving conflicts, stats)``; the survivors are identical
+        whether each verdict was replayed or recomputed, and the stats
+        carry the per-cluster accounting (``cluster_stats``) plus this
+        pass's stitch-kind hit/miss delta.
+    """
+    clusters = build_stitch_clusters(grid, results)
+    stats = StitchStats(clusters=len(clusters))
+    survivors: List[CanonicalConflict] = []
+    for cluster in clusters:
+        verdict: Optional[StitchVerdict] = None
+        key = None
+        if store is not None and tile_keys is not None:
+            key = stitch_verdict_key(
+                cluster.content_id,
+                [tile_keys[flat] for flat in cluster.flats])
+            cached = store.get(KIND_STITCH, key)
+            if isinstance(cached, StitchVerdict):
+                verdict = cached
+        replayed = verdict is not None
+        if verdict is None:
+            verdict = _arbitrate_cluster(grid, cluster.members)
+            if store is not None and key is not None:
+                store.put(KIND_STITCH, key, verdict)
+        if replayed:
+            stats.cache_hits += 1
+        else:
+            stats.cache_misses += 1
+        survivors.extend(verdict.survivors)
+        stats.boundary_duplicates_dropped += verdict.dropped
+        stats.cluster_stats.append(StitchClusterStat(
+            cluster_id=cluster.content_id,
+            tiles=tuple((flat % grid.nx, flat // grid.nx)
+                        for flat in cluster.flats),
+            conflicts=len(verdict.survivors),
+            dropped=verdict.dropped,
+            replayed=replayed))
+    return survivors, stats
+
+
+def arbitrate_conflicts(grid: TileGrid, results: List[TileResult]
+                        ) -> Tuple[List[CanonicalConflict], int, int]:
+    """Pick one coherent tile view per conflict cluster.
+
+    Historical uncached entry point; returns (surviving conflicts,
+    number of clusters, instances dropped as boundary duplicates).
+    """
+    survivors, stats = arbitrate_clusters(grid, results)
+    return survivors, stats.clusters, stats.boundary_duplicates_dropped
 
 
 def stitch_results(layout: Layout, tech: Technology, kind: str,
                    grid: TileGrid, results: List[TileResult],
-                   shifters: Optional[ShifterSet] = None
+                   shifters: Optional[ShifterSet] = None,
+                   tile_keys: Optional[Sequence[str]] = None,
+                   store: Optional[ArtifactCache] = None
                    ) -> Tuple[DetectionReport, StitchStats]:
     """Merge tile results into a chip-level :class:`DetectionReport`.
 
     ``shifters`` accepts the layout's already-generated shifter set
     (the pipeline's shifter-generation stage); when omitted it is
-    regenerated here.
+    regenerated here.  ``tile_keys`` + ``store`` switch on per-cluster
+    verdict caching (see :func:`arbitrate_clusters`); the report is
+    byte-identical either way.
     """
     # Chip-global shifter numbering: pure geometry, O(features), and
     # deterministic — the same ids the monolithic flow would assign.
@@ -167,12 +364,10 @@ def stitch_results(layout: Layout, tech: Technology, kind: str,
     )
     report.removed_weight = sum(r.report.removed_weight for r in results)
 
-    survivors, n_clusters, dropped = arbitrate_conflicts(grid, results)
-    stats = StitchStats(
-        clusters=n_clusters,
-        boundary_duplicates_dropped=dropped,
-        tile_seconds=sum(r.seconds for r in results),
-    )
+    survivors, stats = arbitrate_clusters(grid, results,
+                                          tile_keys=tile_keys,
+                                          store=store)
+    stats.tile_seconds = sum(r.seconds for r in results)
 
     plain: List[Conflict] = []
     tshape: List[Conflict] = []

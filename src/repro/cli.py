@@ -72,6 +72,20 @@ def _parse_tiles(text: str) -> Tuple[int, int]:
     return spec
 
 
+def _parse_executor(text: str) -> str:
+    """Validate an executor backend name against the live registry —
+    not a hardcoded list, so backends added via
+    :func:`repro.chip.executor.register_executor` work from the CLI
+    unchanged."""
+    from .chip.executor import EXECUTOR_BACKENDS
+
+    if text not in EXECUTOR_BACKENDS:
+        raise argparse.ArgumentTypeError(
+            f"unknown executor backend {text!r}; registered: "
+            f"{', '.join(sorted(EXECUTOR_BACKENDS))}")
+    return text
+
+
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     """The tiling/parallelism knobs shared by chip-scale commands."""
     parser.add_argument("--tiles", type=_parse_tiles, default=None,
@@ -80,10 +94,18 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                              "polygon count)")
     parser.add_argument("--jobs", type=int, default=os.cpu_count(),
                         help="worker processes (default: all cores)")
+    parser.add_argument("--executor", type=_parse_executor,
+                        metavar="BACKEND", default=None,
+                        help="tile executor backend: serial, process, "
+                             "thread, or any registered backend "
+                             "(default: serial for 1 job, process "
+                             "otherwise); the report is identical "
+                             "under every backend")
     parser.add_argument("--cache-dir",
                         help="persistent artifact store directory "
-                             "(front ends, tile results, window "
-                             "solutions, colorings, verdicts)")
+                             "(front ends, tile results, stitch "
+                             "verdicts, window solutions, colorings, "
+                             "verify verdicts)")
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable JSON report "
                              "(counts, timings, cache hit rate)")
@@ -114,7 +136,7 @@ def cmd_chip(args: argparse.Namespace) -> int:
     tech = TECH_PRESETS[args.tech]()
     report = run_chip_flow(layout, tech, tiles=args.tiles,
                            jobs=args.jobs, cache_dir=args.cache_dir,
-                           kind=args.graph)
+                           kind=args.graph, executor=args.executor)
     if args.json:
         print(json.dumps(chip_report_dict(report), indent=2,
                          sort_keys=True))
@@ -136,10 +158,13 @@ def cmd_flow(args: argparse.Namespace) -> int:
     if args.incremental and not args.cache_dir:
         print("warning: --incremental without --cache-dir only caches "
               "within this run", file=sys.stderr)
+    _warn_untiled_executor(args, tiled=bool(args.tiles)
+                           or args.incremental)
     result = run_aapsm_flow(layout, tech, cover=args.cover,
                             tiles=args.tiles, jobs=args.jobs,
                             cache_dir=args.cache_dir,
-                            incremental=args.incremental)
+                            incremental=args.incremental,
+                            executor=args.executor)
     if args.json:
         from .core import flow_result_dict
 
@@ -173,7 +198,8 @@ def cmd_eco(args: argparse.Namespace) -> int:
         return 2
     config = PipelineConfig(kind=args.graph, cover=args.cover,
                             tiles=args.tiles, jobs=args.jobs,
-                            cache_dir=args.cache_dir)
+                            cache_dir=args.cache_dir,
+                            executor=args.executor)
     eco = run_eco_flow(base, edited, tech, config=config,
                        warm_base=not args.assume_warm)
     if (args.assume_warm and eco.plan.num_clean
@@ -214,6 +240,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     # --cache-dir implies the incremental (tiled, store-backed) path:
     # a persistent store is meaningless to the untiled pipeline.
     incremental = args.incremental or bool(args.cache_dir)
+    _warn_untiled_executor(args, tiled=bool(args.tiles) or incremental)
     store = None
     if incremental:
         from .cache import ArtifactCache
@@ -228,7 +255,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         result = run_aapsm_flow(layout, tech, cover=args.cover,
                                 tiles=args.tiles, jobs=args.jobs,
                                 cache_dir=args.cache_dir, cache=store,
-                                incremental=incremental)
+                                incremental=incremental,
+                                executor=args.executor)
         wall = time.perf_counter() - start
         all_ok &= result.success
         report = flow_result_dict(result)
@@ -267,6 +295,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def _note(args: argparse.Namespace, message: str) -> None:
     """Progress chatter — kept off stdout when it must stay pure JSON."""
     print(message, file=sys.stderr if args.json else sys.stdout)
+
+
+def _warn_untiled_executor(args: argparse.Namespace,
+                           tiled: bool) -> None:
+    """Only the tiled path has tile jobs to execute; say so instead of
+    silently ignoring an explicit --executor."""
+    if args.executor and not tiled:
+        print(f"warning: --executor {args.executor} has no effect on "
+              "the untiled path; pass --tiles or --incremental",
+              file=sys.stderr)
 
 
 def cmd_generate(args: argparse.Namespace) -> int:

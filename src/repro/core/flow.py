@@ -96,7 +96,8 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
                    jobs: Optional[int] = None,
                    cache_dir: Optional[str] = None,
                    cache=None,
-                   incremental: bool = False) -> FlowResult:
+                   incremental: bool = False,
+                   executor: Optional[str] = None) -> FlowResult:
     """Detect conflicts, insert spaces, verify, and assign phases.
 
     Args:
@@ -111,6 +112,8 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
         cache: an existing store (overrides ``cache_dir``).
         incremental: run tiled (with a jobs-blind pinned auto grid)
             even when ``tiles`` is None.
+        executor: executor backend name ("serial"/"process"/"thread"
+            or anything registered); None keeps the jobs heuristic.
 
     With ``tiles`` set (or ``incremental=True``), shifter generation
     and both detection passes run tile-scoped through the shared
@@ -136,6 +139,7 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
         tiles = auto_tile_grid(layout)
     config = PipelineConfig(kind=kind, method=method, cover=cover,
                             tiles=tiles, jobs=jobs, cache_dir=cache_dir,
-                            tiled=True if incremental else None)
+                            tiled=True if incremental else None,
+                            executor=executor)
     return flow_result_from_pipeline(
         run_pipeline(layout, tech, config, cache=cache))

@@ -71,11 +71,13 @@ def chip_report_dict(chip, timings: bool = True) -> Dict[str, Any]:
     out: Dict[str, Any] = {
         "grid": {"nx": chip.nx, "ny": chip.ny, "halo": chip.halo},
         "jobs": chip.jobs,
+        "executor": chip.executor,
         "num_tiles": chip.num_tiles,
         "clusters": chip.clusters,
         "boundary_duplicates_dropped": chip.boundary_duplicates_dropped,
         "unmapped_conflicts": chip.unmapped_conflicts,
         "cache": cache_dict(chip.cache_hits, chip.cache_misses),
+        "stitch_cache": cache_dict(chip.stitch_hits, chip.stitch_misses),
         "detection": detection_dict(chip.detection, timings=timings),
     }
     tiles = [{"ix": s.ix, "iy": s.iy, "polygons": s.polygons,
@@ -113,10 +115,16 @@ def pipeline_dict(pipe, timings: bool = True) -> Dict[str, Any]:
     over the whole run (``front_cache`` / ``verify_front_cache`` split
     it per front-end pass): on a warm run ``front_cache.misses`` is
     exactly the dirty-tile count — zero clean-tile shifter
-    regeneration.
+    regeneration.  ``stitch_cache`` is likewise the ``stitch`` kind's
+    whole-run delta (``detect_stitch_cache`` / ``verify_stitch_cache``
+    per detection pass): on a warm run over a conflict-neutral edit
+    ``detect_stitch_cache.misses`` is exactly the dirty-cluster count
+    — zero clean-cluster re-arbitration (an edit that reshapes which
+    tiles contribute views can add conservative misses on top).
     """
     hits, misses = pipe.cache_counts()
     fe_hits, fe_misses = pipe.frontend_cache_counts()
+    st_hits, st_misses = pipe.stitch_cache_counts()
     out: Dict[str, Any] = {
         "tiled": pipe.tiled,
         "front_reused_for_verify": pipe.verification.front_reused,
@@ -131,6 +139,12 @@ def pipeline_dict(pipe, timings: bool = True) -> Dict[str, Any]:
                                    pipe.detection.cache_misses),
         "verify_cache": cache_dict(pipe.verification.cache_hits,
                                    pipe.verification.cache_misses),
+        "stitch_cache": cache_dict(st_hits, st_misses),
+        "detect_stitch_cache": cache_dict(pipe.detection.stitch_hits,
+                                          pipe.detection.stitch_misses),
+        "verify_stitch_cache": cache_dict(
+            pipe.verification.stitch_hits,
+            pipe.verification.stitch_misses),
         "correct_cache": cache_dict(pipe.correction.cache_hits,
                                     pipe.correction.cache_misses),
         "phase": {
@@ -142,6 +156,8 @@ def pipeline_dict(pipe, timings: bool = True) -> Dict[str, Any]:
                                  pipe.phase.verified),
         },
     }
+    if pipe.tiled:
+        out["executor"] = pipe.detection.chip.executor
     if timings:
         out["stage_seconds"] = pipe.stage_seconds()
         out["wall_seconds"] = pipe.wall_seconds
@@ -173,6 +189,14 @@ def eco_result_dict(eco, timings: bool = True) -> Dict[str, Any]:
         "flow": flow_result_dict(flow_result_from_pipeline(eco.result),
                                  timings=timings),
     }
+    if plan.stitch_dirty is not None:
+        # The dirty-cluster split (clusters touching a dirty tile must
+        # re-arbitrate; the rest replay when the edit preserved their
+        # contributing views, as the canonical conflict-neutral edit
+        # does) — populated from the warm run's own chip report, so CI
+        # can assert zero clean-cluster re-arbitrations off the JSON.
+        out["plan"]["stitch"] = {"num_dirty": plan.num_stitch_dirty,
+                                 "num_clean": plan.num_stitch_clean}
     if timings:
         out["eco_seconds"] = eco.eco_seconds
         if eco.base_seconds:

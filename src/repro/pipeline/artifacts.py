@@ -65,8 +65,11 @@ class DetectionArtifact:
     """One detection pass (pre- or post-correction).
 
     ``chip`` is present when the pass ran tiled; ``cache_hits`` /
-    ``cache_misses`` are this pass's own deltas, so the ECO scheduler
-    can assert exactly which tiles recomputed per pass.
+    ``cache_misses`` are this pass's own tile-kind deltas and
+    ``stitch_hits`` / ``stitch_misses`` its stitch-kind deltas
+    (clusters replayed vs re-arbitrated), so the ECO scheduler can
+    assert exactly which tiles *and* which boundary clusters
+    recomputed per pass.
     """
 
     report: DetectionReport
@@ -74,6 +77,8 @@ class DetectionArtifact:
     chip: Optional[ChipReport] = None
     cache_hits: int = 0
     cache_misses: int = 0
+    stitch_hits: int = 0
+    stitch_misses: int = 0
     seconds: float = 0.0
     front_reused: bool = False
 
@@ -188,11 +193,20 @@ class PipelineResult:
                   + self.verification.front.cache_misses)
         return hits, misses
 
+    def stitch_cache_counts(self) -> Tuple[int, int]:
+        """(replayed, re-arbitrated) stitch-cluster verdicts summed
+        over both detection passes."""
+        hits = self.detection.stitch_hits + self.verification.stitch_hits
+        misses = (self.detection.stitch_misses
+                  + self.verification.stitch_misses)
+        return hits, misses
+
     def artifact_cache_counts(self) -> Dict[str, Tuple[int, int]]:
         """(hits, misses) per artifact kind across the whole run."""
         return {
             "frontend": self.frontend_cache_counts(),
             "tile": self.cache_counts(),
+            "stitch": self.stitch_cache_counts(),
             "window": (self.correction.cache_hits,
                        self.correction.cache_misses),
             "coloring": (self.phase.coloring_hits, self.phase.recolored),

@@ -9,7 +9,10 @@ front end, per-tile shifter sets and overlap pairs are too
 pipeline on the edited layout with the base run's cache recomputes
 *only* the tiles whose capture window intersects the edit; every clean
 tile's cached front end and detection result are spliced back into the
-chip-level view unchanged.
+chip-level view unchanged.  Boundary stitch clusters follow the same
+rule (:mod:`repro.chip.stitch`): a cluster re-arbitrates only when
+some contributing tile is dirty, so no stage performs a chip-wide
+pass on the warm path.
 
 :func:`plan_eco` predicts that dirty set by diffing the two layouts'
 partitions — the same comparison the cache keys make — so the ECO
@@ -80,6 +83,13 @@ class EcoPlan:
     regenerates shifters for exactly ``dirty`` and replays a cached
     front end for exactly ``clean`` — the accounting
     :meth:`EcoResult.summary` and the ECO test suite assert.
+
+    Stitch-cluster dirtiness follows from tile dirtiness: a cluster's
+    verdict key hashes the contributing tiles' result hashes, so a
+    cluster with a dirty contributing tile always re-arbitrates.
+    :meth:`classify_stitch_clusters` computes that split once the
+    cluster → tiles mapping is known (the chip report carries it);
+    until then ``stitch_dirty``/``stitch_clean`` are None.
     """
 
     grid: TileGrid                      # partition of the edited layout
@@ -87,6 +97,8 @@ class EcoPlan:
     dirty: List[Tuple[int, int]] = field(default_factory=list)
     clean: List[Tuple[int, int]] = field(default_factory=list)
     bbox_changed: bool = False
+    stitch_dirty: Optional[List[str]] = None    # cluster content ids
+    stitch_clean: Optional[List[str]] = None
 
     @property
     def num_tiles(self) -> int:
@@ -110,6 +122,40 @@ class EcoPlan:
     def frontend_clean(self) -> List[Tuple[int, int]]:
         """Tiles whose cached front end replays on a warm run."""
         return self.clean
+
+    def classify_stitch_clusters(self, cluster_stats) -> None:
+        """Compute the dirty-cluster set from the dirty-tile set.
+
+        ``cluster_stats`` is a chip report's per-cluster accounting
+        (:class:`~repro.chip.stitch.StitchClusterStat`); a cluster
+        lands in ``stitch_dirty`` when any contributing tile is in
+        ``dirty``, else in ``stitch_clean``.  Dirty clusters always
+        re-arbitrate (a dirty tile's result hash changes the verdict
+        key).  Clean clusters replay whenever the edit left their
+        contributing-view set unchanged — guaranteed for the canonical
+        conflict-neutral edit, which is what the test suites and CI
+        assert exactly; a conflict-*changing* edit can reshape which
+        tiles contribute views, in which case a clean-classified
+        cluster conservatively re-arbitrates (a cache miss costs
+        recomputation, never correctness).
+        """
+        dirty_tiles = set(self.dirty)
+        self.stitch_dirty, self.stitch_clean = [], []
+        for stat in cluster_stats:
+            bucket = (self.stitch_dirty
+                      if any(t in dirty_tiles for t in stat.tiles)
+                      else self.stitch_clean)
+            bucket.append(stat.cluster_id)
+
+    @property
+    def num_stitch_dirty(self) -> Optional[int]:
+        return (None if self.stitch_dirty is None
+                else len(self.stitch_dirty))
+
+    @property
+    def num_stitch_clean(self) -> Optional[int]:
+        return (None if self.stitch_clean is None
+                else len(self.stitch_clean))
 
 
 def plan_eco(base: Layout, edited: Layout, tech: Technology,
@@ -234,35 +280,80 @@ class EcoResult:
             return 0.0
         return self.base_seconds / max(self.eco_seconds, 1e-9)
 
+    def stage_rows(self) -> List[Tuple[str, int, int]]:
+        """Warm-path (stage, replayed, recomputed) deltas — one row
+        per pipeline stage, both passes summed where a stage runs
+        twice.  ``phase`` sums the coloring and verifier artifacts of
+        the assign stage."""
+        r = self.result
+        return [
+            ("front end", *r.frontend_cache_counts()),
+            ("detect", *r.cache_counts()),
+            ("stitch", *r.stitch_cache_counts()),
+            ("correct", r.correction.cache_hits,
+             r.correction.cache_misses),
+            ("phase", r.phase.coloring_hits + r.phase.verify_hits,
+             r.phase.recolored + r.phase.verified),
+        ]
+
+    def _stage_seconds(self, pipe: PipelineResult,
+                       stage: str) -> Optional[float]:
+        """Map a summary-table row to pipeline stage wall-clock.
+
+        Stitching happens inside the detect passes, so its row has no
+        own timing; ``detect`` covers both detection passes.
+        """
+        from .artifacts import (
+            STAGE_ASSIGN,
+            STAGE_CORRECT,
+            STAGE_DETECT,
+            STAGE_SHIFTERS,
+            STAGE_VERIFY,
+        )
+
+        secs = pipe.stage_seconds()
+        return {
+            "front end": secs[STAGE_SHIFTERS],
+            "detect": secs[STAGE_DETECT] + secs[STAGE_VERIFY],
+            "stitch": None,
+            "correct": secs[STAGE_CORRECT],
+            "phase": secs[STAGE_ASSIGN],
+        }[stage]
+
     def summary(self) -> str:
         r = self.result
+        tiles_line = (f"tiles: {self.plan.num_dirty} dirty / "
+                      f"{self.plan.num_clean} clean of "
+                      f"{self.plan.num_tiles}"
+                      + (" (bbox changed: full recompute)"
+                         if self.plan.bbox_changed else ""))
+        if self.plan.stitch_dirty is not None:
+            tiles_line += (f"; stitch clusters: "
+                           f"{self.plan.num_stitch_dirty} dirty / "
+                           f"{self.plan.num_stitch_clean} clean")
         lines = [
             f"ECO on {r.layout.name}: {self.plan.diff.num_changed} "
             f"feature(s) changed "
             f"(+{len(self.plan.diff.added)}/-{len(self.plan.diff.removed)})",
-            f"tiles: {self.plan.num_dirty} dirty / "
-            f"{self.plan.num_clean} clean of {self.plan.num_tiles}"
-            + (" (bbox changed: full recompute)"
-               if self.plan.bbox_changed else ""),
-            f"front end: {r.front.cache_hits} tile(s) replayed, "
-            f"{r.front.cache_misses} regenerated"
-            + (f" (verify pass: {r.verification.front.cache_hits} "
-               f"replayed, {r.verification.front.cache_misses} "
-               f"regenerated)"
-               if not r.verification.front_reused else ""),
-            f"detect pass: {r.detection.cache_hits} cached, "
-            f"{r.detection.cache_misses} recomputed; verify pass: "
-            f"{r.verification.cache_hits} cached, "
-            f"{r.verification.cache_misses} recomputed",
-            f"correction: {r.correction.cache_hits} window(s) replayed, "
-            f"{r.correction.cache_misses} solved; phase: "
-            f"{r.phase.coloring_hits} component(s) replayed, "
-            f"{r.phase.recolored} recolored, {r.phase.verified} "
-            f"re-verified",
+            tiles_line,
+        ]
+        with_secs = self.base is not None
+        header = f"  {'stage':<10} {'replayed':>9} {'recomputed':>11}"
+        if with_secs:
+            header += f" {'base_s':>8} {'eco_s':>8}"
+        lines.append(header)
+        for stage, replayed, recomputed in self.stage_rows():
+            row = f"  {stage:<10} {replayed:>9} {recomputed:>11}"
+            if with_secs:
+                base_s = self._stage_seconds(self.base, stage)
+                eco_s = self._stage_seconds(r, stage)
+                row += ("" if base_s is None
+                        else f" {base_s:>8.2f} {eco_s:>8.2f}")
+            lines.append(row)
+        lines.append(
             f"result: {r.post_detection.num_conflicts} residual "
             f"conflicts, {r.correction.report.num_cuts} cuts, "
-            f"success: {r.success}",
-        ]
+            f"success: {r.success}")
         if self.base_seconds:
             lines.append(f"wall: base {self.base_seconds:.2f}s, "
                          f"eco {self.eco_seconds:.2f}s "
@@ -275,8 +366,8 @@ def run_eco_flow(base: Layout, edited: Layout, tech: Technology,
                  cache: PipelineCache = None,
                  warm_base: bool = True) -> EcoResult:
     """Run the edited layout through the pipeline, reusing every clean
-    tile front end, tile result, window solution, and component
-    coloring of the base run.
+    tile front end, tile result, stitch-cluster verdict, window
+    solution, and component coloring of the base run.
 
     Args:
         base: the already-flowed reference revision.
@@ -327,6 +418,13 @@ def run_eco_flow(base: Layout, edited: Layout, tech: Technology,
     t0 = time.perf_counter()
     result = run_pipeline(edited, tech, config, cache=cache)
     eco_seconds = time.perf_counter() - t0
+
+    # The warm run's own chip report names each stitch cluster's
+    # contributing tiles; the plan classifies them dirty/clean so the
+    # accounting (and the test suites) can assert that exactly the
+    # dirty clusters re-arbitrated.
+    if result.detection.chip is not None:
+        plan.classify_stitch_clusters(result.detection.chip.cluster_stats)
 
     return EcoResult(plan=plan, result=result, base=base_result,
                      base_seconds=base_seconds, eco_seconds=eco_seconds)

@@ -75,6 +75,10 @@ class PipelineConfig:
     ``tiled`` forces the tiled path even with an automatic grid
     (``tiles=None``); by default the pipeline tiles exactly when a
     grid spec is given, preserving ``run_aapsm_flow`` semantics.
+    ``executor`` names a backend from the chip executor registry
+    ("serial" / "process" / "thread" / anything registered); None
+    keeps the historical jobs-count heuristic.  The backend trades
+    wall-clock only — the report is identical under every executor.
     """
 
     kind: str = PCG
@@ -86,6 +90,7 @@ class PipelineConfig:
     halo: Optional[int] = None
     restrictions: Optional[CutRestrictions] = None
     tiled: Optional[bool] = None
+    executor: Optional[str] = None
 
     @property
     def is_tiled(self) -> bool:
@@ -165,10 +170,12 @@ def stage_detect(front: FrontEnd, tech: Technology,
                              jobs=config.jobs, cache=tiles,
                              kind=config.kind, method=config.method,
                              halo=config.halo, shifters=front.shifters,
-                             grid=front.grid)
+                             grid=front.grid, executor=config.executor)
         return DetectionArtifact(
             report=chip.detection, front=front, chip=chip,
             cache_hits=chip.cache_hits, cache_misses=chip.cache_misses,
+            stitch_hits=chip.stitch_hits,
+            stitch_misses=chip.stitch_misses,
             seconds=time.perf_counter() - start)
     prebuilt = build_layout_conflict_graph(
         front.layout, tech, config.kind,
@@ -302,11 +309,12 @@ def run_pipeline(layout: Layout, tech: Technology,
             ``config.cache_dir``; an untiled, uncached run stays on
             the historical chip-wide code path.
 
-    Cache behaviour: on the tiled path all five artifact kinds are
+    Cache behaviour: on the tiled path all six artifact kinds are
     exercised — per-tile front ends (``frontend``), per-tile detection
-    results (``tile``), window solutions (``window``), component
-    colorings (``coloring``), and verifier verdicts (``verify``) —
-    with each stage's own hit/miss delta recorded on its artifact.
+    results (``tile``), stitch-cluster verdicts (``stitch``), window
+    solutions (``window``), component colorings (``coloring``), and
+    verifier verdicts (``verify``) — with each stage's own hit/miss
+    delta recorded on its artifact.
 
     Determinism guarantee: the result is a pure function of
     ``(layout, tech, config)`` — identical conflicts, cuts, and phase

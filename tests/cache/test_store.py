@@ -1,4 +1,6 @@
-"""Unified artifact store: kind namespacing, persistence, counters."""
+"""Unified artifact store: kinds, persistence, backends, counters."""
+
+import os
 
 import pytest
 
@@ -6,9 +8,14 @@ from repro.cache import (
     ARTIFACT_KINDS,
     KIND_COLORING,
     KIND_FRONTEND,
+    KIND_STITCH,
     KIND_TILE,
     KIND_WINDOW,
     ArtifactCache,
+    FilesystemBackend,
+    MemoryBackend,
+    SharedDirectoryBackend,
+    StoreBackend,
     as_store,
 )
 from repro.chip import TileCache
@@ -17,8 +24,8 @@ from repro.chip import TileCache
 class TestKindNamespacing:
     def test_every_pipeline_kind_is_registered(self):
         assert set(ARTIFACT_KINDS) == {KIND_FRONTEND, KIND_TILE,
-                                       KIND_WINDOW, KIND_COLORING,
-                                       "verify"}
+                                       "stitch", KIND_WINDOW,
+                                       KIND_COLORING, "verify"}
 
     def test_frontend_kind_is_namespaced(self):
         store = ArtifactCache()
@@ -86,6 +93,116 @@ class TestPersistence:
         fresh = ArtifactCache(str(tmp_path))
         assert fresh.get(KIND_TILE, "k") == "tile-value"
         assert fresh.get(KIND_WINDOW, "k") == "window-value"
+
+
+class TestStoreBackends:
+    """The persistence seam: one ArtifactCache API over any backend."""
+
+    def backends(self, tmp_path):
+        return [
+            FilesystemBackend(str(tmp_path / "fs")),
+            MemoryBackend(),
+            SharedDirectoryBackend(str(tmp_path / "shared"), "ns-a"),
+        ]
+
+    def test_cache_api_identical_over_every_backend(self, tmp_path):
+        for backend in self.backends(tmp_path):
+            store = ArtifactCache(backend=backend)
+            store.put(KIND_WINDOW, "k", (3, 1))
+            assert store.get(KIND_WINDOW, "k") == (3, 1)
+            assert store.get(KIND_WINDOW, "absent") is None
+            assert store.stats(KIND_WINDOW).as_tuple() == (1, 1)
+
+    def test_backends_shared_across_cache_instances(self, tmp_path):
+        """Two stores over one backend see each other's artifacts —
+        the remote-shaped sharing property (memory backend included:
+        the 'machines' here are cache instances)."""
+        for backend in self.backends(tmp_path):
+            ArtifactCache(backend=backend).put(KIND_STITCH, "v", "x")
+            fresh = ArtifactCache(backend=backend)
+            assert fresh.get(KIND_STITCH, "v") == "x"
+            assert fresh.stats(KIND_STITCH).hits == 1
+
+    def test_cache_dir_reflects_backend_location(self, tmp_path):
+        fs = ArtifactCache(backend=FilesystemBackend(str(tmp_path)))
+        assert fs.cache_dir == str(tmp_path)
+        assert ArtifactCache(backend=MemoryBackend()).cache_dir is None
+        assert ArtifactCache().cache_dir is None
+
+    def test_cache_dir_builds_filesystem_backend(self, tmp_path):
+        store = ArtifactCache(str(tmp_path))
+        assert isinstance(store.backend, FilesystemBackend)
+        assert store.cache_dir == str(tmp_path)
+
+    def test_shared_directory_namespaces_are_isolated(self, tmp_path):
+        root = str(tmp_path)
+        a = ArtifactCache(backend=SharedDirectoryBackend(root, "job-a"))
+        b = ArtifactCache(backend=SharedDirectoryBackend(root, "job-b"))
+        a.put(KIND_TILE, "k", "from-a")
+        b.put(KIND_TILE, "k", "from-b")
+        assert ArtifactCache(
+            backend=SharedDirectoryBackend(root, "job-a")).get(
+                KIND_TILE, "k") == "from-a"
+        assert ArtifactCache(
+            backend=SharedDirectoryBackend(root, "job-b")).get(
+                KIND_TILE, "k") == "from-b"
+        names = sorted(os.listdir(root))
+        assert any(n.startswith("job-a--tile-") for n in names)
+        assert any(n.startswith("job-b--tile-") for n in names)
+
+    def test_shared_directory_rejects_bad_namespace(self, tmp_path):
+        with pytest.raises(ValueError):
+            SharedDirectoryBackend(str(tmp_path), "")
+        with pytest.raises(ValueError):
+            SharedDirectoryBackend(str(tmp_path), "a/b")
+
+    def test_corrupt_backend_payload_is_a_miss(self, tmp_path):
+        backend = MemoryBackend()
+        store = ArtifactCache(backend=backend)
+        backend.save(KIND_WINDOW, "w", b"not a pickle")
+        assert store.get(KIND_WINDOW, "w") is None
+        assert store.stats(KIND_WINDOW).misses == 1
+
+    def test_memory_only_store_has_no_backend(self):
+        store = ArtifactCache()
+        assert store.backend is None
+        store.put(KIND_WINDOW, "k", ())
+        assert store.get(KIND_WINDOW, "k") == ()
+
+    def test_base_protocol_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            StoreBackend().load("tile", "k")
+        with pytest.raises(NotImplementedError):
+            StoreBackend().save("tile", "k", b"")
+        assert StoreBackend().location() is None
+
+    def test_pipeline_runs_over_memory_backend(self, tmp_path):
+        """ArtifactCache works unchanged over a non-filesystem
+        backend: a full warm ECO against a shared MemoryBackend."""
+        from repro.bench import build_design
+        from repro.layout import Technology
+        from repro.pipeline import (
+            PipelineConfig,
+            propose_eco_edit,
+            run_eco_flow,
+            run_pipeline,
+        )
+
+        tech = Technology.node_90nm()
+        base = build_design("D1")
+        edited, _ = propose_eco_edit(base, tech)
+        backend = MemoryBackend()
+        cfg = PipelineConfig(tiles=2)
+        run_pipeline(base, tech, cfg,
+                     cache=ArtifactCache(backend=backend))
+        # A *fresh* store over the same backend: everything replays.
+        eco = run_eco_flow(base, edited, tech, config=cfg,
+                           cache=ArtifactCache(backend=backend),
+                           warm_base=False)
+        assert eco.result.detection.cache_hits == eco.plan.num_clean
+        assert eco.result.detection.stitch_misses \
+            == eco.plan.num_stitch_dirty
+        assert eco.result.correction.cache_misses == 0
 
 
 class TestAsStore:

@@ -5,11 +5,15 @@ from __future__ import annotations
 import pytest
 
 from repro.chip import (
+    EXECUTOR_BACKENDS,
     ProcessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     detect_tile,
+    make_executor,
     make_jobs,
     partition_layout,
+    register_executor,
     resolve_executor,
 )
 from repro.conflict import detect_conflicts
@@ -82,3 +86,64 @@ class TestExecutors:
 
     def test_process_executor_empty_work(self):
         assert ProcessExecutor(2).map(detect_tile, []) == []
+
+    def test_thread_executor_matches_serial(self, tech):
+        layout = standard_cell_layout(seed=13)
+        grid = partition_layout(layout, tech, tiles=2)
+        jobs = make_jobs(grid.tiles, tech)
+        serial = SerialExecutor().map(detect_tile, jobs)
+        threads = ThreadExecutor(2).map(detect_tile, jobs)
+        assert [sorted(c.key for c in r.conflicts) for r in serial] == \
+            [sorted(c.key for c in r.conflicts) for r in threads]
+
+    def test_thread_executor_empty_work(self):
+        assert ThreadExecutor(2).map(detect_tile, []) == []
+        with pytest.raises(ValueError):
+            ThreadExecutor(0)
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"serial", "process", "thread"} <= set(EXECUTOR_BACKENDS)
+
+    def test_make_executor_by_name(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        proc = make_executor("process", 3)
+        assert isinstance(proc, ProcessExecutor) and proc.jobs == 3
+        thr = make_executor("thread", 2)
+        assert isinstance(thr, ThreadExecutor) and thr.jobs == 2
+
+    def test_jobs_defaulted_when_unset(self):
+        assert make_executor("process").jobs >= 1
+        assert make_executor("thread", 0).jobs >= 1
+
+    def test_unknown_backend_raises_with_choices(self):
+        with pytest.raises(ValueError, match="serial"):
+            make_executor("gpu-cluster")
+
+    def test_resolve_prefers_named_backend(self):
+        # Name overrides the jobs heuristic...
+        assert isinstance(resolve_executor(8, "serial"), SerialExecutor)
+        assert isinstance(resolve_executor(1, "thread"), ThreadExecutor)
+        # ...and an executor object passes straight through.
+        mine = SerialExecutor()
+        assert resolve_executor(4, mine) is mine
+        with pytest.raises(TypeError):
+            resolve_executor(1, object())
+
+    def test_register_custom_backend(self):
+        class Recording(SerialExecutor):
+            name = "recording"
+
+        register_executor("recording", lambda jobs: Recording())
+        try:
+            assert isinstance(make_executor("recording"), Recording)
+            assert isinstance(resolve_executor(None, "recording"),
+                              Recording)
+        finally:
+            del EXECUTOR_BACKENDS["recording"]
+
+    def test_executors_expose_names(self):
+        assert SerialExecutor().name == "serial"
+        assert ProcessExecutor(2).name == "process"
+        assert ThreadExecutor(2).name == "thread"

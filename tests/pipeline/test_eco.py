@@ -261,10 +261,11 @@ class TestWarmPathIncremental:
         eco = run_eco_flow(base, edited, tech,
                            config=PipelineConfig(tiles=2))
         counts = eco.result.artifact_cache_counts()
-        assert set(counts) == {"frontend", "tile", "window", "coloring",
-                               "verify"}
+        assert set(counts) == {"frontend", "tile", "stitch", "window",
+                               "coloring", "verify"}
         assert counts["tile"] == eco.result.cache_counts()
         assert counts["frontend"] == eco.result.frontend_cache_counts()
+        assert counts["stitch"] == eco.result.stitch_cache_counts()
         assert counts["window"][1] == 0  # no window re-solves when warm
 
     def test_summary_reports_incremental_stages(self, tech):
@@ -273,9 +274,31 @@ class TestWarmPathIncremental:
         eco = run_eco_flow(base, edited, tech,
                            config=PipelineConfig(tiles=2))
         text = eco.summary()
-        assert "window(s) replayed" in text
-        assert "component(s) replayed" in text
-        assert "front end:" in text
+        # One aligned warm-path table covering every stage, with the
+        # base-vs-eco per-stage wall clock alongside (base was run).
+        for stage in ("front end", "detect", "stitch", "correct",
+                      "phase"):
+            assert stage in text, stage
+        header = next(ln for ln in text.splitlines()
+                      if "replayed" in ln)
+        assert "recomputed" in header
+        assert "base_s" in header and "eco_s" in header
+        assert "stitch clusters:" in text
+
+    def test_summary_stage_rows_match_artifact_counts(self, tech):
+        base = build_design("D1")
+        edited, _ = propose_eco_edit(base, tech)
+        eco = run_eco_flow(base, edited, tech,
+                           config=PipelineConfig(tiles=2))
+        rows = dict((name, (h, m))
+                    for name, h, m in eco.stage_rows())
+        counts = eco.result.artifact_cache_counts()
+        assert rows["front end"] == counts["frontend"]
+        assert rows["detect"] == counts["tile"]
+        assert rows["stitch"] == counts["stitch"]
+        assert rows["correct"] == counts["window"]
+        assert rows["phase"] == tuple(
+            a + b for a, b in zip(counts["coloring"], counts["verify"]))
 
     @pytest.mark.parametrize("name,tiles", ECO_CASES)
     def test_zero_clean_tile_shifter_regeneration(self, tech, name,

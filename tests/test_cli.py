@@ -185,7 +185,8 @@ class TestEco:
         out = capsys.readouterr().out
         assert code == 0
         assert "dirty" in out and "clean" in out
-        assert "cached" in out
+        assert "replayed" in out and "recomputed" in out
+        assert "stitch" in out
 
     def test_eco_json_dirty_accounting(self, tmp_path, capsys):
         import json
@@ -285,8 +286,8 @@ class TestBench:
         assert main(["bench", "--designs", "D1", "--cache-dir", cache,
                      "--json"]) == 0
         warm = json_mod.loads(capsys.readouterr().out)
-        for kind in ("frontend", "tile", "window", "coloring",
-                     "verify"):
+        for kind in ("frontend", "tile", "stitch", "window",
+                     "coloring", "verify"):
             hits = warm["cache_kinds"][kind]
             assert hits["misses"] == 0, (kind, hits)
             assert hits["hits"] == kinds[kind]["misses"], (kind, hits)
@@ -295,4 +296,59 @@ class TestBench:
         cache = str(tmp_path / "suite-store")
         assert main(["bench", "--designs", "D1",
                      "--cache-dir", cache]) == 0
-        assert "artifact cache hits" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "artifact cache hits" in out
+        assert "stitch:" in out  # the stitch kind reaches the footer
+
+    def test_bench_executor_backends_agree(self, capsys):
+        """--executor thread|serial: identical domain reports."""
+        import json as json_mod
+
+        reports = {}
+        for backend in ("serial", "thread"):
+            assert main(["bench", "--designs", "D1", "--incremental",
+                         "--executor", backend, "--json"]) in (0, 1)
+            reports[backend] = json_mod.loads(capsys.readouterr().out)
+        for key in ("detection", "correction", "post_detection",
+                    "phases"):
+            a = reports["serial"]["designs"][0].get(key)
+            b = reports["thread"]["designs"][0].get(key)
+            if isinstance(a, dict):
+                a.pop("detect_seconds", None)
+                b.pop("detect_seconds", None)
+            assert a == b, key
+
+    def test_executor_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "--designs", "D1", "--executor", "carrier"])
+
+    def test_executor_flag_accepts_registered_backend(self, capsys):
+        """--executor validates against the live registry, so custom
+        backends registered via register_executor work unchanged."""
+        import json as json_mod
+
+        from repro.chip.executor import (
+            EXECUTOR_BACKENDS,
+            SerialExecutor,
+            register_executor,
+        )
+
+        class Named(SerialExecutor):
+            name = "custom-ci"
+
+        register_executor("custom-ci", lambda jobs: Named())
+        try:
+            assert main(["bench", "--designs", "D1", "--incremental",
+                         "--executor", "custom-ci", "--json"]) == 0
+            data = json_mod.loads(capsys.readouterr().out)
+            assert data["designs"][0]["pipeline"]["executor"] \
+                == "custom-ci"
+        finally:
+            del EXECUTOR_BACKENDS["custom-ci"]
+
+    def test_executor_untiled_path_warns(self, capsys):
+        """An explicit --executor on the untiled path is called out
+        instead of silently ignored."""
+        assert main(["bench", "--designs", "D1",
+                     "--executor", "thread"]) == 0
+        assert "no effect" in capsys.readouterr().err
