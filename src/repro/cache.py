@@ -44,7 +44,11 @@ multiplexed into one directory under distinct key prefixes — the
 local stand-in for a remote bucket/redis-style backend).  An in-memory
 layer always sits in front of the backend; with no backend at all the
 store is memory-only and lives for the process.  Per-kind hit/miss
-counters let each pipeline stage report its own cache delta.
+counters let each pipeline stage report its own cache delta; the same
+events also feed the active telemetry tracer's metrics registry
+(``cache.<kind>.hits`` / ``.misses`` / ``.puts`` / ``.bytes_read`` /
+``.bytes_written`` — no-ops under the default disabled tracer, see
+:mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -54,6 +58,8 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
+
+from .obs import get_tracer
 
 KIND_FRONTEND = "frontend"
 KIND_TILE = "tile"
@@ -253,10 +259,12 @@ class ArtifactCache:
         entries degrade to ``None`` — a miss, never an exception — so a
         stale backend can only cost recomputation, not correctness.
         """
+        tracer = get_tracer()
         value = self._memory.get((kind, key))
         if value is None and self.backend is not None:
             payload = self.backend.load(kind, key)
             if payload is not None:
+                tracer.count(f"cache.{kind}.bytes_read", len(payload))
                 try:
                     value = pickle.loads(payload)
                 except (pickle.UnpicklingError, EOFError, AttributeError,
@@ -267,8 +275,10 @@ class ArtifactCache:
         stats = self.stats(kind)
         if value is None:
             stats.misses += 1
+            tracer.count(f"cache.{kind}.misses")
             return None
         stats.hits += 1
+        tracer.count(f"cache.{kind}.hits")
         copier = getattr(value, "cache_copy", None)
         return copier() if copier is not None else value
 
@@ -280,11 +290,13 @@ class ArtifactCache:
         semantics (atomicity, sharing) belong to the backend.
         """
         self._memory[(kind, key)] = value
+        tracer = get_tracer()
+        tracer.count(f"cache.{kind}.puts")
         if self.backend is None:
             return
-        self.backend.save(
-            kind, key, pickle.dumps(value,
-                                    protocol=pickle.HIGHEST_PROTOCOL))
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        tracer.count(f"cache.{kind}.bytes_written", len(payload))
+        self.backend.save(kind, key, payload)
 
     # ------------------------------------------------------------------
     @property

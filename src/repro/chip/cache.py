@@ -30,7 +30,7 @@ from .executor import TileJob, TileResult
 
 # Bump when TileResult/CanonicalConflict shape changes so stale
 # directories self-invalidate instead of unpickling garbage.
-CACHE_FORMAT = 2
+CACHE_FORMAT = 3
 
 
 def tile_cache_key(job: TileJob) -> str:

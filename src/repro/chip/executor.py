@@ -103,6 +103,12 @@ class TileResult:
     ``owned_*`` counts are ownership-filtered in the worker (each
     feature/pair has exactly one owner tile), so their sums reproduce
     the monolithic totals exactly.
+
+    ``seconds`` / ``cpu_seconds`` / ``started_unix`` are the worker's
+    own measurements (wall, process-CPU, wall-clock start): the
+    orchestrator merges them back into the telemetry span tree as this
+    job's tile span, so serial, thread, and process executors produce
+    the same trace structure and per-job queue/run accounting.
     """
 
     ix: int
@@ -117,6 +123,8 @@ class TileResult:
     owned_tshape_features: List[Tuple[int, int, int, int]] = \
         field(default_factory=list)
     seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    started_unix: float = 0.0
     from_cache: bool = False
 
     def cache_copy(self) -> "TileResult":
@@ -132,6 +140,8 @@ def detect_tile(job: TileJob) -> TileResult:
     import time
 
     start = time.perf_counter()
+    started_unix = time.time()
+    cpu0 = time.process_time()
     if job.layout.num_polygons == 0:
         report = DetectionReport(
             layout_name=job.layout.name, graph_kind=job.kind,
@@ -140,7 +150,9 @@ def detect_tile(job: TileJob) -> TileResult:
             crossings_removed=0, step2_edges=0, step3_edges=0,
             phase_assignable=True)
         return TileResult(ix=job.ix, iy=job.iy, report=report,
-                          seconds=time.perf_counter() - start)
+                          seconds=time.perf_counter() - start,
+                          cpu_seconds=time.process_time() - cpu0,
+                          started_unix=started_unix)
 
     # Build the detection front end once and reuse the shifter set and
     # overlap pairs for canonicalisation and the ownership counts.
@@ -221,6 +233,8 @@ def detect_tile(job: TileJob) -> TileResult:
             result.owned_tshape_features.append((r.x1, r.y1, r.x2, r.y2))
 
     result.seconds = time.perf_counter() - start
+    result.cpu_seconds = time.process_time() - cpu0
+    result.started_unix = started_unix
     return result
 
 

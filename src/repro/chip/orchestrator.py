@@ -20,6 +20,7 @@ from typing import List, Optional
 from ..conflict import PCG, DetectionReport
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology
+from ..obs import get_tracer
 from .cache import TileCache, tile_cache_key
 from .executor import TileResult, detect_tile, make_jobs, \
     resolve_executor
@@ -162,31 +163,75 @@ def run_chip_flow(layout: Layout, tech: Technology,
         passes reports each pass separately).
     """
     start = time.perf_counter()
-    if grid is None:
-        grid = partition_layout(layout, tech, tiles=tiles, halo=halo,
-                                jobs=jobs)
-    if cache is None:
-        cache = TileCache(cache_dir)
-    hits0, misses0 = cache.hits, cache.misses
-    runner = resolve_executor(jobs, executor)
+    tracer = get_tracer()
+    with tracer.span("chip", cat="chip", design=layout.name) as chip_span:
+        if grid is None:
+            with tracer.span("partition", cat="chip"):
+                grid = partition_layout(layout, tech, tiles=tiles,
+                                        halo=halo, jobs=jobs)
+        if cache is None:
+            cache = TileCache(cache_dir)
+        hits0, misses0 = cache.hits, cache.misses
+        runner = resolve_executor(jobs, executor)
+        workers = max(int(getattr(runner, "jobs", 1) or 1), 1)
 
-    jobs_all = make_jobs(grid.tiles, tech, kind=kind, method=method)
-    keys = [tile_cache_key(job) for job in jobs_all]
-    results: List[Optional[TileResult]] = [cache.get(k) for k in keys]
+        jobs_all = make_jobs(grid.tiles, tech, kind=kind, method=method)
+        with tracer.span("execute", cat="chip") as exec_span:
+            keys = [tile_cache_key(job) for job in jobs_all]
+            results: List[Optional[TileResult]] = [cache.get(k)
+                                                   for k in keys]
 
-    pending = [(i, job) for i, (job, res)
-               in enumerate(zip(jobs_all, results)) if res is None]
-    if pending:
-        fresh = runner.map(detect_tile, [job for _, job in pending])
-        for (i, _job), result in zip(pending, fresh):
-            cache.put(keys[i], result)
-            results[i] = result
+            pending = [(i, job) for i, (job, res)
+                       in enumerate(zip(jobs_all, results)) if res is None]
+            map_started = time.time()
+            if pending:
+                fresh = runner.map(detect_tile, [job for _, job in pending])
+                for (i, _job), result in zip(pending, fresh):
+                    cache.put(keys[i], result)
+                    results[i] = result
+            # Merge the workers' own measurements back as child spans:
+            # every executor backend (serial, thread, process) yields the
+            # same trace structure, and computed tiles land on worker
+            # lanes at their true wall-clock position so parallel runs
+            # show genuinely overlapping tile spans.
+            for lane, (i, _job) in enumerate(pending):
+                r = results[i]
+                started = getattr(r, "started_unix", 0.0)
+                queued = max(0.0, started - map_started) if started else 0.0
+                tracer.record(
+                    "tile", r.seconds, cat="tile",
+                    cpu=getattr(r, "cpu_seconds", 0.0),
+                    start_unix=started or None,
+                    tid=1 + lane % workers,
+                    tile=[r.ix, r.iy], cached=False,
+                    conflicts=len(r.conflicts))
+                tracer.count("executor.run_seconds", r.seconds)
+                tracer.count("executor.queue_seconds", queued)
+            tracer.count("executor.jobs", len(pending))
+            for r in results:
+                if r is not None and r.from_cache:
+                    tracer.record("tile", 0.0, cat="tile",
+                                  tile=[r.ix, r.iy], cached=True,
+                                  conflicts=len(r.conflicts))
+            tracer.gauge("executor.workers", workers)
+            exec_span.set(executor=getattr(runner, "name",
+                                           type(runner).__name__),
+                          workers=workers, computed=len(pending),
+                          cached=len(results) - len(pending))
 
-    final: List[TileResult] = [r for r in results if r is not None]
-    detection, stats = stitch_results(layout, tech, kind, grid, final,
-                                      shifters=shifters,
-                                      tile_keys=keys,
-                                      store=cache.store)
+        final: List[TileResult] = [r for r in results if r is not None]
+        with tracer.span("stitch", cat="chip") as stitch_span:
+            detection, stats = stitch_results(layout, tech, kind, grid,
+                                              final, shifters=shifters,
+                                              tile_keys=keys,
+                                              store=cache.store)
+            stitch_span.set(clusters=stats.clusters,
+                            replayed=stats.cache_hits,
+                            rearbitrated=stats.cache_misses)
+        chip_span.set(tiles=grid.nx * grid.ny,
+                      cache_hits=cache.hits - hits0,
+                      cache_misses=cache.misses - misses0,
+                      conflicts=detection.num_conflicts)
 
     report = ChipReport(
         detection=detection,

@@ -61,6 +61,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..cache import KIND_STITCH, ArtifactCache
 from ..conflict import Conflict, DetectionReport
 from ..layout import Layout, Technology
+from ..obs import get_tracer
 from ..shifters import ShifterSet, generate_shifters
 from .executor import CanonicalConflict, ShifterKey, TileResult
 from .partition import TileGrid
@@ -276,28 +277,34 @@ def arbitrate_clusters(grid: TileGrid, results: List[TileResult],
         carry the per-cluster accounting (``cluster_stats``) plus this
         pass's stitch-kind hit/miss delta.
     """
+    tracer = get_tracer()
     clusters = build_stitch_clusters(grid, results)
     stats = StitchStats(clusters=len(clusters))
     survivors: List[CanonicalConflict] = []
     for cluster in clusters:
-        verdict: Optional[StitchVerdict] = None
-        key = None
-        if store is not None and tile_keys is not None:
-            key = stitch_verdict_key(
-                cluster.content_id,
-                [tile_keys[flat] for flat in cluster.flats])
-            cached = store.get(KIND_STITCH, key)
-            if isinstance(cached, StitchVerdict):
-                verdict = cached
-        replayed = verdict is not None
-        if verdict is None:
-            verdict = _arbitrate_cluster(grid, cluster.members)
-            if store is not None and key is not None:
-                store.put(KIND_STITCH, key, verdict)
-        if replayed:
-            stats.cache_hits += 1
-        else:
-            stats.cache_misses += 1
+        with tracer.span("cluster", cat="stitch-cluster",
+                         cluster=cluster.content_id[:12],
+                         tiles=len(cluster.flats)) as span:
+            verdict: Optional[StitchVerdict] = None
+            key = None
+            if store is not None and tile_keys is not None:
+                key = stitch_verdict_key(
+                    cluster.content_id,
+                    [tile_keys[flat] for flat in cluster.flats])
+                cached = store.get(KIND_STITCH, key)
+                if isinstance(cached, StitchVerdict):
+                    verdict = cached
+            replayed = verdict is not None
+            if verdict is None:
+                verdict = _arbitrate_cluster(grid, cluster.members)
+                if store is not None and key is not None:
+                    store.put(KIND_STITCH, key, verdict)
+            if replayed:
+                stats.cache_hits += 1
+            else:
+                stats.cache_misses += 1
+            span.set(conflicts=len(verdict.survivors),
+                     replayed=replayed)
         survivors.extend(verdict.survivors)
         stats.boundary_duplicates_dropped += verdict.dropped
         stats.cluster_stats.append(StitchClusterStat(

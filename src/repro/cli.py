@@ -30,18 +30,30 @@ from .conflict import detect_conflicts
 from .core import run_aapsm_flow
 from .gdsii import gds_to_layout, layout_to_gds, read_gds, write_gds
 from .layout import Layout, Technology
+from .obs import (
+    NullTracer,
+    Tracer,
+    configure_logging,
+    get_logger,
+    span_tree_summary,
+    telemetry_dict,
+    use_tracer,
+    write_chrome_trace,
+    write_span_log,
+)
 
 TECH_PRESETS = {
     "90nm": Technology.node_90nm,
     "65nm": Technology.node_65nm,
 }
 
+_log = get_logger("cli")
+
 
 def _load_layout(path: str) -> Layout:
     layout, skipped = gds_to_layout(read_gds(path))
     if skipped:
-        print(f"warning: skipped {len(skipped)} non-rectangle shapes",
-              file=sys.stderr)
+        _log.warning(f"skipped {len(skipped)} non-rectangle shapes")
     return layout
 
 
@@ -108,7 +120,47 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                              "verify verdicts)")
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable JSON report "
-                             "(counts, timings, cache hit rate)")
+                             "(counts, timings, cache hit rate, "
+                             "telemetry)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write an execution trace here: Chrome "
+                             "trace-event JSON (load in Perfetto or "
+                             "chrome://tracing), or a JSON-lines span "
+                             "log when PATH ends in .jsonl")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="debug-level logging plus a span-tree "
+                             "timing summary on stderr (with --trace "
+                             "or --json)")
+
+
+def _tracer_for(args: argparse.Namespace):
+    """A live tracer when the run wants telemetry, else the disabled
+    default (whose every call is a constant-time no-op)."""
+    if getattr(args, "trace", None) or getattr(args, "json", False):
+        return Tracer()
+    return NullTracer()
+
+
+def _attach_telemetry(out: dict, tracer) -> dict:
+    """Add the ``telemetry`` block to a ``--json`` report."""
+    if tracer.enabled:
+        out["telemetry"] = telemetry_dict(tracer)
+    return out
+
+
+def _finish_trace(args: argparse.Namespace, tracer) -> None:
+    """Write the ``--trace`` file and the verbose span summary."""
+    if not tracer.enabled:
+        return
+    path = getattr(args, "trace", None)
+    if path:
+        if path.endswith(".jsonl"):
+            write_span_log(tracer, path)
+        else:
+            write_chrome_trace(tracer, path)
+        _note(args, f"wrote {path}")
+    if getattr(args, "verbose", 0):
+        print(span_tree_summary(tracer), file=sys.stderr)
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
@@ -134,14 +186,19 @@ def cmd_chip(args: argparse.Namespace) -> int:
 
     layout = _load_layout(args.gds)
     tech = TECH_PRESETS[args.tech]()
-    report = run_chip_flow(layout, tech, tiles=args.tiles,
-                           jobs=args.jobs, cache_dir=args.cache_dir,
-                           kind=args.graph, executor=args.executor)
+    tracer = _tracer_for(args)
+    with use_tracer(tracer):
+        report = run_chip_flow(layout, tech, tiles=args.tiles,
+                               jobs=args.jobs, cache_dir=args.cache_dir,
+                               kind=args.graph, executor=args.executor)
     if args.json:
-        print(json.dumps(chip_report_dict(report), indent=2,
-                         sort_keys=True))
+        print(json.dumps(_attach_telemetry(chip_report_dict(report),
+                                           tracer),
+                         indent=2, sort_keys=True))
+        _finish_trace(args, tracer)
         return 0 if report.phase_assignable else 1
     print(report.summary())
+    _finish_trace(args, tracer)
     if args.verbose:
         for stat in report.tile_stats:
             if stat.polygons:
@@ -156,22 +213,26 @@ def cmd_flow(args: argparse.Namespace) -> int:
     layout = _load_layout(args.gds)
     tech = TECH_PRESETS[args.tech]()
     if args.incremental and not args.cache_dir:
-        print("warning: --incremental without --cache-dir only caches "
-              "within this run", file=sys.stderr)
+        _log.warning("--incremental without --cache-dir only caches "
+                     "within this run")
     _warn_untiled_executor(args, tiled=bool(args.tiles)
                            or args.incremental)
-    result = run_aapsm_flow(layout, tech, cover=args.cover,
-                            tiles=args.tiles, jobs=args.jobs,
-                            cache_dir=args.cache_dir,
-                            incremental=args.incremental,
-                            executor=args.executor)
+    tracer = _tracer_for(args)
+    with use_tracer(tracer):
+        result = run_aapsm_flow(layout, tech, cover=args.cover,
+                                tiles=args.tiles, jobs=args.jobs,
+                                cache_dir=args.cache_dir,
+                                incremental=args.incremental,
+                                executor=args.executor)
     if args.json:
         from .core import flow_result_dict
 
-        print(json.dumps(flow_result_dict(result), indent=2,
-                         sort_keys=True))
+        print(json.dumps(_attach_telemetry(flow_result_dict(result),
+                                           tracer),
+                         indent=2, sort_keys=True))
     else:
         print(result.summary())
+    _finish_trace(args, tracer)
     if args.output:
         write_gds(layout_to_gds(result.corrected_layout), args.output)
         _note(args, f"wrote {args.output}")
@@ -193,23 +254,26 @@ def cmd_eco(args: argparse.Namespace) -> int:
     edited = _load_layout(args.edited_gds)
     tech = TECH_PRESETS[args.tech]()
     if args.assume_warm and not args.cache_dir:
-        print("error: --assume-warm needs a warmed --cache-dir",
-              file=sys.stderr)
+        _log.error("--assume-warm needs a warmed --cache-dir")
         return 2
     config = PipelineConfig(kind=args.graph, cover=args.cover,
                             tiles=args.tiles, jobs=args.jobs,
                             cache_dir=args.cache_dir,
                             executor=args.executor)
-    eco = run_eco_flow(base, edited, tech, config=config,
-                       warm_base=not args.assume_warm)
+    tracer = _tracer_for(args)
+    with use_tracer(tracer):
+        eco = run_eco_flow(base, edited, tech, config=config,
+                           warm_base=not args.assume_warm)
     if (args.assume_warm and eco.plan.num_clean
             and eco.result.detection.cache_hits == 0):
-        print("warning: no tile cache hits — was the cache warmed with "
-              "the same grid, tech, and graph settings?", file=sys.stderr)
+        _log.warning("no tile cache hits — was the cache warmed with "
+                     "the same grid, tech, and graph settings?")
     if args.json:
-        print(json.dumps(eco_result_dict(eco), indent=2, sort_keys=True))
+        print(json.dumps(_attach_telemetry(eco_result_dict(eco), tracer),
+                         indent=2, sort_keys=True))
     else:
         print(eco.summary())
+    _finish_trace(args, tracer)
     if args.output:
         write_gds(layout_to_gds(eco.result.corrected_layout), args.output)
         _note(args, f"wrote {args.output}")
@@ -246,17 +310,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
         from .cache import ArtifactCache
 
         store = ArtifactCache(args.cache_dir)
+    tracer = _tracer_for(args)
     rows: List[dict] = []
     reports: List[dict] = []
     all_ok = True
     for name in names:
         layout = build_design(name)
         start = time.perf_counter()
-        result = run_aapsm_flow(layout, tech, cover=args.cover,
-                                tiles=args.tiles, jobs=args.jobs,
-                                cache_dir=args.cache_dir, cache=store,
-                                incremental=incremental,
-                                executor=args.executor)
+        with use_tracer(tracer):
+            result = run_aapsm_flow(layout, tech, cover=args.cover,
+                                    tiles=args.tiles, jobs=args.jobs,
+                                    cache_dir=args.cache_dir,
+                                    cache=store,
+                                    incremental=incremental,
+                                    executor=args.executor)
         wall = time.perf_counter() - start
         all_ok &= result.success
         report = flow_result_dict(result)
@@ -284,17 +351,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 kind: {"hits": hits, "misses": misses}
                 for kind, (hits, misses) in sorted(
                     store.counters().items())}
-        print(json.dumps(out, indent=2, sort_keys=True))
+        print(json.dumps(_attach_telemetry(out, tracer), indent=2,
+                         sort_keys=True))
     else:
         print(format_table(rows, "Benchmark suite — staged pipeline"))
         if store is not None:
             print(store.summary())
+    _finish_trace(args, tracer)
     return 0 if all_ok else 1
 
 
 def _note(args: argparse.Namespace, message: str) -> None:
-    """Progress chatter — kept off stdout when it must stay pure JSON."""
-    print(message, file=sys.stderr if args.json else sys.stdout)
+    """Progress chatter — kept off stdout when it must stay pure JSON
+    (routed through the structured logger, which writes stderr)."""
+    if args.json:
+        _log.info(message)
+    else:
+        print(message)
 
 
 def _warn_untiled_executor(args: argparse.Namespace,
@@ -302,9 +375,8 @@ def _warn_untiled_executor(args: argparse.Namespace,
     """Only the tiled path has tile jobs to execute; say so instead of
     silently ignoring an explicit --executor."""
     if args.executor and not tiled:
-        print(f"warning: --executor {args.executor} has no effect on "
-              "the untiled path; pass --tiles or --incremental",
-              file=sys.stderr)
+        _log.warning(f"--executor {args.executor} has no effect on "
+                     "the untiled path; pass --tiles or --incremental")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -348,8 +420,6 @@ def build_parser() -> argparse.ArgumentParser:
                        help="tiled parallel full-chip conflict detection")
     p.add_argument("gds")
     p.add_argument("--graph", choices=["pcg", "fg"], default="pcg")
-    p.add_argument("-v", "--verbose", action="store_true",
-                   help="print the per-tile table")
     _add_scale_arguments(p)
     _add_tech_argument(p)
     p.set_defaults(func=cmd_chip)
@@ -430,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "verbose", 0))
     return args.func(args)
 
 

@@ -38,6 +38,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
+from ..obs import get_tracer
 from .setcover import (
     CoverSet,
     EXACT_CAP_ELEMENTS,
@@ -215,28 +216,36 @@ def solve_cover_windows(universe: Set[ConflictKey],
     use_exact = use_exact_cover(cover, len(universe), len(lines))
     method = "exact" if use_exact else "greedy"
 
+    tracer = get_tracer()
     chosen: List[int] = []
-    for window in windows:
-        sub_universe, sub_sets = _dense_window_instance(window, lines,
-                                                        universe)
-        local: Optional[Sequence[int]] = None
-        key = None
-        if store is not None:
-            key = _instance_key(window, lines, sub_universe, sub_sets,
-                                method)
-            local = store.get(KIND_WINDOW, key)
-        if local is None:
-            if not sub_universe:
-                local = ()
-            elif use_exact:
-                local = exact_weighted_set_cover(
-                    sub_universe, sub_sets,
-                    max_elements=EXACT_CAP_ELEMENTS,
-                    max_sets=EXACT_CAP_SETS)
-            else:
-                local = greedy_weighted_set_cover(sub_universe, sub_sets)
-            local = tuple(sorted(local))
+    for index, window in enumerate(windows):
+        with tracer.span("window", cat="window", window=index,
+                         lines=len(window.line_ids),
+                         conflicts=len(window.conflicts),
+                         method=method) as span:
+            sub_universe, sub_sets = _dense_window_instance(window, lines,
+                                                            universe)
+            local: Optional[Sequence[int]] = None
+            key = None
             if store is not None:
-                store.put(KIND_WINDOW, key, local)
+                key = _instance_key(window, lines, sub_universe, sub_sets,
+                                    method)
+                local = store.get(KIND_WINDOW, key)
+            replayed = local is not None
+            if local is None:
+                if not sub_universe:
+                    local = ()
+                elif use_exact:
+                    local = exact_weighted_set_cover(
+                        sub_universe, sub_sets,
+                        max_elements=EXACT_CAP_ELEMENTS,
+                        max_sets=EXACT_CAP_SETS)
+                else:
+                    local = greedy_weighted_set_cover(sub_universe,
+                                                      sub_sets)
+                local = tuple(sorted(local))
+                if store is not None:
+                    store.put(KIND_WINDOW, key, local)
+            span.set(replayed=replayed, cuts=len(local))
         chosen += [window.line_ids[j] for j in local]
     return sorted(chosen), method, windows

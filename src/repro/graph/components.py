@@ -196,7 +196,9 @@ def two_color_incremental(graph: GeomGraph, store,
     is processed even after a failure so the cache warms completely.
     """
     from ..cache import KIND_COLORING
+    from ..obs import get_tracer
 
+    tracer = get_tracer()
     stats = RecolorStats()
     colors: Dict[int, int] = {}
     failed = False
@@ -207,9 +209,15 @@ def two_color_incremental(graph: GeomGraph, store,
         if canonical is None:
             stats.recolored += 1
             stats.dirty.append(component)
-            fresh = color_component(graph, component.min_node)
-            canonical = (ODD_COMPONENT if fresh is None
-                         else encode_coloring(component, fresh))
+            # Only recomputed components get spans — replays are pure
+            # cache lookups already counted by the store's metrics, and
+            # span-per-replay would balloon warm full-chip traces.
+            with tracer.span("component", cat="component", op="recolor",
+                             component=component.content_id[:12],
+                             nodes=len(component.nodes)):
+                fresh = color_component(graph, component.min_node)
+                canonical = (ODD_COMPONENT if fresh is None
+                             else encode_coloring(component, fresh))
             store.put(KIND_COLORING, component.content_id, canonical)
         else:
             stats.reused += 1

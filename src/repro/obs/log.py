@@ -1,0 +1,86 @@
+"""Minimal structured logging for the CLI and benchmarks.
+
+The repo had zero ``logging`` usage before the telemetry subsystem;
+this module is the one place that configures it.  Records are plain
+``event key=value ...`` lines — greppable, diffable, and cheap — on a
+``repro``-rooted stdlib logger hierarchy, always to stderr so stdout
+stays pure for GDS/JSON output::
+
+    log = get_logger("cli")
+    log.info("flow.done", design="D3", conflicts=12, seconds=1.4)
+    # 14:02:11 I repro.cli flow.done design=D3 conflicts=12 seconds=1.400
+
+:func:`configure_logging` is idempotent (re-invoking replaces the
+handler, so pytest's captured streams are honored per call).  Default
+level INFO keeps the historical progress chatter visible; ``--verbose``
+drops to DEBUG for per-unit detail.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, IO, Optional
+
+ROOT = "repro"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+def kv(event: str, **fields: Any) -> str:
+    """Render one structured record: ``event key=value ...``."""
+    if not fields:
+        return event
+    return event + " " + " ".join(
+        f"{k}={_format_value(v)}" for k, v in fields.items())
+
+
+class StructuredLogger:
+    """Thin key=value facade over one stdlib logger."""
+
+    def __init__(self, logger: logging.Logger):
+        self.logger = logger
+
+    def debug(self, event: str, **fields: Any) -> None:
+        if self.logger.isEnabledFor(logging.DEBUG):
+            self.logger.debug(kv(event, **fields))
+
+    def info(self, event: str, **fields: Any) -> None:
+        if self.logger.isEnabledFor(logging.INFO):
+            self.logger.info(kv(event, **fields))
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.logger.warning(kv(event, **fields))
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.logger.error(kv(event, **fields))
+
+
+def get_logger(name: Optional[str] = None) -> StructuredLogger:
+    """A structured logger under the ``repro`` hierarchy."""
+    full = ROOT if not name else f"{ROOT}.{name}"
+    return StructuredLogger(logging.getLogger(full))
+
+
+def configure_logging(verbose: int = 0,
+                      stream: Optional[IO[str]] = None) -> None:
+    """Install the ``repro`` log handler (stderr, level by verbosity).
+
+    ``verbose`` 0 -> INFO (the historical progress chatter), >= 1 ->
+    DEBUG.  Replaces any handler installed by a previous call.
+    """
+    logger = logging.getLogger(ROOT)
+    logger.setLevel(logging.DEBUG if verbose else logging.INFO)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(levelname).1s %(name)s %(message)s",
+        datefmt="%H:%M:%S"))
+    logger.addHandler(handler)

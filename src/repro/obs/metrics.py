@@ -1,0 +1,116 @@
+"""Counters and gauges for the telemetry layer.
+
+A :class:`MetricsRegistry` is a flat name -> instrument map.  Names are
+dotted paths (``cache.tile.hits``, ``executor.run_seconds``) so the
+exported dict groups naturally; instruments are created on first use.
+Counters accumulate (ints or seconds), gauges hold the last value set.
+
+The null variants mirror the API with constant-time no-ops — they back
+:class:`~repro.obs.trace.NullTracer` so hot paths can bump metrics
+unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically accumulating value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; ``set`` overwrites."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class MetricsRegistry:
+    """Name-addressed counters and gauges, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def count(self, name: str, n: Number = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.gauge(name).set(value)
+
+    def as_dict(self) -> Dict[str, Dict[str, Number]]:
+        """JSON-ready snapshot: {"counters": {...}, "gauges": {...}}."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+        }
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: Number = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Registry-shaped no-op backing the disabled tracer."""
+
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def count(self, name: str, n: Number = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, Dict[str, Number]]:
+        return {"counters": {}, "gauges": {}}
+
+
+NULL_METRICS = NullMetrics()

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..cache import KIND_VERIFY, ArtifactCache
 from ..graph import decompose, two_color_incremental
 from ..layout import Technology
+from ..obs import get_tracer
 from ..shifters import OverlapPair
 from .assignment import PhaseAssignment, assignment_from_colors
 from .verify import condition1_problems, condition2_problems
@@ -105,17 +106,25 @@ def assign_and_verify_incremental(
     for pair in pairs:
         pairs_by.setdefault(comp_of[pair.a], []).append(pair)
 
+    tracer = get_tracer()
     problems: List[str] = []
     for component in components:
         key = verify_key(component.content_id, tech)
         cached = store.get(KIND_VERIFY, key)
         if cached is None:
             stats.verified += 1
-            verdict = tuple(
-                condition1_problems(
-                    feature_pairs_by.get(component.index, ()), assignment)
-                + condition2_problems(
-                    pairs_by.get(component.index, ()), assignment))
+            # Spans only for components actually re-verified; replayed
+            # verdicts are already visible as verify-kind cache hits.
+            with tracer.span("component", cat="component", op="verify",
+                             component=component.content_id[:12],
+                             nodes=len(component.nodes)) as span:
+                verdict = tuple(
+                    condition1_problems(
+                        feature_pairs_by.get(component.index, ()),
+                        assignment)
+                    + condition2_problems(
+                        pairs_by.get(component.index, ()), assignment))
+                span.set(violations=len(verdict))
             store.put(KIND_VERIFY, key, verdict)
         else:
             stats.verify_hits += 1

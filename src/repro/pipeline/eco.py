@@ -401,30 +401,44 @@ def run_eco_flow(base: Layout, edited: Layout, tech: Technology,
     spec = resolve_eco_tiles(base, config.tiles)
     from dataclasses import replace
 
+    from ..obs import get_tracer
+
     config = replace(config, tiles=spec, tiled=True)
     cache = as_store(cache)
     if cache is None:
         cache = ArtifactCache(config.cache_dir)
 
-    plan = plan_eco(base, edited, tech, tiles=spec, halo=config.halo)
+    tracer = get_tracer()
+    with tracer.span("eco", cat="eco", design=edited.name,
+                     warm_base=warm_base) as eco_span:
+        with tracer.span("plan", cat="eco") as plan_span:
+            plan = plan_eco(base, edited, tech, tiles=spec,
+                            halo=config.halo)
+            plan_span.set(dirty=len(plan.dirty), clean=len(plan.clean),
+                          bbox_changed=plan.bbox_changed)
 
-    base_result: Optional[PipelineResult] = None
-    base_seconds = 0.0
-    if warm_base:
+        base_result: Optional[PipelineResult] = None
+        base_seconds = 0.0
+        if warm_base:
+            t0 = time.perf_counter()
+            base_result = run_pipeline(base, tech, config, cache=cache)
+            base_seconds = time.perf_counter() - t0
+
         t0 = time.perf_counter()
-        base_result = run_pipeline(base, tech, config, cache=cache)
-        base_seconds = time.perf_counter() - t0
+        result = run_pipeline(edited, tech, config, cache=cache)
+        eco_seconds = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    result = run_pipeline(edited, tech, config, cache=cache)
-    eco_seconds = time.perf_counter() - t0
-
-    # The warm run's own chip report names each stitch cluster's
-    # contributing tiles; the plan classifies them dirty/clean so the
-    # accounting (and the test suites) can assert that exactly the
-    # dirty clusters re-arbitrated.
-    if result.detection.chip is not None:
-        plan.classify_stitch_clusters(result.detection.chip.cluster_stats)
+        # The warm run's own chip report names each stitch cluster's
+        # contributing tiles; the plan classifies them dirty/clean so
+        # the accounting (and the test suites) can assert that exactly
+        # the dirty clusters re-arbitrated.
+        if result.detection.chip is not None:
+            plan.classify_stitch_clusters(
+                result.detection.chip.cluster_stats)
+        eco_span.set(dirty_tiles=len(plan.dirty),
+                     clean_tiles=len(plan.clean),
+                     base_seconds=round(base_seconds, 6),
+                     eco_seconds=round(eco_seconds, 6))
 
     return EcoResult(plan=plan, result=result, base=base_result,
                      base_seconds=base_seconds, eco_seconds=eco_seconds)

@@ -49,6 +49,7 @@ from ..conflict import (
 from ..correction import CutRestrictions, apply_cuts, plan_correction
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology
+from ..obs import get_tracer
 from ..phase import (
     assign_and_verify_incremental,
     assign_phases,
@@ -125,30 +126,34 @@ def stage_front_end(layout: Layout, tech: Technology,
     end.
     """
     start = time.perf_counter()
-    store = as_store(cache)
-    grid = None
-    if config is not None and config.is_tiled \
-            and not has_duplicate_features(layout):
-        grid = partition_layout(layout, tech, tiles=config.tiles,
-                                halo=config.halo, jobs=config.jobs)
-        if grid.bbox is not None:
-            try:
-                shifters, pairs, hits, misses = tiled_front_end(
-                    layout, tech, grid.tiles, store=store)
-            except SpliceError:
-                # A stale or foreign artifact; recompute monolithically
-                # rather than fail the revision.
-                pass
-            else:
-                return FrontEnd(layout=layout, shifters=shifters,
-                                pairs=pairs, grid=grid, tiled=True,
-                                cache_hits=hits, cache_misses=misses,
-                                seconds=time.perf_counter() - start)
-    # Monolithic fallback; any partition already computed still rides
-    # along so the detect stage does not re-partition.
-    shifters, pairs = layout_front_end(layout, tech)
-    return FrontEnd(layout=layout, shifters=shifters, pairs=pairs,
-                    grid=grid, seconds=time.perf_counter() - start)
+    with get_tracer().span("shifters", cat="stage") as span:
+        store = as_store(cache)
+        grid = None
+        if config is not None and config.is_tiled \
+                and not has_duplicate_features(layout):
+            grid = partition_layout(layout, tech, tiles=config.tiles,
+                                    halo=config.halo, jobs=config.jobs)
+            if grid.bbox is not None:
+                try:
+                    shifters, pairs, hits, misses = tiled_front_end(
+                        layout, tech, grid.tiles, store=store)
+                except SpliceError:
+                    # A stale or foreign artifact; recompute
+                    # monolithically rather than fail the revision.
+                    pass
+                else:
+                    span.set(tiled=True, shifters=len(shifters),
+                             cache_hits=hits, cache_misses=misses)
+                    return FrontEnd(layout=layout, shifters=shifters,
+                                    pairs=pairs, grid=grid, tiled=True,
+                                    cache_hits=hits, cache_misses=misses,
+                                    seconds=time.perf_counter() - start)
+        # Monolithic fallback; any partition already computed still
+        # rides along so the detect stage does not re-partition.
+        shifters, pairs = layout_front_end(layout, tech)
+        span.set(tiled=False, shifters=len(shifters))
+        return FrontEnd(layout=layout, shifters=shifters, pairs=pairs,
+                        grid=grid, seconds=time.perf_counter() - start)
 
 
 def stage_detect(front: FrontEnd, tech: Technology,
@@ -163,27 +168,37 @@ def stage_detect(front: FrontEnd, tech: Technology,
     so the layout is partitioned once per revision, not once per pass.
     """
     start = time.perf_counter()
-    if config.is_tiled:
-        store = as_store(cache)
-        tiles = TileCache(store=store) if store is not None else None
-        chip = run_chip_flow(front.layout, tech, tiles=config.tiles,
-                             jobs=config.jobs, cache=tiles,
-                             kind=config.kind, method=config.method,
-                             halo=config.halo, shifters=front.shifters,
-                             grid=front.grid, executor=config.executor)
-        return DetectionArtifact(
-            report=chip.detection, front=front, chip=chip,
-            cache_hits=chip.cache_hits, cache_misses=chip.cache_misses,
-            stitch_hits=chip.stitch_hits,
-            stitch_misses=chip.stitch_misses,
-            seconds=time.perf_counter() - start)
-    prebuilt = build_layout_conflict_graph(
-        front.layout, tech, config.kind,
-        front=(front.shifters, front.pairs))
-    report = detect_conflicts(front.layout, tech, kind=config.kind,
-                              method=config.method, prebuilt=prebuilt)
-    return DetectionArtifact(report=report, front=front,
-                             seconds=time.perf_counter() - start)
+    with get_tracer().span("detect", cat="stage") as span:
+        if config.is_tiled:
+            store = as_store(cache)
+            tiles = TileCache(store=store) if store is not None else None
+            chip = run_chip_flow(front.layout, tech, tiles=config.tiles,
+                                 jobs=config.jobs, cache=tiles,
+                                 kind=config.kind, method=config.method,
+                                 halo=config.halo,
+                                 shifters=front.shifters,
+                                 grid=front.grid,
+                                 executor=config.executor)
+            span.set(tiled=True, conflicts=chip.detection.num_conflicts,
+                     cache_hits=chip.cache_hits,
+                     cache_misses=chip.cache_misses,
+                     stitch_hits=chip.stitch_hits,
+                     stitch_misses=chip.stitch_misses)
+            return DetectionArtifact(
+                report=chip.detection, front=front, chip=chip,
+                cache_hits=chip.cache_hits,
+                cache_misses=chip.cache_misses,
+                stitch_hits=chip.stitch_hits,
+                stitch_misses=chip.stitch_misses,
+                seconds=time.perf_counter() - start)
+        prebuilt = build_layout_conflict_graph(
+            front.layout, tech, config.kind,
+            front=(front.shifters, front.pairs))
+        report = detect_conflicts(front.layout, tech, kind=config.kind,
+                                  method=config.method, prebuilt=prebuilt)
+        span.set(tiled=False, conflicts=report.num_conflicts)
+        return DetectionArtifact(report=report, front=front,
+                                 seconds=time.perf_counter() - start)
 
 
 def stage_correct(detection: DetectionArtifact, tech: Technology,
@@ -197,22 +212,29 @@ def stage_correct(detection: DetectionArtifact, tech: Technology,
     pass's replay/solve delta.
     """
     start = time.perf_counter()
-    store = as_store(cache)
-    front = detection.front
-    conflicts = [c.key for c in detection.report.conflicts]
-    hits0, misses0 = (store.stats(KIND_WINDOW).as_tuple()
-                      if store is not None else (0, 0))
-    report = plan_correction(front.layout, tech, conflicts,
-                             shifters=front.shifters, cover=config.cover,
-                             restrictions=config.restrictions,
-                             windowed=True, store=store)
-    corrected = apply_cuts(front.layout, report.cuts)
-    artifact = CorrectionArtifact(report=report, corrected_layout=corrected,
-                                  seconds=time.perf_counter() - start)
-    if store is not None:
-        artifact.cache_hits = store.stats(KIND_WINDOW).hits - hits0
-        artifact.cache_misses = store.stats(KIND_WINDOW).misses - misses0
-    return artifact
+    with get_tracer().span("correct", cat="stage") as span:
+        store = as_store(cache)
+        front = detection.front
+        conflicts = [c.key for c in detection.report.conflicts]
+        hits0, misses0 = (store.stats(KIND_WINDOW).as_tuple()
+                          if store is not None else (0, 0))
+        report = plan_correction(front.layout, tech, conflicts,
+                                 shifters=front.shifters,
+                                 cover=config.cover,
+                                 restrictions=config.restrictions,
+                                 windowed=True, store=store)
+        corrected = apply_cuts(front.layout, report.cuts)
+        artifact = CorrectionArtifact(report=report,
+                                      corrected_layout=corrected,
+                                      seconds=time.perf_counter() - start)
+        if store is not None:
+            artifact.cache_hits = store.stats(KIND_WINDOW).hits - hits0
+            artifact.cache_misses = \
+                store.stats(KIND_WINDOW).misses - misses0
+        span.set(cuts=len(report.cuts),
+                 cache_hits=artifact.cache_hits,
+                 cache_misses=artifact.cache_misses)
+        return artifact
 
 
 def stage_verify(correction: CorrectionArtifact, tech: Technology,
@@ -225,20 +247,27 @@ def stage_verify(correction: CorrectionArtifact, tech: Technology,
     base revision's shifter pass is reused instead of regenerated.
     """
     start = time.perf_counter()
-    if correction.unchanged:
-        front = FrontEnd(layout=correction.corrected_layout,
-                         shifters=base_front.shifters,
-                         pairs=base_front.pairs, seconds=0.0,
-                         grid=base_front.grid, tiled=base_front.tiled)
-        reused = True
-    else:
-        front = stage_front_end(correction.corrected_layout, tech,
-                                config, cache=cache)
-        reused = False
-    artifact = stage_detect(front, tech, config, cache=cache)
-    artifact.front_reused = reused
-    artifact.seconds = time.perf_counter() - start
-    return artifact
+    with get_tracer().span("verify", cat="stage") as span:
+        if correction.unchanged:
+            front = FrontEnd(layout=correction.corrected_layout,
+                             shifters=base_front.shifters,
+                             pairs=base_front.pairs, seconds=0.0,
+                             grid=base_front.grid, tiled=base_front.tiled)
+            reused = True
+        else:
+            front = stage_front_end(correction.corrected_layout, tech,
+                                    config, cache=cache)
+            reused = False
+        artifact = stage_detect(front, tech, config, cache=cache)
+        artifact.front_reused = reused
+        artifact.seconds = time.perf_counter() - start
+        span.set(front_reused=reused,
+                 conflicts=artifact.report.num_conflicts,
+                 cache_hits=artifact.cache_hits,
+                 cache_misses=artifact.cache_misses,
+                 stitch_hits=artifact.stitch_hits,
+                 stitch_misses=artifact.stitch_misses)
+        return artifact
 
 
 def stage_assign(verification: DetectionArtifact, tech: Technology,
@@ -254,35 +283,44 @@ def stage_assign(verification: DetectionArtifact, tech: Technology,
     pins the coloring; component scopes partition the checks exactly).
     """
     start = time.perf_counter()
-    store = as_store(cache)
-    artifact = AssignmentArtifact()
-    if verification.report.phase_assignable:
-        front = verification.front
-        cg, _shifters, _pairs = build_layout_conflict_graph(
-            front.layout, tech, config.kind,
-            front=(front.shifters, front.pairs))
-        if store is None:
-            artifact.assignment = assign_phases(cg)
-            if artifact.assignment is not None:
-                artifact.problems = verify_assignment(
-                    front.shifters, artifact.assignment, tech,
-                    pairs=front.pairs)
-                artifact.success = not artifact.problems
-        else:
-            assignment, problems, stats = assign_and_verify_incremental(
-                cg, tech, front.pairs, store)
-            artifact.assignment = assignment
-            artifact.incremental = True
-            artifact.components = stats.components
-            artifact.recolored = stats.recolored
-            artifact.coloring_hits = stats.coloring_hits
-            artifact.verified = stats.verified
-            artifact.verify_hits = stats.verify_hits
-            if assignment is not None:
-                artifact.problems = problems
-                artifact.success = not problems
-    artifact.seconds = time.perf_counter() - start
-    return artifact
+    with get_tracer().span("assign", cat="stage") as span:
+        store = as_store(cache)
+        artifact = AssignmentArtifact()
+        if verification.report.phase_assignable:
+            front = verification.front
+            cg, _shifters, _pairs = build_layout_conflict_graph(
+                front.layout, tech, config.kind,
+                front=(front.shifters, front.pairs))
+            if store is None:
+                artifact.assignment = assign_phases(cg)
+                if artifact.assignment is not None:
+                    artifact.problems = verify_assignment(
+                        front.shifters, artifact.assignment, tech,
+                        pairs=front.pairs)
+                    artifact.success = not artifact.problems
+            else:
+                assignment, problems, stats = \
+                    assign_and_verify_incremental(
+                        cg, tech, front.pairs, store)
+                artifact.assignment = assignment
+                artifact.incremental = True
+                artifact.components = stats.components
+                artifact.recolored = stats.recolored
+                artifact.coloring_hits = stats.coloring_hits
+                artifact.verified = stats.verified
+                artifact.verify_hits = stats.verify_hits
+                if assignment is not None:
+                    artifact.problems = problems
+                    artifact.success = not problems
+        artifact.seconds = time.perf_counter() - start
+        span.set(incremental=artifact.incremental,
+                 components=artifact.components,
+                 recolored=artifact.recolored,
+                 coloring_hits=artifact.coloring_hits,
+                 verified=artifact.verified,
+                 verify_hits=artifact.verify_hits,
+                 success=artifact.success)
+        return artifact
 
 
 # ----------------------------------------------------------------------
@@ -329,12 +367,13 @@ def run_pipeline(layout: Layout, tech: Technology,
     if store is None and config.is_tiled:
         store = ArtifactCache(config.cache_dir)
 
-    front = stage_front_end(layout, tech, config, cache=store)
-    detection = stage_detect(front, tech, config, cache=store)
-    correction = stage_correct(detection, tech, config, cache=store)
-    verification = stage_verify(correction, tech, config, front,
-                                cache=store)
-    phase = stage_assign(verification, tech, config, cache=store)
+    with get_tracer().span("flow", cat="flow", design=layout.name):
+        front = stage_front_end(layout, tech, config, cache=store)
+        detection = stage_detect(front, tech, config, cache=store)
+        correction = stage_correct(detection, tech, config, cache=store)
+        verification = stage_verify(correction, tech, config, front,
+                                    cache=store)
+        phase = stage_assign(verification, tech, config, cache=store)
 
     # The partitions have served both detection passes; don't pin the
     # tile sub-layouts (halo-inflated duplicates of the chip geometry)

@@ -47,6 +47,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from ..cache import KIND_FRONTEND, ArtifactCache
 from ..geometry import Rect
 from ..layout import Layout, Technology
+from ..obs import get_tracer
 from .generation import generate_shifters
 from .overlap import OverlapPair, find_overlap_pairs, region_center2
 from .shifter import ShifterSet
@@ -320,22 +321,28 @@ def tiled_front_end(layout: Layout, tech: Technology,
         call's cache delta (``misses`` counts tiles whose shifters were
         actually regenerated).
     """
+    tracer = get_tracer()
     fronts: List[TileFrontEnd] = []
     hits = misses = 0
     for tile in tiles:
-        front: Optional[TileFrontEnd] = None
-        key = None
-        if store is not None:
-            key = frontend_cache_key(tile.layout, tile.owner, tech)
-            front = store.get(KIND_FRONTEND, key)
-        if front is None:
-            front = compute_tile_front_end(tile.layout, tile.owner, tech,
-                                           ix=tile.ix, iy=tile.iy)
-            misses += 1
+        with tracer.span("tile", cat="frontend-tile",
+                         tile=[tile.ix, tile.iy]) as span:
+            front: Optional[TileFrontEnd] = None
+            key = None
             if store is not None:
-                store.put(KIND_FRONTEND, key, front)
-        else:
-            hits += 1
+                key = frontend_cache_key(tile.layout, tile.owner, tech)
+                front = store.get(KIND_FRONTEND, key)
+            if front is None:
+                front = compute_tile_front_end(tile.layout, tile.owner,
+                                               tech, ix=tile.ix,
+                                               iy=tile.iy)
+                misses += 1
+                if store is not None:
+                    store.put(KIND_FRONTEND, key, front)
+                span.set(cached=False)
+            else:
+                hits += 1
+                span.set(cached=True)
         fronts.append(front)
     shifters, pairs = splice_front_ends(layout, fronts)
     return shifters, pairs, hits, misses

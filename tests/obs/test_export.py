@@ -1,0 +1,117 @@
+"""Exporter formats: Chrome trace schema, JSONL log, aggregated tree."""
+
+import json
+
+from repro.obs import (
+    Tracer,
+    chrome_trace_events,
+    iter_spans,
+    span_tree_summary,
+    telemetry_dict,
+    write_chrome_trace,
+    write_span_log,
+)
+from repro.obs.export import aggregate_spans
+
+
+def small_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("flow", cat="flow", design="D3"):
+        with tracer.span("detect", cat="stage", conflicts=2):
+            tracer.record("tile", 0.01, cat="tile", cpu=0.008,
+                          tid=1, tile=[0, 0], cached=False)
+            tracer.record("tile", 0.0, cat="tile", tile=[1, 0],
+                          cached=True)
+    tracer.count("cache.tile.hits", 1)
+    tracer.gauge("executor.workers", 2)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_schema_is_valid_trace_event_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(small_tracer(), path)
+        with open(path) as fh:
+            data = json.load(fh)
+        assert isinstance(data["traceEvents"], list)
+        assert data["displayTimeUnit"] == "ms"
+        complete = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in data["traceEvents"] if e["ph"] == "M"]
+        assert {e["name"] for e in complete} == {"flow", "detect",
+                                                "tile"}
+        for event in complete:
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur",
+                                  "pid", "tid", "args"}
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+        # Process + one thread_name metadata record per lane (0 and 1).
+        assert {e["name"] for e in meta} == {"process_name",
+                                             "thread_name"}
+        lanes = {e["tid"] for e in meta if e["name"] == "thread_name"}
+        assert lanes == {0, 1}
+
+    def test_attrs_and_cpu_land_in_args(self):
+        events = chrome_trace_events(small_tracer())
+        tile = next(e for e in events
+                    if e["name"] == "tile" and not e["args"]["cached"])
+        assert tile["args"]["tile"] == [0, 0]
+        assert tile["args"]["cpu_ms"] == 8.0
+        assert tile["tid"] == 1
+
+    def test_metrics_ride_in_other_data(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(small_tracer(), path)
+        with open(path) as fh:
+            data = json.load(fh)
+        metrics = data["otherData"]["metrics"]
+        assert metrics["counters"]["cache.tile.hits"] == 1
+        assert metrics["gauges"]["executor.workers"] == 2
+
+
+class TestSpanLog:
+    def test_jsonl_one_record_per_span_plus_metrics(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_span_log(small_tracer(), path)
+        with open(path) as fh:
+            records = [json.loads(line) for line in fh]
+        spans = [r for r in records if r["event"] == "span"]
+        assert [s["name"] for s in spans] == ["flow", "detect", "tile",
+                                              "tile"]
+        assert [s["depth"] for s in spans] == [0, 1, 2, 2]
+        assert records[-1]["event"] == "metrics"
+        assert records[-1]["counters"]["cache.tile.hits"] == 1
+
+
+class TestAggregation:
+    def test_siblings_group_by_name_and_cat(self):
+        tracer = small_tracer()
+        rows = aggregate_spans(list(tracer.roots))
+        assert len(rows) == 1
+        flow = rows[0]
+        assert flow["count"] == 1
+        assert flow["attrs"] == {"design": "D3"}
+        detect = flow["children"][0]
+        tile = detect["children"][0]
+        assert tile["name"] == "tile" and tile["count"] == 2
+        assert abs(tile["seconds"] - 0.01) < 1e-6
+        # Grouped rows drop attrs; singletons keep them.
+        assert "attrs" not in tile
+        assert detect["attrs"] == {"conflicts": 2}
+
+    def test_telemetry_dict_is_json_serializable(self):
+        block = telemetry_dict(small_tracer())
+        text = json.dumps(block)
+        assert "cache.tile.hits" in text
+        assert block["spans"][0]["name"] == "flow"
+
+    def test_summary_lists_spans_and_metrics(self):
+        text = span_tree_summary(small_tracer())
+        assert "flow" in text
+        assert "tile ×2" in text
+        assert "cache.tile.hits = 1" in text
+
+    def test_iter_spans_is_depth_first(self):
+        tracer = small_tracer()
+        walked = [(s.name, d) for s, d in iter_spans(tracer.roots)]
+        assert walked == [("flow", 0), ("detect", 1), ("tile", 2),
+                          ("tile", 2)]

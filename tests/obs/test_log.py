@@ -1,0 +1,61 @@
+"""Structured logger: record shape, levels, stream routing."""
+
+import io
+import logging
+
+from repro.obs import configure_logging, get_logger, kv
+
+
+class TestKv:
+    def test_plain_event(self):
+        assert kv("flow.done") == "flow.done"
+
+    def test_fields_render_key_value(self):
+        line = kv("flow.done", design="D3", conflicts=12, ok=True)
+        assert line == "flow.done design=D3 conflicts=12 ok=True"
+
+    def test_floats_fixed_precision(self):
+        assert kv("t", seconds=1.23456) == "t seconds=1.235"
+
+    def test_spaced_values_are_quoted(self):
+        assert kv("warn", msg="two words") == "warn msg='two words'"
+
+
+class TestLogging:
+    def teardown_method(self):
+        # Leave the shared "repro" logger clean for other tests.
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+
+    def capture(self, verbose=0):
+        stream = io.StringIO()
+        configure_logging(verbose=verbose, stream=stream)
+        return stream
+
+    def test_info_visible_by_default(self):
+        stream = self.capture()
+        get_logger("cli").info("flow.done", design="D3")
+        text = stream.getvalue()
+        assert "flow.done design=D3" in text
+        assert "repro.cli" in text
+        assert " I " in text
+
+    def test_debug_needs_verbose(self):
+        stream = self.capture(verbose=0)
+        get_logger().debug("detail", n=1)
+        assert stream.getvalue() == ""
+        stream = self.capture(verbose=1)
+        get_logger().debug("detail", n=1)
+        assert "detail n=1" in stream.getvalue()
+
+    def test_reconfigure_replaces_handler(self):
+        first = self.capture()
+        second = self.capture()
+        get_logger().warning("only-once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("only-once") == 1
+
+    def test_loggers_nest_under_repro(self):
+        assert get_logger("cli").logger.name == "repro.cli"
+        assert get_logger().logger.name == "repro"
