@@ -1,0 +1,90 @@
+"""Geometry-kernel backend microbench: scalar grid sweep vs numpy.
+
+Two layers of measurement, both asserting bit-identity while they
+time:
+
+(a) kernel microbenches — ``neighbor_pairs`` / ``overlap_rows`` on
+    synthetic rect soups of increasing size, per backend;
+(b) a stage-level speedup table — the cold detect/verify/shifters
+    stages of a mid-size design under ``--kernels scalar`` vs
+    ``--kernels numpy``, printed at session end.
+
+Run with ``pytest benchmarks/bench_kernels.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.bench import build_design
+from repro.geometry import Rect
+from repro.geometry.kernels import make_kernel
+from repro.pipeline import PipelineConfig, run_pipeline
+
+DIST = 120  # the 90 nm deck's shifter-spacing rule
+
+
+def rect_soup(n: int, seed: int = 0) -> list:
+    """Dense synthetic soup roughly matching shifter-layer statistics."""
+    rng = random.Random(seed)
+    span = int((n * 55_000) ** 0.5)  # keeps density constant with n
+    rects = []
+    for _ in range(n):
+        x1 = rng.randrange(span)
+        y1 = rng.randrange(span)
+        w = rng.choice((100, 100, 220))       # shifter width / pad
+        h = rng.randrange(600, 1100)
+        if rng.random() < 0.5:
+            w, h = h, w
+        rects.append(Rect(x1, y1, x1 + w, y1 + h))
+    return rects
+
+
+@pytest.mark.parametrize("backend", ["scalar", "numpy"])
+@pytest.mark.parametrize("n", [1_000, 10_000])
+def test_neighbor_pairs_kernel(benchmark, backend, n):
+    kernel = make_kernel(backend)
+    rects = rect_soup(n)
+    pairs = benchmark(kernel.neighbor_pairs, rects, DIST)
+    assert pairs == make_kernel("scalar").neighbor_pairs(rects, DIST)
+
+
+@pytest.mark.parametrize("backend", ["scalar", "numpy"])
+def test_overlap_rows_kernel(benchmark, backend):
+    kernel = make_kernel(backend)
+    rects = rect_soup(10_000, seed=3)
+    groups = [i // 2 for i in range(len(rects))]  # paired like L/R shifters
+    rows = benchmark(kernel.overlap_rows, rects, DIST, groups=groups)
+    assert rows == make_kernel("scalar").overlap_rows(rects, DIST,
+                                                      groups=groups)
+
+
+def test_stage_speedup_table(benchmark, tech, collect_row):
+    """Cold-pipeline stage seconds per backend on D3 + the speedup."""
+    lay = build_design("D3")
+
+    def cold_run(kernels):
+        t0 = time.perf_counter()
+        result = run_pipeline(lay, tech, PipelineConfig(
+            jobs=1, tiled=True, executor="serial", kernels=kernels))
+        return result, time.perf_counter() - t0
+
+    scalar, scalar_s = cold_run("scalar")
+    (vector, vector_s) = benchmark.pedantic(
+        lambda: cold_run("numpy"), rounds=1, iterations=1)
+
+    assert vector.detection.report.conflicts \
+        == scalar.detection.report.conflicts
+    assert vector.success == scalar.success
+    assert len(vector.correction.report.cuts) \
+        == len(scalar.correction.report.cuts)
+
+    collect_row("kernel speedup (cold D3)", {
+        "design": "D3",
+        "scalar_s": f"{scalar_s:.2f}",
+        "numpy_s": f"{vector_s:.2f}",
+        "speedup": f"{scalar_s / max(vector_s, 1e-9):.2f}x",
+    })

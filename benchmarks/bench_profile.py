@@ -82,12 +82,13 @@ def _top(rows: Dict[str, Dict[str, Any]], limit: int) -> List[dict]:
 
 
 def profile_design(design: str, top: int = 15,
-                   tiles: Optional[Tuple[int, int]] = None) -> dict:
+                   tiles: Optional[Tuple[int, int]] = None,
+                   kernels: Optional[str] = None) -> dict:
     """Profile one design through the five stages; returns the report."""
     layout = build_design(design)
     tech = Technology.node_90nm()
     config = PipelineConfig(tiles=tiles, jobs=1, tiled=True,
-                            executor="serial")
+                            executor="serial", kernels=kernels)
     store = ArtifactCache(None)
 
     merged: Dict[str, Dict[str, Any]] = {}
@@ -119,6 +120,7 @@ def profile_design(design: str, top: int = 15,
     grid = detection.chip
     return {
         "design": design,
+        "kernels": kernels or "scalar",
         "polygons": layout.num_polygons,
         "tiles": [grid.nx, grid.ny] if grid is not None else None,
         "conflicts": detection.report.num_conflicts,
@@ -140,12 +142,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--design", choices=design_names(), default="D8")
     parser.add_argument("--top", type=int, default=15,
                         help="hot functions kept per list (default 15)")
+    parser.add_argument("--kernels", default=None,
+                        help="geometry-kernel backend (scalar/numpy); "
+                             "default inherits REPRO_KERNELS, else "
+                             "scalar")
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default: "
                              "benchmarks/BENCH_profile_<design>.json)")
     args = parser.parse_args(argv)
 
-    report = profile_design(args.design, top=args.top)
+    report = profile_design(args.design, top=args.top,
+                            kernels=args.kernels)
     out = args.output or os.path.join(
         os.path.dirname(os.path.abspath(__file__)),
         f"BENCH_profile_{args.design}.json")

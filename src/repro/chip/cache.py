@@ -22,10 +22,10 @@ against.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import astuple
 from typing import Optional
 
 from ..cache import KIND_TILE, ArtifactCache
+from ..layout import tech_fingerprint
 from .executor import TileJob, TileResult
 
 # Bump when TileResult/CanonicalConflict shape changes so stale
@@ -37,7 +37,7 @@ def tile_cache_key(job: TileJob) -> str:
     """Stable hex digest of everything a tile result depends on."""
     h = hashlib.sha256()
     h.update(f"format:{CACHE_FORMAT}".encode())
-    h.update(repr(astuple(job.tech)).encode())
+    h.update(tech_fingerprint(job.tech))
     h.update(f"kind:{job.kind};method:{job.method}".encode())
     h.update(f"owner:{job.owner}".encode())
     for rect in sorted((r.x1, r.y1, r.x2, r.y2)

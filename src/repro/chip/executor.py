@@ -27,9 +27,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..conflict import PCG, DetectionReport, build_layout_conflict_graph, \
     detect_conflicts
+from ..geometry.kernels import get_kernel, use_kernel
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology, tshape_feature_indices
-from ..shifters import region_center2
 from ..shifters.frontend import ShifterKey
 from .partition import Bounds, Tile, interaction_distance
 
@@ -51,6 +51,11 @@ class TileJob:
     kind: str = PCG
     method: str = METHOD_GADGET
     feature_ids: Tuple[int, ...] = ()
+    # Geometry-kernel backend the worker should detect under (None =
+    # the worker's ambient default).  Deliberately NOT part of the tile
+    # cache key: every backend is bit-identical, so cached results are
+    # shared across kernels.
+    kernels: Optional[str] = None
 
     def owns_point2(self, px2: int, py2: int) -> bool:
         ox1, oy1, ox2, oy2 = self.owner
@@ -134,9 +139,16 @@ class TileResult:
 def detect_tile(job: TileJob) -> TileResult:
     """Run detection on one tile and canonicalise the outcome.
 
+    Runs under the job's geometry-kernel backend (so process-pool
+    workers honour a ``--kernels`` selection made in the parent).
     Empty tiles (no captured features) short-circuit to an empty,
     trivially phase-assignable report.
     """
+    with use_kernel(job.kernels):
+        return _detect_tile(job)
+
+
+def _detect_tile(job: TileJob) -> TileResult:
     import time
 
     start = time.perf_counter()
@@ -192,12 +204,12 @@ def detect_tile(job: TileJob) -> TileResult:
         comp_members.setdefault(comp_find(fi), []).append(fi)
     witness_reach = 2 * interaction_distance(job.tech)
 
-    for conflict, tshape in (
-            [(c, False) for c in report.conflicts]
-            + [(c, True) for c in report.tshape_conflicts]):
-        ra = shifters[conflict.a].rect
-        rb = shifters[conflict.b].rect
-        ref2 = region_center2(ra, rb)
+    kernel = get_kernel()
+    srects = shifters.rects
+    tagged = ([(c, False) for c in report.conflicts]
+              + [(c, True) for c in report.tshape_conflicts])
+    ref2s = kernel.region_centers2(srects, [c.key for c, _ in tagged])
+    for (conflict, tshape), ref2 in zip(tagged, ref2s):
         ka, kb = sorted((shifter_key(conflict.a), shifter_key(conflict.b)))
         members = comp_members.get(
             comp_find(shifters[conflict.a].feature_index), ())
@@ -217,9 +229,8 @@ def detect_tile(job: TileJob) -> TileResult:
             result.owned_critical += 1
             result.owned_shifters += 2
 
-    for p in pairs:
-        if job.owns_point2(*region_center2(shifters[p.a].rect,
-                                           shifters[p.b].rect)):
+    for center2 in kernel.region_centers2(srects, [p.key for p in pairs]):
+        if job.owns_point2(*center2):
             result.owned_pairs += 1
 
     feat_center_owned = [job.owns_point2(*r.center2) for r in feats]
@@ -365,9 +376,10 @@ def resolve_executor(jobs: Optional[int], backend: Optional[str] = None):
 
 def make_jobs(tiles: Sequence[Tile], tech: Technology,
               kind: str = PCG,
-              method: str = METHOD_GADGET) -> List[TileJob]:
+              method: str = METHOD_GADGET,
+              kernels: Optional[str] = None) -> List[TileJob]:
     """Freeze a tile grid into picklable work units."""
     return [TileJob(ix=t.ix, iy=t.iy, layout=t.layout, owner=t.owner,
                     tech=tech, kind=kind, method=method,
-                    feature_ids=tuple(t.feature_ids))
+                    feature_ids=tuple(t.feature_ids), kernels=kernels)
             for t in tiles]

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..conflict import PCG, DetectionReport
+from ..geometry.kernels import use_kernel
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology
 from ..obs import get_tracer
@@ -121,7 +122,8 @@ def run_chip_flow(layout: Layout, tech: Technology,
                   halo: Optional[int] = None,
                   shifters=None,
                   grid: Optional[TileGrid] = None,
-                  executor: Optional[str] = None) -> ChipReport:
+                  executor: Optional[str] = None,
+                  kernels: Optional[str] = None) -> ChipReport:
     """Tiled, parallel, cached full-chip conflict detection.
 
     Deterministic by construction: the partition, per-tile detection
@@ -155,6 +157,13 @@ def run_chip_flow(layout: Layout, tech: Technology,
             "process", "thread", or anything registered via
             :func:`repro.chip.executor.register_executor`); None keeps
             the historical jobs-count heuristic.
+        kernels: geometry-kernel backend name ("scalar", "numpy", or
+            anything registered in
+            :data:`repro.geometry.kernels.KERNEL_BACKENDS`); None
+            inherits the ambient default.  Rides into each
+            :class:`TileJob` so pool workers detect under the same
+            backend; never part of a cache key (backends are
+            bit-identical).
 
     Returns:
         A :class:`ChipReport`; ``report.detection`` is a chip-level
@@ -164,7 +173,8 @@ def run_chip_flow(layout: Layout, tech: Technology,
     """
     start = time.perf_counter()
     tracer = get_tracer()
-    with tracer.span("chip", cat="chip", design=layout.name) as chip_span:
+    with use_kernel(kernels), \
+            tracer.span("chip", cat="chip", design=layout.name) as chip_span:
         if grid is None:
             with tracer.span("partition", cat="chip"):
                 grid = partition_layout(layout, tech, tiles=tiles,
@@ -175,7 +185,8 @@ def run_chip_flow(layout: Layout, tech: Technology,
         runner = resolve_executor(jobs, executor)
         workers = max(int(getattr(runner, "jobs", 1) or 1), 1)
 
-        jobs_all = make_jobs(grid.tiles, tech, kind=kind, method=method)
+        jobs_all = make_jobs(grid.tiles, tech, kind=kind, method=method,
+                             kernels=kernels)
         with tracer.span("execute", cat="chip") as exec_span:
             keys = [tile_cache_key(job) for job in jobs_all]
             results: List[Optional[TileResult]] = [cache.get(k)

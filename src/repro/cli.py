@@ -98,6 +98,20 @@ def _parse_executor(text: str) -> str:
     return text
 
 
+def _parse_kernels(text: str) -> str:
+    """Validate a geometry-kernel backend name against the live
+    registry (:data:`repro.geometry.kernels.KERNEL_BACKENDS`), so
+    backends added via ``register_kernel`` work from the CLI
+    unchanged."""
+    from .geometry.kernels import KERNEL_BACKENDS
+
+    if text not in KERNEL_BACKENDS:
+        raise argparse.ArgumentTypeError(
+            f"unknown kernel backend {text!r}; registered: "
+            f"{', '.join(sorted(KERNEL_BACKENDS))}")
+    return text
+
+
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     """The tiling/parallelism knobs shared by chip-scale commands."""
     parser.add_argument("--tiles", type=_parse_tiles, default=None,
@@ -113,6 +127,13 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: serial for 1 job, process "
                              "otherwise); the report is identical "
                              "under every backend")
+    parser.add_argument("--kernels", type=_parse_kernels,
+                        metavar="BACKEND", default=None,
+                        help="geometry kernel backend: scalar, numpy, "
+                             "or any registered backend (default: "
+                             "$REPRO_KERNELS, else scalar); the "
+                             "report is bit-identical under every "
+                             "backend — numpy is just faster")
     parser.add_argument("--cache-dir",
                         help="persistent artifact store directory "
                              "(front ends, tile results, stitch "
@@ -190,7 +211,8 @@ def cmd_chip(args: argparse.Namespace) -> int:
     with use_tracer(tracer):
         report = run_chip_flow(layout, tech, tiles=args.tiles,
                                jobs=args.jobs, cache_dir=args.cache_dir,
-                               kind=args.graph, executor=args.executor)
+                               kind=args.graph, executor=args.executor,
+                               kernels=args.kernels)
     if args.json:
         print(json.dumps(_attach_telemetry(chip_report_dict(report),
                                            tracer),
@@ -223,7 +245,8 @@ def cmd_flow(args: argparse.Namespace) -> int:
                                 tiles=args.tiles, jobs=args.jobs,
                                 cache_dir=args.cache_dir,
                                 incremental=args.incremental,
-                                executor=args.executor)
+                                executor=args.executor,
+                                kernels=args.kernels)
     if args.json:
         from .core import flow_result_dict
 
@@ -259,7 +282,8 @@ def cmd_eco(args: argparse.Namespace) -> int:
     config = PipelineConfig(kind=args.graph, cover=args.cover,
                             tiles=args.tiles, jobs=args.jobs,
                             cache_dir=args.cache_dir,
-                            executor=args.executor)
+                            executor=args.executor,
+                            kernels=args.kernels)
     tracer = _tracer_for(args)
     with use_tracer(tracer):
         eco = run_eco_flow(base, edited, tech, config=config,
@@ -323,7 +347,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                     cache_dir=args.cache_dir,
                                     cache=store,
                                     incremental=incremental,
-                                    executor=args.executor)
+                                    executor=args.executor,
+                                    kernels=args.kernels)
         wall = time.perf_counter() - start
         all_ok &= result.success
         report = flow_result_dict(result)

@@ -191,8 +191,9 @@ def detect_conflicts(layout: Layout, tech: Technology,
                                 for eid in removed)
 
     pair_keys, feature_indices = cg.classify_edges(removed)
+    weight_of = _pair_weight_map(cg)
     all_conflicts = [
-        Conflict(a=a, b=b, weight=_pair_weight(cg, (a, b)))
+        Conflict(a=a, b=b, weight=weight_of[(a, b)])
         for a, b in sorted(pair_keys)
     ]
     report.uncorrectable_features = sorted(feature_indices)
@@ -215,9 +216,18 @@ def detect_conflicts(layout: Layout, tech: Technology,
     return report
 
 
+def _pair_weight_map(cg: ConflictGraph) -> dict:
+    """Base-scale weight of every overlap pair's graph edge, keyed by
+    pair.  Built in one pass over ``edge_pair`` (a per-conflict linear
+    scan here was a measurable hot spot on chip-scale layouts)."""
+    graph = cg.graph
+    return {pair_key: graph.edge(eid).weight // GENERIC_SCALE
+            for eid, pair_key in cg.edge_pair.items()}
+
+
 def _pair_weight(cg: ConflictGraph, key: Tuple[int, int]) -> int:
-    """Base-scale weight of an overlap pair's graph edge."""
-    for eid, pair_key in cg.edge_pair.items():
-        if pair_key == key:
-            return cg.graph.edge(eid).weight // GENERIC_SCALE
-    raise KeyError(f"no edge for pair {key}")
+    """Base-scale weight of one overlap pair's graph edge."""
+    try:
+        return _pair_weight_map(cg)[key]
+    except KeyError:
+        raise KeyError(f"no edge for pair {key}") from None

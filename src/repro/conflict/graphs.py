@@ -30,12 +30,14 @@ offset by quarter-nanometre nudges without colliding.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 from ..geometry import Rect
+from ..geometry.kernels import get_kernel
 from ..graph import GeomGraph
 from ..layout import Technology
-from ..shifters import OverlapPair, ShifterSet, region_center2
+from ..shifters import OverlapPair, ShifterSet
 from .weights import WeightModel, feature_edge_weight, space_needed_weight
 
 PCG = "pcg"
@@ -45,8 +47,14 @@ FEATURE_TAG = "feature"
 OVERLAP_TAG = "overlap"
 
 
+@lru_cache(maxsize=None)
 def _node_coord(rect: Rect) -> Tuple[int, int]:
-    """Rect centre in 4x coordinates."""
+    """Rect centre in 4x coordinates.
+
+    Memoized: the same shifter rects flow through graph builds in the
+    detect, verify and assign stages (tens of thousands of repeat
+    lookups on chip-scale layouts), and ``Rect`` is frozen/hashable.
+    """
     cx2, cy2 = rect.center2
     return (2 * cx2, 2 * cy2)
 
@@ -165,11 +173,11 @@ def build_feature_graph(
     weights, inf_weight = _pair_weights(pairs, shifters, tech, weight_model)
 
     next_node = len(shifters)
-    for pair, weight in zip(pairs, weights):
+    centers2 = get_kernel().region_centers2(shifters.rects,
+                                            [p.key for p in pairs])
+    for pair, weight, (cx2, cy2) in zip(pairs, weights, centers2):
         na = cg.shifter_node[pair.a]
         nb = cg.shifter_node[pair.b]
-        cx2, cy2 = region_center2(shifters[pair.a].rect,
-                                  shifters[pair.b].rect)
         conflict_node = next_node
         next_node += 1
         # Detour through the centre of the overlap *region* — in general

@@ -97,7 +97,8 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
                    cache_dir: Optional[str] = None,
                    cache=None,
                    incremental: bool = False,
-                   executor: Optional[str] = None) -> FlowResult:
+                   executor: Optional[str] = None,
+                   kernels: Optional[str] = None) -> FlowResult:
     """Detect conflicts, insert spaces, verify, and assign phases.
 
     Args:
@@ -114,6 +115,10 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
             even when ``tiles`` is None.
         executor: executor backend name ("serial"/"process"/"thread"
             or anything registered); None keeps the jobs heuristic.
+        kernels: geometry-kernel backend name ("scalar"/"numpy" or
+            anything registered); None inherits the ambient default.
+            Bit-identical output either way — the backend trades
+            wall-clock only.
 
     With ``tiles`` set (or ``incremental=True``), shifter generation
     and both detection passes run tile-scoped through the shared
@@ -140,6 +145,6 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
     config = PipelineConfig(kind=kind, method=method, cover=cover,
                             tiles=tiles, jobs=jobs, cache_dir=cache_dir,
                             tiled=True if incremental else None,
-                            executor=executor)
+                            executor=executor, kernels=kernels)
     return flow_result_from_pipeline(
         run_pipeline(layout, tech, config, cache=cache))

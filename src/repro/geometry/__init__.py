@@ -24,7 +24,16 @@ from .segment import (
     segments_conflict,
     segments_intersect,
 )
-from .spatial import GridIndex, neighbor_pairs
+from .kernels import (
+    KERNEL_BACKENDS,
+    GeometryKernel,
+    get_kernel,
+    make_kernel,
+    register_kernel,
+    set_default_kernel,
+    use_kernel,
+)
+from .spatial import GridIndex, grid_neighbor_pairs, neighbor_pairs
 
 __all__ = [
     "Interval",
@@ -46,5 +55,13 @@ __all__ = [
     "segment_bbox",
     "intersection_point",
     "GridIndex",
+    "grid_neighbor_pairs",
     "neighbor_pairs",
+    "GeometryKernel",
+    "KERNEL_BACKENDS",
+    "get_kernel",
+    "make_kernel",
+    "register_kernel",
+    "set_default_kernel",
+    "use_kernel",
 ]

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Interval:
     """A closed integer interval ``[lo, hi]`` with ``lo <= hi``."""
 
@@ -85,6 +85,20 @@ class Interval:
 
     def shifted(self, delta: int) -> "Interval":
         return Interval(self.lo + delta, self.hi + delta)
+
+
+def batch_gap(alo, ahi, blo, bhi):
+    """Vectorized :meth:`Interval.gap_to` over parallel endpoint arrays.
+
+    All three branches of the scalar method collapse to one exact
+    integer formula — ``max(lo) - min(hi)`` — which is what makes the
+    numpy kernel bit-identical: positive for disjoint intervals,
+    ``<= 0`` (minus the overlap length) otherwise.  Accepts numpy
+    arrays (any broadcastable shapes) and returns an int64 array.
+    """
+    import numpy as np
+
+    return np.maximum(alo, blo) - np.minimum(ahi, bhi)
 
 
 def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:

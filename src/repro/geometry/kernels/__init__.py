@@ -1,0 +1,25 @@
+"""Name-resolved geometry kernel backends (``scalar`` oracle, ``numpy``)."""
+
+from .base import (
+    DEFAULT_KERNEL,
+    KERNEL_BACKENDS,
+    KERNEL_ENV,
+    GeometryKernel,
+    get_kernel,
+    make_kernel,
+    register_kernel,
+    set_default_kernel,
+    use_kernel,
+)
+
+__all__ = [
+    "DEFAULT_KERNEL",
+    "KERNEL_BACKENDS",
+    "KERNEL_ENV",
+    "GeometryKernel",
+    "get_kernel",
+    "make_kernel",
+    "register_kernel",
+    "set_default_kernel",
+    "use_kernel",
+]

@@ -1,0 +1,190 @@
+"""Pluggable geometry kernel backends.
+
+The cold path spends most of its repo-owned time in three geometry
+loops: candidate-pair generation (``neighbor_pairs``), Condition-2
+overlap measurement (``find_overlap_pairs``) and per-pair region
+arithmetic.  A *kernel* packages batch implementations of exactly
+those loops behind a tiny interface so the rest of the pipeline —
+ordering, weights, tie-breaking, graph assembly — stays scalar and
+operates on kernel **output** (sorted ``(i, j)`` index arrays).
+
+Two backends ship:
+
+``scalar``
+    The original pure-Python ``GridIndex`` sweep.  It is the oracle:
+    every other backend must reproduce its output bit-for-bit.
+
+``numpy``
+    Struct-of-arrays columns + a vectorized sort/searchsorted sweep.
+    All predicates are evaluated in exact int64 arithmetic, so the
+    output is identical to the scalar backend, just faster.
+
+The registry mirrors the executor-backend idiom in
+:mod:`repro.chip.executor`: backends are name-resolved through
+``KERNEL_BACKENDS`` so ``--kernels`` flags and config fields validate
+against the live registry, and external code can
+:func:`register_kernel` its own backend.
+
+Kernel choice is *ambient*: :func:`get_kernel` returns the active
+kernel (thread-local override first, then the process default, which
+the ``REPRO_KERNELS`` environment variable seeds).  Because every
+backend is bit-identical, the kernel name deliberately does **not**
+enter any cache key — artifacts computed under one backend are valid
+under all of them.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+#: ``(i, j, separation_sq, x_gap, y_gap)`` — one measured candidate pair.
+PairRow = Tuple[int, int, int, int, int]
+
+DEFAULT_KERNEL = "scalar"
+
+#: Environment variable that seeds the process-default kernel, so whole
+#: test suites can run under an alternate backend without code changes.
+KERNEL_ENV = "REPRO_KERNELS"
+
+
+class GeometryKernel:
+    """Batch geometry operations over lists of :class:`~repro.geometry.Rect`.
+
+    Subclasses implement the three hot loops.  The contract is exact:
+    all arithmetic is integer, all outputs are sorted by ``(i, j)``
+    with ``i < j``, and every backend must agree with ``scalar``
+    bit-for-bit on every input.
+    """
+
+    name = "abstract"
+
+    def neighbor_pairs(self, rects: Sequence, dist: int
+                       ) -> List[Tuple[int, int]]:
+        """Indices ``(i, j), i < j`` of pairs with separation < ``dist``."""
+        raise NotImplementedError
+
+    def overlap_rows(self, rects: Sequence, dist: int,
+                     groups: Optional[Sequence[int]] = None
+                     ) -> List[PairRow]:
+        """Measured candidate pairs, sorted by ``(i, j)``.
+
+        ``groups[i] == groups[j]`` pairs are exempt (Condition-1
+        flanking pairs share a feature id and are skipped).
+        """
+        raise NotImplementedError
+
+    def region_centers2(self, rects: Sequence,
+                        pairs: Sequence[Tuple[int, int]]
+                        ) -> List[Tuple[int, int]]:
+        """Doubled overlap-region centre for each ``(i, j)`` pair."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GeometryKernel {self.name}>"
+
+
+# ----------------------------------------------------------------------
+# Registry (name -> factory), mirroring chip.executor's EXECUTOR_BACKENDS.
+# Factories import lazily so the numpy backend only loads when asked for.
+# ----------------------------------------------------------------------
+
+def _scalar_factory() -> GeometryKernel:
+    from .scalar import ScalarKernel
+    return ScalarKernel()
+
+
+def _numpy_factory() -> GeometryKernel:
+    try:
+        from .numpy_kernel import NumpyKernel
+    except ImportError as exc:  # pragma: no cover - numpy is a core dep
+        raise ImportError(
+            "the 'numpy' geometry kernel requires numpy; install it or "
+            "select --kernels scalar") from exc
+    return NumpyKernel()
+
+
+KERNEL_BACKENDS: Dict[str, Callable[[], GeometryKernel]] = {
+    "scalar": _scalar_factory,
+    "numpy": _numpy_factory,
+}
+
+
+def register_kernel(name: str,
+                    factory: Callable[[], GeometryKernel]) -> None:
+    """Register (or replace) a kernel backend under ``name``."""
+    KERNEL_BACKENDS[name] = factory
+
+
+def make_kernel(name: str) -> GeometryKernel:
+    """Instantiate the backend registered under ``name``.
+
+    Raises ``ValueError`` listing the known backends for unknown names,
+    so CLI validation errors are self-describing.
+    """
+    try:
+        factory = KERNEL_BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNEL_BACKENDS))
+        raise ValueError(
+            f"unknown kernel backend {name!r} (known: {known})") from None
+    return factory()
+
+
+# ----------------------------------------------------------------------
+# Ambient kernel selection: thread-local override over a process default.
+# ----------------------------------------------------------------------
+
+_local = threading.local()
+_default_lock = threading.Lock()
+_default: Optional[GeometryKernel] = None
+
+
+def _process_default() -> GeometryKernel:
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                _default = make_kernel(
+                    os.environ.get(KERNEL_ENV, DEFAULT_KERNEL))
+    return _default
+
+
+def set_default_kernel(name: Optional[str]) -> None:
+    """Set (or with ``None``, reset to env/scalar) the process default."""
+    global _default
+    with _default_lock:
+        _default = None if name is None else make_kernel(name)
+
+
+def get_kernel() -> GeometryKernel:
+    """The active kernel: thread-local override, else process default."""
+    kernel = getattr(_local, "kernel", None)
+    if kernel is not None:
+        return kernel
+    return _process_default()
+
+
+@contextmanager
+def use_kernel(kernel: Union[GeometryKernel, str, None]
+               ) -> Iterator[GeometryKernel]:
+    """Scope the active kernel for the current thread.
+
+    Accepts a backend name, a kernel instance, or ``None`` (inherit the
+    ambient kernel — lets config plumbing pass its ``kernels`` field
+    through unconditionally).
+    """
+    if kernel is None:
+        resolved = get_kernel()
+    elif isinstance(kernel, str):
+        resolved = make_kernel(kernel)
+    else:
+        resolved = kernel
+    prev = getattr(_local, "kernel", None)
+    _local.kernel = resolved
+    try:
+        yield resolved
+    finally:
+        _local.kernel = prev

@@ -5,6 +5,12 @@ rule of this one?" and planarization asks "which edges might cross this
 one?".  Both are answered with a simple bucket grid — predictable,
 allocation-light and easily fast enough for the tens of thousands of
 shapes in the benchmark suite.
+
+:func:`neighbor_pairs` — the workhorse of shifter-overlap extraction —
+dispatches through the active geometry kernel
+(:mod:`repro.geometry.kernels`): the ``scalar`` backend runs the grid
+sweep below, the ``numpy`` backend a vectorized sort/searchsorted sweep
+with bit-identical output.
 """
 
 from __future__ import annotations
@@ -18,7 +24,14 @@ T = TypeVar("T")
 
 
 class GridIndex(Generic[T]):
-    """Bucket grid mapping cells to the items whose bbox touches them."""
+    """Bucket grid mapping cells to the items whose bbox touches them.
+
+    The cell-range arithmetic of :meth:`_cells_for` is inlined into the
+    hot :meth:`insert`/:meth:`query` paths — the generator protocol was
+    itself a profile line (millions of resumptions on chip-scale runs);
+    the method remains as the one readable statement of the mapping and
+    for the rarely-hot :meth:`remove`.
+    """
 
     def __init__(self, cell_size: int):
         if cell_size <= 0:
@@ -45,8 +58,13 @@ class GridIndex(Generic[T]):
         if item in self._bboxes:
             raise KeyError(f"duplicate item {item!r}")
         self._bboxes[item] = bbox
-        for cell in self._cells_for(*bbox):
-            self._cells[cell].append(item)
+        x1, y1, x2, y2 = bbox
+        cs = self.cell_size
+        cells = self._cells
+        yr = range(y1 // cs, y2 // cs + 1)
+        for cx in range(x1 // cs, x2 // cs + 1):
+            for cy in yr:
+                cells[(cx, cy)].append(item)
 
     def insert_rect(self, item: T, rect: Rect) -> None:
         self.insert(item, (rect.x1, rect.y1, rect.x2, rect.y2))
@@ -63,11 +81,20 @@ class GridIndex(Generic[T]):
     def query(self, x1: int, y1: int, x2: int, y2: int) -> Set[T]:
         """Items whose bbox overlaps the query window."""
         out: Set[T] = set()
-        for cell in self._cells_for(x1, y1, x2, y2):
-            for item in self._cells.get(cell, ()):
-                bx1, by1, bx2, by2 = self._bboxes[item]
-                if bx1 <= x2 and x1 <= bx2 and by1 <= y2 and y1 <= by2:
-                    out.add(item)
+        add = out.add
+        cs = self.cell_size
+        cells_get = self._cells.get
+        bboxes = self._bboxes
+        yr = range(y1 // cs, y2 // cs + 1)
+        for cx in range(x1 // cs, x2 // cs + 1):
+            for cy in yr:
+                bucket = cells_get((cx, cy))
+                if not bucket:
+                    continue
+                for item in bucket:
+                    bx1, by1, bx2, by2 = bboxes[item]
+                    if bx1 <= x2 and x1 <= bx2 and by1 <= y2 and y1 <= by2:
+                        add(item)
         return out
 
     def query_rect(self, rect: Rect, margin: int = 0) -> Set[T]:
@@ -78,12 +105,14 @@ class GridIndex(Generic[T]):
         return self._bboxes.keys()
 
 
-def neighbor_pairs(rects: List[Rect], dist: int) -> List[Tuple[int, int]]:
-    """Indices ``(i, j), i < j`` of rect pairs with separation < ``dist``.
+def grid_neighbor_pairs(rects: List[Rect], dist: int
+                        ) -> List[Tuple[int, int]]:
+    """The scalar grid sweep behind :func:`neighbor_pairs`.
 
-    The workhorse of shifter-overlap extraction.  The grid cell size is
-    tied to the typical shape size plus the interaction distance so each
-    query touches O(1) buckets on realistic layouts.
+    The grid cell size is tied to the typical shape size plus the
+    interaction distance so each query touches O(1) buckets on
+    realistic layouts.  This is the oracle implementation every other
+    kernel backend is validated against.
     """
     if not rects:
         return []
@@ -98,3 +127,15 @@ def neighbor_pairs(rects: List[Rect], dist: int) -> List[Tuple[int, int]]:
                 pairs.append((i, j))
     pairs.sort()
     return pairs
+
+
+def neighbor_pairs(rects: List[Rect], dist: int) -> List[Tuple[int, int]]:
+    """Indices ``(i, j), i < j`` of rect pairs with separation < ``dist``.
+
+    Dispatches to the active geometry kernel; every backend returns the
+    same sorted pair list bit-for-bit (the ``scalar`` backend *is*
+    :func:`grid_neighbor_pairs`).
+    """
+    from .kernels import get_kernel
+
+    return get_kernel().neighbor_pairs(rects, dist)

@@ -121,18 +121,21 @@ def component_content_id(graph: GeomGraph, order: Sequence[int],
     multiset, which preserves parallel edges and self-loops.
     """
     rank = {n: i for i, n in enumerate(order)}
-    h = hashlib.sha256()
-    h.update(f"component-format:{COMPONENT_FORMAT}".encode())
+    # One joined update per section instead of a hash-object call per
+    # node/edge: sha256 of a concatenation is byte-identical however it
+    # is chunked, and this function runs once per component per stage
+    # (tens of thousands of times on chip-scale runs).  Coordinates are
+    # plain tuples straight off the graph's dict — no dataclass
+    # introspection on this path.
+    coords = graph._coords
+    parts = [f"component-format:{COMPONENT_FORMAT}"]
     for n in order:
-        try:
-            h.update(repr(graph.coord(n)).encode())
-        except KeyError:
-            h.update(f"node:{n}".encode())
-    for u, v, w in sorted(
-            (min(rank[u], rank[v]), max(rank[u], rank[v]), w)
-            for u, v, w in comp_edges):
-        h.update(f"e:{u},{v},{w}".encode())
-    return h.hexdigest()
+        c = coords.get(n)
+        parts.append(repr(c) if c is not None else f"node:{n}")
+    parts.extend(f"e:{u},{v},{w}" for u, v, w in sorted(
+        (min(rank[u], rank[v]), max(rank[u], rank[v]), w)
+        for u, v, w in comp_edges))
+    return hashlib.sha256("".join(parts).encode()).hexdigest()
 
 
 # ----------------------------------------------------------------------

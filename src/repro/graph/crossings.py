@@ -19,39 +19,41 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Set, Tuple
 
-from ..geometry import GridIndex, segment_bbox, segments_conflict
+from ..geometry import Rect, segment_bbox, segments_conflict
+from ..geometry.kernels import get_kernel
 from .geomgraph import GeomGraph
 
 
 def find_crossing_pairs(graph: GeomGraph) -> List[Tuple[int, int]]:
     """All conflicting live edge pairs ``(i, j), i < j``.
 
-    Uses a uniform grid over segment bounding boxes; exact integer
-    predicates decide each candidate pair.
+    Candidate pairs come from the active geometry kernel: two segments
+    can only conflict when their (closed) bounding boxes intersect.
+    Segment boxes may be degenerate (axis-aligned segments), which
+    :class:`Rect` rejects, so each box's high corner is padded by +1 —
+    ``neighbor_pairs(padded, 1)`` then yields every pair whose original
+    boxes have gap <= 1 on both axes: a superset of the touching pairs
+    (the gap-1 extras cannot conflict and the exact integer predicate
+    discards them), never a miss.
     """
     edges = [e for e in graph.edges() if not e.is_self_loop]
     if not edges:
         return []
-    boxes = {e.id: segment_bbox(*graph.segment(e.id)) for e in edges}
-    spans = [max(b[2] - b[0], b[3] - b[1]) for b in boxes.values()]
-    cell = max(1, sorted(spans)[len(spans) // 2] + 1)
-    index: GridIndex[int] = GridIndex(cell_size=cell)
-    for e in edges:
-        index.insert(e.id, boxes[e.id])
+    segs = [graph.segment(e.id) for e in edges]
+    boxes = []
+    for a, b in segs:
+        x1, y1, x2, y2 = segment_bbox(a, b)
+        boxes.append(Rect(x1, y1, x2 + 1, y2 + 1))
 
-    pairs: Set[Tuple[int, int]] = set()
-    for e in edges:
-        a, b = graph.segment(e.id)
-        for other_id in index.query(*boxes[e.id]):
-            if other_id <= e.id:
-                continue
-            other = graph.edge(other_id)
-            if other.u == other.v:
-                continue
-            c, d = graph.segment(other_id)
-            if segments_conflict(a, b, c, d):
-                pairs.add((e.id, other_id))
-    return sorted(pairs)
+    pairs: List[Tuple[int, int]] = []
+    for i, j in get_kernel().neighbor_pairs(boxes, 1):
+        a, b = segs[i]
+        c, d = segs[j]
+        if segments_conflict(a, b, c, d):
+            # edges() yields in ascending id order, so (i, j) with
+            # i < j maps to an ascending, already-sorted id pair.
+            pairs.append((edges[i].id, edges[j].id))
+    return pairs
 
 
 def count_crossings(graph: GeomGraph) -> int:

@@ -107,19 +107,21 @@ def build_embedding(graph: GeomGraph) -> PlanarEmbedding:
     rotations: Dict[int, List[Dart]] = {}
     for node in graph.nodes:
         darts: List[Dart] = []
+        # Directions are computed once per dart, not inside the
+        # comparator — cmp_to_key evaluates it O(d log d) times per
+        # rotation otherwise.
+        dirs: Dict[Dart, Tuple[int, int]] = {}
+        ox, oy = graph.coord(node)
         for e in graph.incident(node):
             if e.is_self_loop:
                 raise ValueError("embedding does not support self-loops")
-            darts.append((e.id, 0 if e.u == node else 1))
-
-        def direction(dart: Dart, origin: int = node) -> Tuple[int, int]:
-            e = graph.edge(dart[0])
-            ox, oy = graph.coord(origin)
-            tx, ty = graph.coord(e.other(origin))
-            return (tx - ox, ty - oy)
+            dart = (e.id, 0 if e.u == node else 1)
+            tx, ty = graph.coord(e.other(node))
+            darts.append(dart)
+            dirs[dart] = (tx - ox, ty - oy)
 
         darts.sort(key=functools.cmp_to_key(
-            lambda a, b: _direction_cmp(direction(a), direction(b))))
+            lambda a, b: _direction_cmp(dirs[a], dirs[b])))
         rotations[node] = darts
 
     # Position of each dart within its origin's rotation.

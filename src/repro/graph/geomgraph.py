@@ -16,7 +16,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 Point = Tuple[int, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Edge:
     """An undirected weighted edge with a stable id and an opaque tag."""
 
@@ -65,13 +65,20 @@ class GeomGraph:
 
     def add_edge(self, u: int, v: int, weight: int = 1,
                  tag: Any = None) -> Edge:
-        self.add_node(u)
-        self.add_node(v)
-        edge = Edge(id=len(self._edges), u=u, v=v, weight=weight, tag=tag)
+        # Hot path (hundreds of thousands of calls per chip-scale
+        # detection): node registration is inlined rather than going
+        # through add_node().
+        adj = self._adj
+        if u not in adj:
+            adj[u] = []
+        if v not in adj:
+            adj[v] = []
+        eid = len(self._edges)
+        edge = Edge(eid, u, v, weight, tag)
         self._edges.append(edge)
-        self._adj[u].append(edge.id)
+        adj[u].append(eid)
         if v != u:
-            self._adj[v].append(edge.id)
+            adj[v].append(eid)
         return edge
 
     def remove_edge(self, edge_id: int) -> None:

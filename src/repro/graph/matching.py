@@ -58,7 +58,13 @@ def min_weight_perfect_matching(graph: GeomGraph) -> List[int]:
         if len(component) % 2 == 1:
             raise NoPerfectMatchingError(
                 f"odd component of {len(component)} nodes")
-        sub = g.subgraph(component)
+        # Materialize the component: blossom on a subgraph *view* pays
+        # a filter-wrapper call on every adjacency access (millions on
+        # chip-scale graphs).  ``copy()`` walks the view once, in the
+        # parent graph's iteration order, so the concrete graph
+        # presents nodes and edges to the matcher in exactly the same
+        # sequence — identical matchings, view or copy.
+        sub = g.subgraph(component).copy()
         mate = nx.max_weight_matching(sub, maxcardinality=True)
         if 2 * len(mate) != len(component):
             raise NoPerfectMatchingError(

@@ -18,7 +18,7 @@ from .layout import (
     Layout,
     layout_from_rects,
 )
-from .technology import Technology
+from .technology import Technology, tech_fingerprint
 from .tshapes import (
     LineEndPair,
     TShape,
@@ -34,6 +34,7 @@ __all__ = [
     "SHIFTER_0_LAYER",
     "SHIFTER_180_LAYER",
     "Technology",
+    "tech_fingerprint",
     "CriticalFeature",
     "extract_critical_features",
     "critical_fraction",

@@ -9,7 +9,8 @@ deck explicitly so the whole flow can be re-run at other nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import astuple, dataclass, replace
+from functools import lru_cache
 
 
 @dataclass(frozen=True)
@@ -87,3 +88,18 @@ class Technology:
     def with_(self, **changes) -> "Technology":
         """Functional update helper (``tech.with_(shifter_spacing=200)``)."""
         return replace(self, **changes)
+
+
+@lru_cache(maxsize=None)
+def tech_fingerprint(tech: Technology) -> bytes:
+    """The rule deck's cache-key bytes: ``repr(astuple(tech))`` encoded.
+
+    Every content-addressed key (tile results, tile front ends,
+    component verdicts) hashes the deck in exactly this byte form, so
+    the encoding must never change — existing on-disk caches would
+    silently go cold.  Memoized because ``dataclasses.astuple`` deep-
+    copies every field: computing this per component made it the assign
+    stage's hottest line on chip-scale runs, while in practice a run
+    touches one or two distinct (hashable, frozen) decks.
+    """
+    return repr(astuple(tech)).encode()

@@ -28,12 +28,12 @@ success signal) is revision-independent.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import astuple, dataclass
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cache import KIND_VERIFY, ArtifactCache
 from ..graph import decompose, two_color_incremental
-from ..layout import Technology
+from ..layout import Technology, tech_fingerprint
 from ..obs import get_tracer
 from ..shifters import OverlapPair
 from .assignment import PhaseAssignment, assignment_from_colors
@@ -68,7 +68,7 @@ def verify_key(content_id: str, tech: Technology) -> str:
     """
     h = hashlib.sha256()
     h.update(f"verify:{content_id};".encode())
-    h.update(repr(astuple(tech)).encode())
+    h.update(tech_fingerprint(tech))
     return h.hexdigest()
 
 

@@ -47,6 +47,7 @@ from ..conflict import (
     layout_front_end,
 )
 from ..correction import CutRestrictions, apply_cuts, plan_correction
+from ..geometry.kernels import use_kernel
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology
 from ..obs import get_tracer
@@ -80,6 +81,12 @@ class PipelineConfig:
     ("serial" / "process" / "thread" / anything registered); None
     keeps the historical jobs-count heuristic.  The backend trades
     wall-clock only — the report is identical under every executor.
+    ``kernels`` names a geometry-kernel backend from
+    :data:`repro.geometry.kernels.KERNEL_BACKENDS` ("scalar" /
+    "numpy" / anything registered); None inherits the ambient default
+    (the ``REPRO_KERNELS`` environment variable, else "scalar").
+    Like the executor, the kernel trades wall-clock only — every
+    backend is bit-identical.
     """
 
     kind: str = PCG
@@ -92,6 +99,7 @@ class PipelineConfig:
     restrictions: Optional[CutRestrictions] = None
     tiled: Optional[bool] = None
     executor: Optional[str] = None
+    kernels: Optional[str] = None
 
     @property
     def is_tiled(self) -> bool:
@@ -126,7 +134,8 @@ def stage_front_end(layout: Layout, tech: Technology,
     end.
     """
     start = time.perf_counter()
-    with get_tracer().span("shifters", cat="stage") as span:
+    with use_kernel(config.kernels if config is not None else None), \
+            get_tracer().span("shifters", cat="stage") as span:
         store = as_store(cache)
         grid = None
         if config is not None and config.is_tiled \
@@ -168,7 +177,8 @@ def stage_detect(front: FrontEnd, tech: Technology,
     so the layout is partitioned once per revision, not once per pass.
     """
     start = time.perf_counter()
-    with get_tracer().span("detect", cat="stage") as span:
+    with use_kernel(config.kernels), \
+            get_tracer().span("detect", cat="stage") as span:
         if config.is_tiled:
             store = as_store(cache)
             tiles = TileCache(store=store) if store is not None else None
@@ -178,7 +188,8 @@ def stage_detect(front: FrontEnd, tech: Technology,
                                  halo=config.halo,
                                  shifters=front.shifters,
                                  grid=front.grid,
-                                 executor=config.executor)
+                                 executor=config.executor,
+                                 kernels=config.kernels)
             span.set(tiled=True, conflicts=chip.detection.num_conflicts,
                      cache_hits=chip.cache_hits,
                      cache_misses=chip.cache_misses,
@@ -212,7 +223,8 @@ def stage_correct(detection: DetectionArtifact, tech: Technology,
     pass's replay/solve delta.
     """
     start = time.perf_counter()
-    with get_tracer().span("correct", cat="stage") as span:
+    with use_kernel(config.kernels), \
+            get_tracer().span("correct", cat="stage") as span:
         store = as_store(cache)
         front = detection.front
         conflicts = [c.key for c in detection.report.conflicts]
@@ -247,7 +259,8 @@ def stage_verify(correction: CorrectionArtifact, tech: Technology,
     base revision's shifter pass is reused instead of regenerated.
     """
     start = time.perf_counter()
-    with get_tracer().span("verify", cat="stage") as span:
+    with use_kernel(config.kernels), \
+            get_tracer().span("verify", cat="stage") as span:
         if correction.unchanged:
             front = FrontEnd(layout=correction.corrected_layout,
                              shifters=base_front.shifters,
@@ -283,7 +296,8 @@ def stage_assign(verification: DetectionArtifact, tech: Technology,
     pins the coloring; component scopes partition the checks exactly).
     """
     start = time.perf_counter()
-    with get_tracer().span("assign", cat="stage") as span:
+    with use_kernel(config.kernels), \
+            get_tracer().span("assign", cat="stage") as span:
         store = as_store(cache)
         artifact = AssignmentArtifact()
         if verification.report.phase_assignable:

@@ -41,15 +41,15 @@ anything carrying ``ix``/``iy``/``layout``/``owner``.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import astuple, dataclass
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..cache import KIND_FRONTEND, ArtifactCache
 from ..geometry import Rect
-from ..layout import Layout, Technology
+from ..layout import Layout, Technology, tech_fingerprint
 from ..obs import get_tracer
 from .generation import generate_shifters
-from .overlap import OverlapPair, find_overlap_pairs, region_center2
+from .overlap import OverlapPair, find_overlap_pairs
 from .shifter import ShifterSet
 
 # A feature/shifter rectangle as a plain hashable tuple.
@@ -158,7 +158,7 @@ def frontend_cache_key(layout: Layout, owner: Bounds,
     """
     h = hashlib.sha256()
     h.update(f"frontend:{FRONTEND_CACHE_FORMAT}".encode())
-    h.update(repr(astuple(tech)).encode())
+    h.update(tech_fingerprint(tech))
     h.update(f"owner:{owner}".encode())
     for rect in sorted(_rect_tuple(r) for r in layout.features):
         h.update(repr(rect).encode())
@@ -198,10 +198,14 @@ def compute_tile_front_end(layout: Layout, owner: Bounds,
                 shifters=((sa.side, _rect_tuple(sa.rect)),
                           (sb.side, _rect_tuple(sb.rect)))))
 
+    from ..geometry.kernels import get_kernel
+
+    centers2 = get_kernel().region_centers2(shifters.rects,
+                                            [p.key for p in pairs])
     owned_pairs: List[FrontPair] = []
-    for p in pairs:
+    for p, center2 in zip(pairs, centers2):
         sa, sb = shifters[p.a], shifters[p.b]
-        if not _owns_point2(owner, *region_center2(sa.rect, sb.rect)):
+        if not _owns_point2(owner, *center2):
             continue
         ka = (_rect_tuple(feats[sa.feature_index]), sa.side)
         kb = (_rect_tuple(feats[sb.feature_index]), sb.side)

@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from ..geometry import Rect, neighbor_pairs
+from ..geometry import Rect
+from ..geometry.kernels import get_kernel
 from ..layout import Technology
-from .shifter import Shifter, ShifterSet
+from .shifter import ShifterSet
 
 
 @dataclass(frozen=True)
@@ -66,28 +67,24 @@ def find_overlap_pairs(shifters: ShifterSet,
             ``tech.shifter_spacing`` overlap.
 
     Determinism guarantee: the result is a pure function of the
-    shifter geometry and the spacing rule — the spatial index only
-    accelerates the search, every candidate is confirmed by the exact
-    integer separation test — and the list is sorted by ``(a, b)`` id
-    pair, so reruns are byte-identical.  Pair measurements
+    shifter geometry and the spacing rule — the geometry kernel
+    (scalar grid or numpy sweep, see :mod:`repro.geometry.kernels`)
+    only accelerates the search, every candidate is confirmed by the
+    exact integer separation test — and the list is sorted by
+    ``(a, b)`` id pair, so reruns are byte-identical across kernel
+    backends.  The two shifters flanking one feature share a
+    ``feature_index`` and are exempt (a Condition-1 pair, already
+    forced to opposite phases).  Pair measurements
     (``separation_sq``, ``x_gap``, ``y_gap``) are symmetric in the two
     rects, which lets the tile-scoped front end cache them
     tile-independently.
     """
     rects = shifters.rects
-    pairs: List[OverlapPair] = []
-    for i, j in neighbor_pairs(rects, tech.shifter_spacing):
-        si: Shifter = shifters[i]
-        sj: Shifter = shifters[j]
-        if si.feature_index == sj.feature_index:
-            continue  # Condition-1 pair, exempt from Condition 2.
-        pairs.append(OverlapPair(
-            a=i, b=j,
-            separation_sq=rects[i].separation_sq(rects[j]),
-            x_gap=rects[i].x_gap(rects[j]),
-            y_gap=rects[i].y_gap(rects[j]),
-        ))
-    return pairs
+    feature_ids = [s.feature_index for s in shifters]
+    rows = get_kernel().overlap_rows(rects, tech.shifter_spacing,
+                                     groups=feature_ids)
+    return [OverlapPair(a=i, b=j, separation_sq=sep, x_gap=xg, y_gap=yg)
+            for i, j, sep, xg, yg in rows]
 
 
 def needed_space(pair: OverlapPair, tech: Technology,

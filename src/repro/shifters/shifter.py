@@ -21,7 +21,7 @@ BOTTOM = "bottom"
 OPPOSING_SIDES = {LEFT: RIGHT, RIGHT: LEFT, TOP: BOTTOM, BOTTOM: TOP}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Shifter:
     """One phase shifter.
 
@@ -56,8 +56,7 @@ class ShifterSet:
         self._by_feature: Dict[int, List[int]] = {}
 
     def add(self, feature_index: int, side: str, rect: Rect) -> Shifter:
-        shifter = Shifter(id=len(self._shifters),
-                          feature_index=feature_index, side=side, rect=rect)
+        shifter = Shifter(len(self._shifters), feature_index, side, rect)
         self._shifters.append(shifter)
         self._by_feature.setdefault(feature_index, []).append(shifter.id)
         return shifter

@@ -1,0 +1,213 @@
+"""Differential tests: every kernel backend against the scalar oracle.
+
+The contract under test is *bit-identity*: candidate pair sets, pair
+measurements, region centres, and whole detection reports must be
+byte-for-byte equal between the ``scalar`` grid sweep and the ``numpy``
+vectorized sweep, on randomized rect sets including the degenerate
+configurations (touching edges, duplicate rects, slivers, multi-tile
+straddlers) and across executor backends.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict
+
+import pytest
+
+from repro.chip import run_chip_flow
+from repro.geometry import Rect, grid_neighbor_pairs, neighbor_pairs
+from repro.geometry.kernels import (
+    KERNEL_BACKENDS,
+    get_kernel,
+    make_kernel,
+    register_kernel,
+    set_default_kernel,
+    use_kernel,
+)
+from repro.layout import GeneratorParams, layout_from_rects, \
+    standard_cell_layout
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.shifters import find_overlap_pairs, generate_shifters, \
+    region_center2
+
+SCALAR = make_kernel("scalar")
+NUMPY = make_kernel("numpy")
+
+
+def random_rects(rng: random.Random, n: int, span: int = 3000,
+                 max_dim: int = 160) -> list:
+    """Random rect soup, salted with degenerate configurations."""
+    rects = []
+    for _ in range(n):
+        x1 = rng.randrange(-span, span)
+        y1 = rng.randrange(-span, span)
+        rects.append(Rect(x1, y1, x1 + rng.randrange(1, max_dim),
+                          y1 + rng.randrange(1, max_dim)))
+    if n >= 4:
+        rects.append(rects[0])                      # exact duplicate
+        a = rects[1]
+        rects.append(Rect(a.x2, a.y1, a.x2 + 50, a.y2))   # edge touch
+        rects.append(Rect(a.x2, a.y2, a.x2 + 50, a.y2 + 50))  # corner touch
+        b = rects[2]
+        rects.append(Rect(b.x1, b.y2 + 1, b.x2, b.y2 + 2))  # 1nm sliver
+        # A straddler long enough to span several partition tiles.
+        rects.append(Rect(-span, rects[3].y1, span, rects[3].y1 + 90))
+    return rects
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("dist", [1, 13, 120, 400])
+    def test_neighbor_pairs_match(self, seed, dist):
+        rng = random.Random(seed)
+        rects = random_rects(rng, rng.choice([0, 1, 2, 5, 40, 150]))
+        assert NUMPY.neighbor_pairs(rects, dist) \
+            == SCALAR.neighbor_pairs(rects, dist)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_overlap_rows_match(self, seed):
+        rng = random.Random(100 + seed)
+        rects = random_rects(rng, 60)
+        groups = [rng.randrange(30) for _ in rects]
+        for dist in (1, 120, 300):
+            a = SCALAR.overlap_rows(rects, dist, groups=groups)
+            b = NUMPY.overlap_rows(rects, dist, groups=groups)
+            assert a == b
+            # Rows are plain Python ints (cache/JSON byte-stability).
+            assert all(type(v) is int for row in b for v in row)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_region_centers_match(self, seed):
+        rng = random.Random(200 + seed)
+        rects = random_rects(rng, 50)
+        pairs = SCALAR.neighbor_pairs(rects, 500)
+        got = NUMPY.region_centers2(rects, pairs)
+        assert got == [region_center2(rects[i], rects[j])
+                       for i, j in pairs]
+        assert all(type(v) is int for c in got for v in c)
+
+    def test_strict_distance_boundary(self):
+        # Separation exactly == dist must be excluded (strict <) by
+        # both backends; dist-1 likewise, dist+1 includes the pair.
+        rects = [Rect(0, 0, 10, 10), Rect(30, 0, 40, 10)]  # gap 20
+        for dist, expect in ((20, []), (21, [(0, 1)])):
+            assert SCALAR.neighbor_pairs(rects, dist) == expect
+            assert NUMPY.neighbor_pairs(rects, dist) == expect
+
+    def test_overlap_pairs_on_generated_layout(self, tech):
+        layout = standard_cell_layout(
+            GeneratorParams(rows=3, cols=10), seed=7)
+        shifters = generate_shifters(layout, tech)
+        with use_kernel("scalar"):
+            a = find_overlap_pairs(shifters, tech)
+        with use_kernel("numpy"):
+            b = find_overlap_pairs(shifters, tech)
+        assert a == b
+
+
+class TestKernelRegistry:
+    def test_unknown_backend_errors(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            make_kernel("no-such-backend")
+
+    def test_registry_lists_builtins(self):
+        assert {"scalar", "numpy"} <= set(KERNEL_BACKENDS)
+
+    def test_register_and_use(self):
+        register_kernel("test-scalar", lambda: make_kernel("scalar"))
+        try:
+            with use_kernel("test-scalar") as k:
+                assert get_kernel() is k
+        finally:
+            del KERNEL_BACKENDS["test-scalar"]
+
+    def test_use_kernel_restores(self):
+        before = get_kernel()
+        with use_kernel("numpy"):
+            assert get_kernel().name == "numpy"
+        assert get_kernel() is before
+
+    def test_use_kernel_none_inherits(self):
+        with use_kernel("numpy"):
+            with use_kernel(None):
+                assert get_kernel().name == "numpy"
+
+    def test_env_seeds_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        set_default_kernel(None)   # drop the memoized default
+        try:
+            assert get_kernel().name == "numpy"
+        finally:
+            monkeypatch.delenv("REPRO_KERNELS")
+            set_default_kernel(None)
+
+    def test_neighbor_pairs_dispatches(self):
+        rects = [Rect(0, 0, 10, 10), Rect(15, 0, 25, 10)]
+        with use_kernel("numpy"):
+            assert neighbor_pairs(rects, 10) \
+                == grid_neighbor_pairs(rects, 10)
+
+
+def _report_key(report):
+    """A detection report as plain comparable data."""
+    d = asdict(report)
+    d.pop("detect_seconds")
+    return d
+
+
+class TestPipelineEquivalence:
+    @pytest.fixture(scope="class")
+    def layout(self):
+        return standard_cell_layout(
+            GeneratorParams(rows=3, cols=12, risky_wire_fraction=0.3),
+            seed=11)
+
+    def test_detection_reports_identical_across_executors(self, layout,
+                                                          tech):
+        reports = {}
+        for kernels in ("scalar", "numpy"):
+            for executor in ("serial", "thread"):
+                chip = run_chip_flow(layout, tech, tiles=(2, 2), jobs=2,
+                                     executor=executor, kernels=kernels)
+                reports[(kernels, executor)] = _report_key(chip.detection)
+        base = reports[("scalar", "serial")]
+        for key, rep in reports.items():
+            assert rep == base, f"report diverged under {key}"
+
+    @pytest.mark.parametrize("tiled", [False, True])
+    def test_full_pipeline_identical(self, layout, tech, tiled):
+        results = {}
+        for kernels in ("scalar", "numpy"):
+            config = PipelineConfig(tiles=(2, 2) if tiled else None,
+                                    jobs=1, tiled=tiled,
+                                    executor="serial" if tiled else None,
+                                    kernels=kernels)
+            r = run_pipeline(layout, tech, config)
+            results[kernels] = (
+                _report_key(r.detection.report),
+                _report_key(r.verification.report),
+                [(c.axis, c.position, c.width)
+                 for c in r.correction.report.cuts],
+                None if r.phase.assignment is None
+                else sorted(r.phase.assignment.phases.items()),
+                r.phase.success,
+            )
+        assert results["numpy"] == results["scalar"]
+
+    def test_small_edge_layouts(self, tech):
+        # Tiny layouts: no features, one feature, two touching columns.
+        layouts = [
+            layout_from_rects([], name="empty"),
+            layout_from_rects([Rect(0, 0, 90, 800)], name="one"),
+            layout_from_rects([Rect(0, 0, 90, 800),
+                               Rect(230, 0, 320, 800)], name="pair"),
+        ]
+        for lay in layouts:
+            with use_kernel("scalar"):
+                a = generate_shifters(lay, tech)
+                pa = find_overlap_pairs(a, tech)
+            with use_kernel("numpy"):
+                b = generate_shifters(lay, tech)
+                pb = find_overlap_pairs(b, tech)
+            assert len(a) == len(b) and pa == pb
