@@ -1,0 +1,135 @@
+"""Matcher backend microbench: native blossom vs networkx vs brute.
+
+Two layers of measurement, both asserting exactness while they time:
+
+(a) *harvested* instances — a recording matcher rides a real
+    bipartization pass over each design's planarized PCG, capturing
+    every ``(nvertex, edges, transform)`` component the gadget
+    reduction actually hands the matcher; each backend then replays
+    the identical instance set (brute only the <= 12-node slice — it
+    is exponential, that is the point of having it);
+(b) synthetic instances — random even graphs salted with a guaranteed
+    perfect matching, at sizes the flow never reaches, so the
+    asymptotic gap between backends is visible.
+
+Run with ``pytest benchmarks/bench_matching.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.bench import build_design
+from repro.conflict import PCG, build_layout_conflict_graph
+from repro.graph import (
+    MatcherBackend,
+    greedy_planarize,
+    make_matcher,
+    optimal_planar_bipartization,
+    use_matcher,
+)
+
+DESIGNS = ("D1", "D2", "D3")
+BRUTE_NODE_LIMIT = 12
+
+
+class RecordingMatcher(MatcherBackend):
+    """Delegates to blossom while capturing every component instance."""
+
+    name = "recording"
+
+    def __init__(self) -> None:
+        self.inner = make_matcher("blossom")
+        self.instances: List[Tuple[int, tuple, int]] = []
+
+    def match(self, nvertex, edges, transform):
+        self.instances.append((nvertex, tuple(edges), transform))
+        return self.inner.match(nvertex, edges, transform)
+
+
+def harvest(name: str, tech) -> List[Tuple[int, tuple, int]]:
+    """The matching instances one real bipartization pass produces."""
+    cg, _s, _p = build_layout_conflict_graph(build_design(name), tech,
+                                             PCG)
+    greedy_planarize(cg.graph)
+    recorder = RecordingMatcher()
+    with use_matcher(recorder):
+        optimal_planar_bipartization(cg.graph)
+    return recorder.instances
+
+
+def replay(backend, instances) -> int:
+    """Total matched weight of a backend over an instance set."""
+    total = 0
+    for nvertex, edges, transform in instances:
+        positions, _phases = backend.match(nvertex, list(edges),
+                                           transform)
+        assert 2 * len(positions) == nvertex
+        total += sum(edges[pos][2] for pos in positions)
+    return total
+
+
+def synthetic_instance(seed: int, n: int) -> Tuple[int, list, int]:
+    """Random even graph with a guaranteed perfect matching.
+
+    Collapsed to simple edges (cheapest wins) — backends receive the
+    driver's post-collapse view, never raw parallels.
+    """
+    rng = random.Random(seed)
+    best = {}
+    for i in range(n // 2):
+        best[(2 * i, 2 * i + 1)] = rng.randint(1, 50)
+    for _ in range(3 * n):
+        u, v = rng.sample(range(n), 2)
+        key = (min(u, v), max(u, v))
+        w = rng.randint(1, 50)
+        if key not in best or w < best[key]:
+            best[key] = w
+    edges = [(u, v, w) for (u, v), w in best.items()]
+    max_w = max(w for _u, _v, w in edges)
+    return n, edges, max_w + 1
+
+
+@pytest.mark.parametrize("name", DESIGNS)
+@pytest.mark.parametrize("backend", ["blossom", "networkx", "brute"])
+def test_harvested_instances(benchmark, tech, collect_row, name,
+                             backend):
+    if backend == "networkx":
+        pytest.importorskip("networkx")
+    instances = harvest(name, tech)
+    if backend == "brute":
+        instances = [inst for inst in instances
+                     if inst[0] <= BRUTE_NODE_LIMIT]
+    if not instances:
+        pytest.skip(f"{name}: no instances within the brute limit")
+    matcher = make_matcher(backend)
+    oracle = replay(make_matcher("blossom"), instances)
+    total = benchmark.pedantic(lambda: replay(matcher, instances),
+                               rounds=1, iterations=1)
+    collect_row("Matcher backends — harvested gadget components",
+                dict(design=name, backend=backend,
+                     components=len(instances),
+                     nodes=sum(i[0] for i in instances),
+                     weight=total))
+    assert total == oracle
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+@pytest.mark.parametrize("backend", ["blossom", "networkx"])
+def test_synthetic_instances(benchmark, collect_row, backend, n):
+    if backend == "networkx":
+        pytest.importorskip("networkx")
+    nvertex, edges, transform = synthetic_instance(seed=n, n=n)
+    matcher = make_matcher(backend)
+    oracle = replay(make_matcher("blossom"),
+                    [(nvertex, tuple(edges), transform)])
+    total = benchmark.pedantic(
+        lambda: replay(matcher, [(nvertex, tuple(edges), transform)]),
+        rounds=1, iterations=1)
+    collect_row("Matcher backends — synthetic instances",
+                dict(nodes=n, edges=len(edges), backend=backend,
+                     weight=total))
+    assert total == oracle

@@ -83,12 +83,14 @@ def _top(rows: Dict[str, Dict[str, Any]], limit: int) -> List[dict]:
 
 def profile_design(design: str, top: int = 15,
                    tiles: Optional[Tuple[int, int]] = None,
-                   kernels: Optional[str] = None) -> dict:
+                   kernels: Optional[str] = None,
+                   matcher: Optional[str] = None) -> dict:
     """Profile one design through the five stages; returns the report."""
     layout = build_design(design)
     tech = Technology.node_90nm()
     config = PipelineConfig(tiles=tiles, jobs=1, tiled=True,
-                            executor="serial", kernels=kernels)
+                            executor="serial", kernels=kernels,
+                            matcher=matcher)
     store = ArtifactCache(None)
 
     merged: Dict[str, Dict[str, Any]] = {}
@@ -121,6 +123,7 @@ def profile_design(design: str, top: int = 15,
     return {
         "design": design,
         "kernels": kernels or "scalar",
+        "matcher": matcher or "blossom",
         "polygons": layout.num_polygons,
         "tiles": [grid.nx, grid.ny] if grid is not None else None,
         "conflicts": detection.report.num_conflicts,
@@ -146,13 +149,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="geometry-kernel backend (scalar/numpy); "
                              "default inherits REPRO_KERNELS, else "
                              "scalar")
+    parser.add_argument("--matcher", default=None,
+                        help="matching backend (blossom/networkx); "
+                             "default inherits REPRO_MATCHER, else "
+                             "blossom")
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default: "
                              "benchmarks/BENCH_profile_<design>.json)")
     args = parser.parse_args(argv)
 
     report = profile_design(args.design, top=args.top,
-                            kernels=args.kernels)
+                            kernels=args.kernels,
+                            matcher=args.matcher)
     out = args.output or os.path.join(
         os.path.dirname(os.path.abspath(__file__)),
         f"BENCH_profile_{args.design}.json")

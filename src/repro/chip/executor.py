@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..conflict import PCG, DetectionReport, build_layout_conflict_graph, \
     detect_conflicts
 from ..geometry.kernels import get_kernel, use_kernel
+from ..graph import use_matcher
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology, tshape_feature_indices
 from ..shifters.frontend import ShifterKey
@@ -56,6 +57,9 @@ class TileJob:
     # cache key: every backend is bit-identical, so cached results are
     # shared across kernels.
     kernels: Optional[str] = None
+    # Matching backend, same contract as ``kernels``: rides to the
+    # worker, stays out of the cache key (exact backends agree).
+    matcher: Optional[str] = None
 
     def owns_point2(self, px2: int, py2: int) -> bool:
         ox1, oy1, ox2, oy2 = self.owner
@@ -144,7 +148,7 @@ def detect_tile(job: TileJob) -> TileResult:
     Empty tiles (no captured features) short-circuit to an empty,
     trivially phase-assignable report.
     """
-    with use_kernel(job.kernels):
+    with use_kernel(job.kernels), use_matcher(job.matcher):
         return _detect_tile(job)
 
 
@@ -377,9 +381,11 @@ def resolve_executor(jobs: Optional[int], backend: Optional[str] = None):
 def make_jobs(tiles: Sequence[Tile], tech: Technology,
               kind: str = PCG,
               method: str = METHOD_GADGET,
-              kernels: Optional[str] = None) -> List[TileJob]:
+              kernels: Optional[str] = None,
+              matcher: Optional[str] = None) -> List[TileJob]:
     """Freeze a tile grid into picklable work units."""
     return [TileJob(ix=t.ix, iy=t.iy, layout=t.layout, owner=t.owner,
                     tech=tech, kind=kind, method=method,
-                    feature_ids=tuple(t.feature_ids), kernels=kernels)
+                    feature_ids=tuple(t.feature_ids), kernels=kernels,
+                    matcher=matcher)
             for t in tiles]

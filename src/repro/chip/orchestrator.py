@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from ..conflict import PCG, DetectionReport
 from ..geometry.kernels import use_kernel
+from ..graph import use_matcher
 from ..graph import METHOD_GADGET
 from ..layout import Layout, Technology
 from ..obs import get_tracer
@@ -123,7 +124,8 @@ def run_chip_flow(layout: Layout, tech: Technology,
                   shifters=None,
                   grid: Optional[TileGrid] = None,
                   executor: Optional[str] = None,
-                  kernels: Optional[str] = None) -> ChipReport:
+                  kernels: Optional[str] = None,
+                  matcher: Optional[str] = None) -> ChipReport:
     """Tiled, parallel, cached full-chip conflict detection.
 
     Deterministic by construction: the partition, per-tile detection
@@ -164,6 +166,12 @@ def run_chip_flow(layout: Layout, tech: Technology,
             :class:`TileJob` so pool workers detect under the same
             backend; never part of a cache key (backends are
             bit-identical).
+        matcher: matching backend name ("blossom", "networkx", or
+            anything registered in
+            :data:`repro.graph.MATCHER_BACKENDS`); None inherits the
+            ambient default.  Rides into each :class:`TileJob` like
+            ``kernels`` and is likewise never part of a cache key —
+            every exact backend produces the identical report.
 
     Returns:
         A :class:`ChipReport`; ``report.detection`` is a chip-level
@@ -173,7 +181,7 @@ def run_chip_flow(layout: Layout, tech: Technology,
     """
     start = time.perf_counter()
     tracer = get_tracer()
-    with use_kernel(kernels), \
+    with use_kernel(kernels), use_matcher(matcher), \
             tracer.span("chip", cat="chip", design=layout.name) as chip_span:
         if grid is None:
             with tracer.span("partition", cat="chip"):
@@ -186,7 +194,7 @@ def run_chip_flow(layout: Layout, tech: Technology,
         workers = max(int(getattr(runner, "jobs", 1) or 1), 1)
 
         jobs_all = make_jobs(grid.tiles, tech, kind=kind, method=method,
-                             kernels=kernels)
+                             kernels=kernels, matcher=matcher)
         with tracer.span("execute", cat="chip") as exec_span:
             keys = [tile_cache_key(job) for job in jobs_all]
             results: List[Optional[TileResult]] = [cache.get(k)

@@ -112,6 +112,19 @@ def _parse_kernels(text: str) -> str:
     return text
 
 
+def _parse_matcher(text: str) -> str:
+    """Validate a matching backend name against the live registry
+    (:data:`repro.graph.MATCHER_BACKENDS`), so backends added via
+    ``register_matcher`` work from the CLI unchanged."""
+    from .graph import MATCHER_BACKENDS
+
+    if text not in MATCHER_BACKENDS:
+        raise argparse.ArgumentTypeError(
+            f"unknown matcher backend {text!r}; registered: "
+            f"{', '.join(sorted(MATCHER_BACKENDS))}")
+    return text
+
+
 def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     """The tiling/parallelism knobs shared by chip-scale commands."""
     parser.add_argument("--tiles", type=_parse_tiles, default=None,
@@ -134,6 +147,14 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                              "$REPRO_KERNELS, else scalar); the "
                              "report is bit-identical under every "
                              "backend — numpy is just faster")
+    parser.add_argument("--matcher", type=_parse_matcher,
+                        metavar="BACKEND", default=None,
+                        help="matching backend: blossom, networkx, "
+                             "brute, or any registered backend "
+                             "(default: $REPRO_MATCHER, else "
+                             "blossom); every exact backend yields "
+                             "the identical report — blossom is "
+                             "faster and needs no extras")
     parser.add_argument("--cache-dir",
                         help="persistent artifact store directory "
                              "(front ends, tile results, stitch "
@@ -212,7 +233,8 @@ def cmd_chip(args: argparse.Namespace) -> int:
         report = run_chip_flow(layout, tech, tiles=args.tiles,
                                jobs=args.jobs, cache_dir=args.cache_dir,
                                kind=args.graph, executor=args.executor,
-                               kernels=args.kernels)
+                               kernels=args.kernels,
+                               matcher=args.matcher)
     if args.json:
         print(json.dumps(_attach_telemetry(chip_report_dict(report),
                                            tracer),
@@ -246,7 +268,8 @@ def cmd_flow(args: argparse.Namespace) -> int:
                                 cache_dir=args.cache_dir,
                                 incremental=args.incremental,
                                 executor=args.executor,
-                                kernels=args.kernels)
+                                kernels=args.kernels,
+                                matcher=args.matcher)
     if args.json:
         from .core import flow_result_dict
 
@@ -283,7 +306,8 @@ def cmd_eco(args: argparse.Namespace) -> int:
                             tiles=args.tiles, jobs=args.jobs,
                             cache_dir=args.cache_dir,
                             executor=args.executor,
-                            kernels=args.kernels)
+                            kernels=args.kernels,
+                            matcher=args.matcher)
     tracer = _tracer_for(args)
     with use_tracer(tracer):
         eco = run_eco_flow(base, edited, tech, config=config,
@@ -348,7 +372,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                                     cache=store,
                                     incremental=incremental,
                                     executor=args.executor,
-                                    kernels=args.kernels)
+                                    kernels=args.kernels,
+                                    matcher=args.matcher)
         wall = time.perf_counter() - start
         all_ok &= result.success
         report = flow_result_dict(result)

@@ -108,10 +108,9 @@ class ConflictGraph:
 
 def _base_graph(kind: str, shifters: ShifterSet) -> ConflictGraph:
     graph = GeomGraph(name=kind)
-    shifter_node: Dict[int, int] = {}
-    for s in shifters:
-        graph.add_node(s.id, _node_coord(s.rect))
-        shifter_node[s.id] = s.id
+    shifter_node: Dict[int, int] = {s.id: s.id for s in shifters}
+    graph.add_nodes(shifter_node,
+                    [_node_coord(s.rect) for s in shifters])
     return ConflictGraph(graph=graph, kind=kind, shifters=shifters,
                          shifter_node=shifter_node)
 
@@ -136,7 +135,13 @@ def build_phase_conflict_graph(
     graph = cg.graph
     weights, inf_weight = _pair_weights(pairs, shifters, tech, weight_model)
 
+    # Buffered bulk build: node ids and edge rows accumulate in the
+    # same sequence the per-call loop used, so ids and iteration order
+    # are identical — only the per-edge call overhead is gone.
     next_node = len(shifters)
+    node_ids: List[int] = []
+    node_coords: List[Tuple[int, int]] = []
+    rows: List[Tuple[int, int, int, Tuple]] = []
     for pair, weight in zip(pairs, weights):
         na = cg.shifter_node[pair.a]
         nb = cg.shifter_node[pair.b]
@@ -147,18 +152,23 @@ def build_phase_conflict_graph(
         # Midpoint of the segment between the two shifter nodes: the
         # 2-edge same-phase path draws as one straight line (the PCG's
         # key geometric advantage).
-        graph.add_node(overlap_node, ((ax + bx) // 2, (ay + by) // 2))
+        node_ids.append(overlap_node)
+        node_coords.append(((ax + bx) // 2, (ay + by) // 2))
         for endpoint, half in ((na, 0), (nb, 1)):
-            e = graph.add_edge(endpoint, overlap_node, weight=weight,
-                               tag=(OVERLAP_TAG, pair.key, half))
-            cg.edge_pair[e.id] = pair.key
+            rows.append((endpoint, overlap_node, weight,
+                         (OVERLAP_TAG, pair.key, half)))
         cg.pairs[pair.key] = pair
+    graph.add_nodes(node_ids, node_coords)
 
+    n_overlap = len(rows)
     for sa, sb in shifters.feature_pairs():
-        e = graph.add_edge(cg.shifter_node[sa.id], cg.shifter_node[sb.id],
-                           weight=inf_weight,
-                           tag=(FEATURE_TAG, sa.feature_index))
-        cg.edge_feature[e.id] = sa.feature_index
+        rows.append((cg.shifter_node[sa.id], cg.shifter_node[sb.id],
+                     inf_weight, (FEATURE_TAG, sa.feature_index)))
+    edges = graph.add_edges(rows)
+    for e in edges[:n_overlap]:
+        cg.edge_pair[e.id] = e.tag[1]
+    for e in edges[n_overlap:]:
+        cg.edge_feature[e.id] = e.tag[1]
     return cg
 
 
@@ -175,6 +185,9 @@ def build_feature_graph(
     next_node = len(shifters)
     centers2 = get_kernel().region_centers2(shifters.rects,
                                             [p.key for p in pairs])
+    node_ids: List[int] = []
+    node_coords: List[Tuple[int, int]] = []
+    rows: List[Tuple[int, int, int, Tuple]] = []
     for pair, weight, (cx2, cy2) in zip(pairs, weights, centers2):
         na = cg.shifter_node[pair.a]
         nb = cg.shifter_node[pair.b]
@@ -182,13 +195,17 @@ def build_feature_graph(
         next_node += 1
         # Detour through the centre of the overlap *region* — in general
         # off the straight line between the shifter nodes.
-        graph.add_node(conflict_node, (2 * cx2, 2 * cy2))
+        node_ids.append(conflict_node)
+        node_coords.append((2 * cx2, 2 * cy2))
         for endpoint, half in ((na, 0), (nb, 1)):
-            e = graph.add_edge(endpoint, conflict_node, weight=weight,
-                               tag=(OVERLAP_TAG, pair.key, half))
-            cg.edge_pair[e.id] = pair.key
+            rows.append((endpoint, conflict_node, weight,
+                         (OVERLAP_TAG, pair.key, half)))
         cg.pairs[pair.key] = pair
+    graph.add_nodes(node_ids, node_coords)
 
+    n_overlap = len(rows)
+    node_ids = []
+    node_coords = []
     for sa, sb in shifters.feature_pairs():
         fi = sa.feature_index
         cx, cy = _node_coord_center(shifters, fi)
@@ -199,13 +216,18 @@ def build_feature_graph(
         f1 = next_node
         f2 = next_node + 1
         next_node += 2
-        graph.add_node(f1, (cx - d[0], cy - d[1]))
-        graph.add_node(f2, (cx + d[0], cy + d[1]))
+        node_ids.extend((f1, f2))
+        node_coords.extend(((cx - d[0], cy - d[1]),
+                            (cx + d[0], cy + d[1])))
         for u, v in ((cg.shifter_node[sa.id], f1), (f1, f2),
                      (f2, cg.shifter_node[sb.id])):
-            e = graph.add_edge(u, v, weight=inf_weight,
-                               tag=(FEATURE_TAG, fi))
-            cg.edge_feature[e.id] = fi
+            rows.append((u, v, inf_weight, (FEATURE_TAG, fi)))
+    graph.add_nodes(node_ids, node_coords)
+    edges = graph.add_edges(rows)
+    for e in edges[:n_overlap]:
+        cg.edge_pair[e.id] = e.tag[1]
+    for e in edges[n_overlap:]:
+        cg.edge_feature[e.id] = e.tag[1]
     return cg
 
 

@@ -98,7 +98,8 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
                    cache=None,
                    incremental: bool = False,
                    executor: Optional[str] = None,
-                   kernels: Optional[str] = None) -> FlowResult:
+                   kernels: Optional[str] = None,
+                   matcher: Optional[str] = None) -> FlowResult:
     """Detect conflicts, insert spaces, verify, and assign phases.
 
     Args:
@@ -119,6 +120,10 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
             anything registered); None inherits the ambient default.
             Bit-identical output either way — the backend trades
             wall-clock only.
+        matcher: matching backend name ("blossom"/"networkx" or
+            anything registered); None inherits the ambient default
+            (``REPRO_MATCHER``, else "blossom").  Every exact backend
+            yields the same reports.
 
     With ``tiles`` set (or ``incremental=True``), shifter generation
     and both detection passes run tile-scoped through the shared
@@ -145,6 +150,7 @@ def run_aapsm_flow(layout: Layout, tech: Technology,
     config = PipelineConfig(kind=kind, method=method, cover=cover,
                             tiles=tiles, jobs=jobs, cache_dir=cache_dir,
                             tiled=True if incremental else None,
-                            executor=executor, kernels=kernels)
+                            executor=executor, kernels=kernels,
+                            matcher=matcher)
     return flow_result_from_pipeline(
         run_pipeline(layout, tech, config, cache=cache))

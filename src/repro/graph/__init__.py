@@ -41,12 +41,22 @@ from .gadgets import (
     extract_tjoin,
     min_tjoin_gadget,
 )
+from .blossom import MatchingCertificateError
 from .geomgraph import Edge, GeomGraph
 from .matching import (
+    DEFAULT_MATCHER,
+    MATCHER_BACKENDS,
+    MATCHER_ENV,
+    MatcherBackend,
     NoPerfectMatchingError,
     brute_force_perfect_matching,
+    get_matcher,
     is_perfect_matching,
+    make_matcher,
     min_weight_perfect_matching,
+    register_matcher,
+    set_default_matcher,
+    use_matcher,
 )
 from .odd_cycles import (
     moniwa_iterative_bipartization,
@@ -73,6 +83,16 @@ __all__ = [
     "brute_force_perfect_matching",
     "is_perfect_matching",
     "NoPerfectMatchingError",
+    "MatchingCertificateError",
+    "MatcherBackend",
+    "MATCHER_BACKENDS",
+    "MATCHER_ENV",
+    "DEFAULT_MATCHER",
+    "make_matcher",
+    "register_matcher",
+    "get_matcher",
+    "set_default_matcher",
+    "use_matcher",
     "min_tjoin_shortest_paths",
     "min_tjoin_brute_force",
     "is_tjoin",

@@ -195,12 +195,17 @@ def build_gadget_graph(graph: GeomGraph, tset: Set[int],
     edges = _internal_edges(graph, tset)
     assigned = _assign_edges(edges, tset)
 
+    # Nodes are dense sequential ints and edges are appended in one
+    # deterministic order, so the whole graph is buffered and built
+    # through the bulk add_nodes/add_edges paths — same ids, same
+    # iteration order, a fraction of the construction cost (this
+    # builder runs once per odd cycle chip-wide).
     mg = GeomGraph(name=f"{graph.name}#gadget")
+    rows: List[Tuple[int, int, int, str]] = []
     next_node = 0
 
     def new_node() -> int:
         nonlocal next_node
-        mg.add_node(next_node)
         next_node += 1
         return next_node - 1
 
@@ -239,15 +244,14 @@ def build_gadget_graph(graph: GeomGraph, tset: Set[int],
                 cost[d_out] = 0
                 cost[d_in] = 0
                 num_divide += 2
-                mg.add_edge(d_out, d_in, weight=0, tag="divide-pair")
+                rows.append((d_out, d_in, 0, "divide-pair"))
                 clique.append(d_out)
                 prev_carry = d_in
             else:
                 prev_carry = None
             for i, a in enumerate(clique):
                 for b in clique[i + 1:]:
-                    mg.add_edge(a, b, weight=cost[a] + cost[b],
-                                tag="intra")
+                    rows.append((a, b, cost[a] + cost[b], "intra"))
 
     selectors: List[Tuple[Optional[int], int, int]] = []
     for e in edges:
@@ -255,11 +259,13 @@ def build_gadget_graph(graph: GeomGraph, tset: Set[int],
         cost[dummy] = 0
         mu = member[(e.index, e.u)]
         mv = member[(e.index, e.v)]
-        mg.add_edge(dummy, mu, weight=0, tag="dummy")
-        mg.add_edge(dummy, mv, weight=0, tag="dummy")
+        rows.append((dummy, mu, 0, "dummy"))
+        rows.append((dummy, mv, 0, "dummy"))
         assigned_node = mu if assigned[e.index] == e.u else mv
         selectors.append((e.orig_id, dummy, assigned_node))
 
+    mg.add_nodes(range(next_node))
+    mg.add_edges(rows)
     return GadgetGraph(matching_graph=mg, selectors=selectors,
                        num_divide_nodes=num_divide)
 

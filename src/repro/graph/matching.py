@@ -1,39 +1,300 @@
-"""Minimum-weight perfect matching.
+"""Minimum-weight perfect matching behind pluggable matcher backends.
 
-The production path wraps networkx's blossom implementation (the one
-piece of graph machinery we do not re-derive — the paper treats the
-matcher as a black box too, citing off-the-shelf solvers).  A brute-force
-exact matcher validates it on small graphs in the test suite.
+The T-join gadget reduction hands this module the single hottest
+sub-problem of the whole flow (the paper treats the matcher as a
+black-box solver, and so did this repo until the profile said
+otherwise — see ``benchmarks/BENCH_profile_D8.json``).  Matcher choice
+is now a *backend registry* mirroring the geometry-kernel and executor
+idioms:
+
+``blossom`` (default)
+    The dedicated integer-weight flat-array solver in
+    :mod:`repro.graph.blossom`, with a post-solve integer dual
+    certificate on every component.
+
+``networkx``
+    The historical networkx wrapper, kept as the independent
+    cross-check (and the only piece that needs networkx — installed
+    via the ``repro[nx]`` extra).
+
+``brute``
+    Exponential exact search — the oracle for differential tests.
+    Never use it beyond ~12-node components.
+
+Every backend is an *exact* solver, and the detection flow's weights
+are generically tie-free, so the reported T-joins — and therefore all
+flow reports and all six cached artifact kinds — are identical under
+every backend.  Matcher choice is deliberately **not** part of any
+cache key for exactly that reason.
+
+Selection is ambient like kernels: :func:`get_matcher` returns the
+thread-local override (:func:`use_matcher`) or the process default
+seeded from ``$REPRO_MATCHER``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, \
+    Tuple, Union
 
-import networkx as nx
-
+from ..obs import get_tracer
+from .blossom import MatchingCertificateError, max_weight_matching
 from .geomgraph import GeomGraph
+
+#: One component's collapsed edge: (local u, local v, min-weight).
+LocalEdge = Tuple[int, int, int]
+
+DEFAULT_MATCHER = "blossom"
+
+#: Environment variable that seeds the process-default matcher, so
+#: whole test suites can run under an alternate backend unchanged.
+MATCHER_ENV = "REPRO_MATCHER"
 
 
 class NoPerfectMatchingError(ValueError):
     """Raised when the graph admits no perfect matching."""
 
 
-def min_weight_perfect_matching(graph: GeomGraph) -> List[int]:
+class MatcherBackend:
+    """One exact minimum-weight perfect matching engine.
+
+    The driver (:func:`min_weight_perfect_matching`) collapses
+    parallel edges, splits the graph into connected components, and
+    calls :meth:`match` once per component with dense local node ids.
+    The contract is exactness: return *a* minimum-weight perfect
+    matching of the component (all backends agree on the weight; on
+    the tie-free graphs the flow produces they agree on the matching).
+    """
+
+    name = "abstract"
+
+    def match(self, nvertex: int, edges: Sequence[LocalEdge],
+              transform: int) -> Tuple[List[int], int]:
+        """Match one connected component.
+
+        Args:
+            nvertex: local node ids are ``0..nvertex-1`` (even).
+            edges: collapsed component edges ``(u, v, weight)``.
+            transform: the constant ``C`` such that max-weight
+                max-cardinality matching on ``C - weight`` equals
+                min-weight perfect matching on ``weight`` (all perfect
+                matchings have ``nvertex/2`` edges, so any ``C`` works;
+                the driver picks ``global_max_weight + 1`` to keep
+                transformed weights positive).
+
+        Returns:
+            ``(positions, phases)``: indices into ``edges`` of the
+            matched edges, and a work counter (augmentation stages; 0
+            when the backend does not report one).  Return fewer than
+            ``nvertex/2`` positions when no perfect matching exists —
+            the driver raises :class:`NoPerfectMatchingError`.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MatcherBackend {self.name}>"
+
+
+class BlossomMatcher(MatcherBackend):
+    """The native flat-array integer blossom solver (certified)."""
+
+    name = "blossom"
+
+    def match(self, nvertex: int, edges: Sequence[LocalEdge],
+              transform: int) -> Tuple[List[int], int]:
+        mate_edge, stages = max_weight_matching(
+            nvertex, [(u, v, transform - w) for (u, v, w) in edges],
+            maxcardinality=True, certify=True)
+        positions = sorted({k for k in mate_edge if k != -1})
+        return positions, stages
+
+
+class NetworkxMatcher(MatcherBackend):
+    """The historical networkx blossom wrapper (cross-check backend)."""
+
+    name = "networkx"
+
+    def match(self, nvertex: int, edges: Sequence[LocalEdge],
+              transform: int) -> Tuple[List[int], int]:
+        try:
+            import networkx as nx
+        except ImportError as exc:
+            raise ImportError(
+                "the 'networkx' matcher backend requires networkx "
+                "(pip install repro-aapsm[nx]); the default 'blossom' "
+                "backend needs no extras") from exc
+        g = nx.Graph()
+        g.add_nodes_from(range(nvertex))
+        for pos, (u, v, w) in enumerate(edges):
+            g.add_edge(u, v, weight=transform - w, pos=pos)
+        mate = nx.max_weight_matching(g, maxcardinality=True)
+        return sorted(g[u][v]["pos"] for u, v in mate), 0
+
+
+class BruteMatcher(MatcherBackend):
+    """Exponential exact search — the differential-test oracle."""
+
+    name = "brute"
+
+    def match(self, nvertex: int, edges: Sequence[LocalEdge],
+              transform: int) -> Tuple[List[int], int]:
+        adj: List[List[Tuple[int, int, int]]] = [[] for _ in range(nvertex)]
+        for pos, (u, v, w) in enumerate(edges):
+            adj[u].append((v, w, pos))
+            adj[v].append((u, w, pos))
+        best_cost: List[Optional[int]] = [None]
+        best_pos: List[List[int]] = [[]]
+
+        def solve(remaining: frozenset, cost: int,
+                  chosen: List[int]) -> None:
+            if not remaining:
+                if best_cost[0] is None or cost < best_cost[0]:
+                    best_cost[0] = cost
+                    best_pos[0] = list(chosen)
+                return
+            if best_cost[0] is not None and cost >= best_cost[0]:
+                return
+            v = min(remaining)
+            for u, w, pos in adj[v]:
+                if u in remaining and u != v:
+                    chosen.append(pos)
+                    solve(remaining - {v, u}, cost + w, chosen)
+                    chosen.pop()
+
+        solve(frozenset(range(nvertex)), 0, [])
+        if best_cost[0] is None:
+            return [], 0
+        return sorted(best_pos[0]), 0
+
+
+# ----------------------------------------------------------------------
+# Registry (name -> factory), mirroring the kernel/executor registries.
+# ----------------------------------------------------------------------
+
+MATCHER_BACKENDS: Dict[str, Callable[[], MatcherBackend]] = {
+    "blossom": BlossomMatcher,
+    "networkx": NetworkxMatcher,
+    "brute": BruteMatcher,
+}
+
+
+def register_matcher(name: str,
+                     factory: Callable[[], MatcherBackend]) -> None:
+    """Register (or replace) a matcher backend under ``name``."""
+    MATCHER_BACKENDS[name] = factory
+
+
+def make_matcher(name: str) -> MatcherBackend:
+    """Instantiate the backend registered under ``name``.
+
+    Raises ``ValueError`` listing the known backends for unknown names,
+    so CLI validation errors are self-describing.
+    """
+    try:
+        factory = MATCHER_BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(MATCHER_BACKENDS))
+        raise ValueError(
+            f"unknown matcher backend {name!r} (known: {known})") from None
+    return factory()
+
+
+# ----------------------------------------------------------------------
+# Ambient matcher selection: thread-local override over a process
+# default (same shape as repro.geometry.kernels).
+# ----------------------------------------------------------------------
+
+_local = threading.local()
+_default_lock = threading.Lock()
+_default: Optional[MatcherBackend] = None
+
+
+def _process_default() -> MatcherBackend:
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                _default = make_matcher(
+                    os.environ.get(MATCHER_ENV, DEFAULT_MATCHER))
+    return _default
+
+
+def set_default_matcher(name: Optional[str]) -> None:
+    """Set (or with ``None``, reset to env/blossom) the process default."""
+    global _default
+    with _default_lock:
+        _default = None if name is None else make_matcher(name)
+
+
+def get_matcher() -> MatcherBackend:
+    """The active matcher: thread-local override, else process default."""
+    matcher = getattr(_local, "matcher", None)
+    if matcher is not None:
+        return matcher
+    return _process_default()
+
+
+@contextmanager
+def use_matcher(matcher: Union[MatcherBackend, str, None]
+                ) -> Iterator[MatcherBackend]:
+    """Scope the active matcher for the current thread.
+
+    Accepts a backend name, a backend instance, or ``None`` (inherit
+    the ambient matcher — lets config plumbing pass its ``matcher``
+    field through unconditionally).
+    """
+    if matcher is None:
+        resolved = get_matcher()
+    elif isinstance(matcher, str):
+        resolved = make_matcher(matcher)
+    else:
+        resolved = matcher
+    prev = getattr(_local, "matcher", None)
+    _local.matcher = resolved
+    try:
+        yield resolved
+    finally:
+        _local.matcher = prev
+
+
+# ----------------------------------------------------------------------
+# The driver.
+# ----------------------------------------------------------------------
+
+def min_weight_perfect_matching(
+        graph: GeomGraph,
+        matcher: Union[MatcherBackend, str, None] = None) -> List[int]:
     """Edge ids of a minimum-weight perfect matching.
 
     Parallel edges are collapsed to the cheapest representative (a more
     expensive parallel edge can never appear in a minimum matching) and
     self-loops are ignored (they can never be matched).  The problem
-    decomposes over connected components, and blossom is cubic-ish, so
-    each component is matched separately — a large win on the highly
+    decomposes over connected components, and blossom is super-linear,
+    so each component is matched separately — a large win on the highly
     fragmented gadget graphs the detection flow produces.
+
+    ``matcher`` selects the backend (name, instance, or ``None`` for
+    the ambient selection — ``use_matcher`` / ``$REPRO_MATCHER`` /
+    the ``blossom`` default).
     """
     n = graph.num_nodes()
     if n % 2 == 1:
         raise NoPerfectMatchingError(f"odd node count {n}")
     if n == 0:
         return []
+
+    if matcher is None:
+        backend = get_matcher()
+    elif isinstance(matcher, str):
+        backend = make_matcher(matcher)
+    else:
+        backend = matcher
+
+    t0 = time.perf_counter()
 
     best: Dict[Tuple[int, int], Tuple[int, int]] = {}
     for e in graph.edges():
@@ -43,34 +304,66 @@ def min_weight_perfect_matching(graph: GeomGraph) -> List[int]:
         if key not in best or e.weight < best[key][0]:
             best[key] = (e.weight, e.id)
 
-    g = nx.Graph()
-    g.add_nodes_from(graph.nodes)
-    if best:
-        max_w = max(w for w, _ in best.values())
-        for (u, v), (w, eid) in best.items():
-            # Max-weight max-cardinality matching on (max_w + 1 - w)
-            # is min-weight perfect matching on w, because all perfect
-            # matchings have the same cardinality.
-            g.add_edge(u, v, weight=max_w + 1 - w, eid=eid)
+    # Union-find over the collapsed edges; isolated nodes stay their
+    # own (odd) components, exactly like the historical nx path.
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = parent[x]
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    nodes = graph.nodes
+    for v in nodes:
+        parent[v] = v
+    for (u, v) in best:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[rv] = ru
+
+    # Group nodes per component, preserving graph insertion order (the
+    # networkx backend's tie-breaking sees nodes and edges in the same
+    # relative order the historical code presented them).
+    comp_nodes: Dict[int, List[int]] = {}
+    for v in nodes:
+        comp_nodes.setdefault(find(v), []).append(v)
+    comp_edges: Dict[int, List[Tuple[int, int, int, int]]] = {}
+    for (u, v), (w, eid) in best.items():
+        comp_edges.setdefault(find(u), []).append((u, v, w, eid))
+
+    # Any constant beats the max weight; +1 keeps transformed weights
+    # positive.  Global (not per-component) to match the historical
+    # reduction exactly.
+    transform = (max(w for w, _ in best.values()) + 1) if best else 1
 
     matched: List[int] = []
-    for component in nx.connected_components(g):
-        if len(component) % 2 == 1:
+    phases = 0
+    for root, members in comp_nodes.items():
+        if len(members) % 2 == 1:
             raise NoPerfectMatchingError(
-                f"odd component of {len(component)} nodes")
-        # Materialize the component: blossom on a subgraph *view* pays
-        # a filter-wrapper call on every adjacency access (millions on
-        # chip-scale graphs).  ``copy()`` walks the view once, in the
-        # parent graph's iteration order, so the concrete graph
-        # presents nodes and edges to the matcher in exactly the same
-        # sequence — identical matchings, view or copy.
-        sub = g.subgraph(component).copy()
-        mate = nx.max_weight_matching(sub, maxcardinality=True)
-        if 2 * len(mate) != len(component):
+                f"odd component of {len(members)} nodes")
+        local = {v: i for i, v in enumerate(members)}
+        rows = comp_edges.get(root, [])
+        edges: List[LocalEdge] = [(local[u], local[v], w)
+                                  for (u, v, w, _eid) in rows]
+        positions, comp_phases = backend.match(len(members), edges,
+                                               transform)
+        phases += comp_phases
+        if 2 * len(positions) != len(members):
             raise NoPerfectMatchingError(
-                f"matched {2 * len(mate)} of {len(component)} nodes "
+                f"matched {2 * len(positions)} of {len(members)} nodes "
                 "in a component")
-        matched.extend(sub[u][v]["eid"] for u, v in mate)
+        matched.extend(rows[pos][3] for pos in positions)
+
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.count("matcher.components", len(comp_nodes))
+        tracer.count("matcher.nodes", n)
+        tracer.count("matcher.phases", phases)
+        tracer.count("matcher.seconds", time.perf_counter() - t0)
     return sorted(matched)
 
 
@@ -128,3 +421,25 @@ def is_perfect_matching(graph: GeomGraph, edge_ids: List[int]) -> bool:
         seen.add(e.u)
         seen.add(e.v)
     return len(seen) == graph.num_nodes()
+
+
+__all__ = [
+    "DEFAULT_MATCHER",
+    "MATCHER_BACKENDS",
+    "MATCHER_ENV",
+    "MatcherBackend",
+    "MatchingCertificateError",
+    "NoPerfectMatchingError",
+    "BlossomMatcher",
+    "BruteMatcher",
+    "NetworkxMatcher",
+    "brute_force_perfect_matching",
+    "get_matcher",
+    "is_perfect_matching",
+    "make_matcher",
+    "matching_weight",
+    "min_weight_perfect_matching",
+    "register_matcher",
+    "set_default_matcher",
+    "use_matcher",
+]

@@ -48,7 +48,7 @@ from ..conflict import (
 )
 from ..correction import CutRestrictions, apply_cuts, plan_correction
 from ..geometry.kernels import use_kernel
-from ..graph import METHOD_GADGET
+from ..graph import METHOD_GADGET, use_matcher
 from ..layout import Layout, Technology
 from ..obs import get_tracer
 from ..phase import (
@@ -86,7 +86,12 @@ class PipelineConfig:
     "numpy" / anything registered); None inherits the ambient default
     (the ``REPRO_KERNELS`` environment variable, else "scalar").
     Like the executor, the kernel trades wall-clock only — every
-    backend is bit-identical.
+    backend is bit-identical.  ``matcher`` names a matching backend
+    from :data:`repro.graph.MATCHER_BACKENDS` ("blossom" /
+    "networkx" / anything registered); None inherits the ambient
+    default (``REPRO_MATCHER``, else "blossom").  Every exact backend
+    produces the same reports, so like the other two knobs it is
+    deliberately absent from artifact cache keys.
     """
 
     kind: str = PCG
@@ -100,6 +105,7 @@ class PipelineConfig:
     tiled: Optional[bool] = None
     executor: Optional[str] = None
     kernels: Optional[str] = None
+    matcher: Optional[str] = None
 
     @property
     def is_tiled(self) -> bool:
@@ -135,6 +141,7 @@ def stage_front_end(layout: Layout, tech: Technology,
     """
     start = time.perf_counter()
     with use_kernel(config.kernels if config is not None else None), \
+            use_matcher(config.matcher if config is not None else None), \
             get_tracer().span("shifters", cat="stage") as span:
         store = as_store(cache)
         grid = None
@@ -177,7 +184,7 @@ def stage_detect(front: FrontEnd, tech: Technology,
     so the layout is partitioned once per revision, not once per pass.
     """
     start = time.perf_counter()
-    with use_kernel(config.kernels), \
+    with use_kernel(config.kernels), use_matcher(config.matcher), \
             get_tracer().span("detect", cat="stage") as span:
         if config.is_tiled:
             store = as_store(cache)
@@ -189,7 +196,8 @@ def stage_detect(front: FrontEnd, tech: Technology,
                                  shifters=front.shifters,
                                  grid=front.grid,
                                  executor=config.executor,
-                                 kernels=config.kernels)
+                                 kernels=config.kernels,
+                                 matcher=config.matcher)
             span.set(tiled=True, conflicts=chip.detection.num_conflicts,
                      cache_hits=chip.cache_hits,
                      cache_misses=chip.cache_misses,
@@ -223,7 +231,7 @@ def stage_correct(detection: DetectionArtifact, tech: Technology,
     pass's replay/solve delta.
     """
     start = time.perf_counter()
-    with use_kernel(config.kernels), \
+    with use_kernel(config.kernels), use_matcher(config.matcher), \
             get_tracer().span("correct", cat="stage") as span:
         store = as_store(cache)
         front = detection.front
@@ -259,7 +267,7 @@ def stage_verify(correction: CorrectionArtifact, tech: Technology,
     base revision's shifter pass is reused instead of regenerated.
     """
     start = time.perf_counter()
-    with use_kernel(config.kernels), \
+    with use_kernel(config.kernels), use_matcher(config.matcher), \
             get_tracer().span("verify", cat="stage") as span:
         if correction.unchanged:
             front = FrontEnd(layout=correction.corrected_layout,
@@ -296,7 +304,7 @@ def stage_assign(verification: DetectionArtifact, tech: Technology,
     pins the coloring; component scopes partition the checks exactly).
     """
     start = time.perf_counter()
-    with use_kernel(config.kernels), \
+    with use_kernel(config.kernels), use_matcher(config.matcher), \
             get_tracer().span("assign", cat="stage") as span:
         store = as_store(cache)
         artifact = AssignmentArtifact()

@@ -12,6 +12,32 @@ from repro.geometry import Rect
 from repro.layout import Layout, Technology, layout_from_rects
 from repro.shifters import find_overlap_pairs, generate_shifters
 
+# The property-test modules import hypothesis at module scope; keep
+# the rest of tier-1 runnable on a bare `pip install repro-aapsm`
+# checkout (numpy + pytest only — no hypothesis, no networkx).
+collect_ignore: List[str] = []
+try:
+    import hypothesis  # noqa: F401
+except ImportError:
+    collect_ignore = [
+        "test_properties.py",
+        "conflict/test_graphs.py",
+        "correction/test_setcover.py",
+        "correction/test_spacer.py",
+        "gdsii/test_records.py",
+        "geometry/test_interval.py",
+        "geometry/test_rect.py",
+        "geometry/test_segment.py",
+        "geometry/test_spatial.py",
+        "graph/test_bipartize.py",
+        "graph/test_coloring.py",
+        "graph/test_gadgets.py",
+        "graph/test_matching.py",
+        "graph/test_tjoin.py",
+        "phase/test_assignment.py",
+        "test_integration.py",
+    ]
+
 
 @pytest.fixture
 def tech() -> Technology:

@@ -1,0 +1,221 @@
+"""Matcher backend registry and cross-backend equivalence tests.
+
+Mirrors the geometry-kernel registry suite: registry semantics, ambient
+selection (thread-local / env default), and the differential contract —
+every registered exact backend produces a minimum-weight perfect
+matching of the same weight, and whole flow reports are identical under
+every backend.
+
+No hypothesis / networkx at module scope (part of the no-extras
+tier-1); networkx-backed tests importorskip inside.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict
+
+import pytest
+
+from repro.graph import (
+    DEFAULT_MATCHER,
+    MATCHER_BACKENDS,
+    MATCHER_ENV,
+    GeomGraph,
+    NoPerfectMatchingError,
+    brute_force_perfect_matching,
+    get_matcher,
+    is_perfect_matching,
+    make_matcher,
+    min_weight_perfect_matching,
+    register_matcher,
+    set_default_matcher,
+    use_matcher,
+)
+from repro.layout import GeneratorParams, standard_cell_layout
+from repro.pipeline import PipelineConfig, run_pipeline
+
+
+def graph_from_edges(n, edges):
+    g = GeomGraph()
+    for i in range(n):
+        g.add_node(i)
+    for u, v, w in edges:
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+def random_graph(seed, n, density, parallels=True):
+    rng = random.Random(seed)
+    g = GeomGraph()
+    for i in range(n):
+        g.add_node(i)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < density:
+                g.add_edge(u, v, weight=rng.randint(0, 25))
+                if parallels and rng.random() < 0.25:
+                    g.add_edge(u, v, weight=rng.randint(0, 25))
+    return g
+
+
+class TestMatcherRegistry:
+    def test_unknown_backend_errors(self):
+        with pytest.raises(ValueError, match="unknown matcher backend"):
+            make_matcher("no-such-backend")
+
+    def test_registry_lists_builtins(self):
+        assert {"blossom", "networkx", "brute"} <= set(MATCHER_BACKENDS)
+
+    def test_default_is_blossom(self):
+        assert DEFAULT_MATCHER == "blossom"
+
+    def test_register_and_use(self):
+        register_matcher("test-blossom", lambda: make_matcher("blossom"))
+        try:
+            with use_matcher("test-blossom") as m:
+                assert get_matcher() is m
+        finally:
+            del MATCHER_BACKENDS["test-blossom"]
+
+    def test_use_matcher_restores(self):
+        before = get_matcher()
+        with use_matcher("brute"):
+            assert get_matcher().name == "brute"
+        assert get_matcher() is before
+
+    def test_use_matcher_none_inherits(self):
+        with use_matcher("brute"):
+            with use_matcher(None):
+                assert get_matcher().name == "brute"
+
+    def test_use_matcher_accepts_instance(self):
+        inst = make_matcher("brute")
+        with use_matcher(inst):
+            assert get_matcher() is inst
+
+    def test_env_seeds_default(self, monkeypatch):
+        monkeypatch.setenv(MATCHER_ENV, "brute")
+        set_default_matcher(None)   # drop the memoized default
+        try:
+            assert get_matcher().name == "brute"
+        finally:
+            monkeypatch.delenv(MATCHER_ENV)
+            set_default_matcher(None)
+
+    def test_explicit_matcher_argument(self):
+        g = graph_from_edges(2, [(0, 1, 5)])
+        assert min_weight_perfect_matching(g, matcher="brute") == [0]
+        assert min_weight_perfect_matching(
+            g, matcher=make_matcher("blossom")) == [0]
+
+
+class TestBackendDifferential:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_blossom_vs_brute_oracle(self, seed):
+        rng = random.Random(seed)
+        g = random_graph(seed, 2 * rng.randint(1, 6),
+                         rng.uniform(0.3, 1.0))
+        oracle = brute_force_perfect_matching(g)
+        if oracle is None:
+            with pytest.raises(NoPerfectMatchingError):
+                min_weight_perfect_matching(g, matcher="blossom")
+            with pytest.raises(NoPerfectMatchingError):
+                min_weight_perfect_matching(g, matcher="brute")
+            return
+        for backend in ("blossom", "brute"):
+            m = min_weight_perfect_matching(g, matcher=backend)
+            assert is_perfect_matching(g, m), backend
+            assert g.total_weight(m) == g.total_weight(oracle), backend
+
+    @pytest.mark.parametrize("seed", range(25, 40))
+    def test_blossom_vs_networkx(self, seed):
+        pytest.importorskip("networkx")
+        rng = random.Random(seed)
+        g = random_graph(seed, 2 * rng.randint(2, 10),
+                         rng.uniform(0.2, 0.8))
+        try:
+            nx_m = min_weight_perfect_matching(g, matcher="networkx")
+        except NoPerfectMatchingError:
+            with pytest.raises(NoPerfectMatchingError):
+                min_weight_perfect_matching(g, matcher="blossom")
+            return
+        bl_m = min_weight_perfect_matching(g, matcher="blossom")
+        assert is_perfect_matching(g, bl_m)
+        assert g.total_weight(bl_m) == g.total_weight(nx_m)
+
+    def test_odd_component_raises_everywhere(self):
+        # Even node count but an odd component (triangle + isolate).
+        g = graph_from_edges(4, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        for backend in ("blossom", "brute"):
+            with pytest.raises(NoPerfectMatchingError,
+                               match="odd component"):
+                min_weight_perfect_matching(g, matcher=backend)
+
+    def test_long_odd_cycle_pair(self):
+        # Two C_25s bridged: forces cross-component-free per-component
+        # solves plus a blossom-heavy instance per component.
+        g = GeomGraph()
+        for c in range(2):
+            base = 26 * c
+            for i in range(25):
+                g.add_edge(base + i, base + (i + 1) % 25, weight=1)
+            g.add_edge(base + 0, base + 25, weight=1)
+        for backend in ("blossom",):
+            m = min_weight_perfect_matching(g, matcher=backend)
+            assert is_perfect_matching(g, m)
+            assert g.total_weight(m) == 26
+
+
+def _report_key(report):
+    d = asdict(report)
+    d.pop("detect_seconds")
+    return d
+
+
+def _pipeline_key(r):
+    return (
+        _report_key(r.detection.report),
+        _report_key(r.verification.report),
+        [(c.axis, c.position, c.width)
+         for c in r.correction.report.cuts],
+        None if r.phase.assignment is None
+        else sorted(r.phase.assignment.phases.items()),
+        r.phase.success,
+    )
+
+
+class TestMatcherPipelineEquivalence:
+    @pytest.fixture(scope="class")
+    def layout(self):
+        return standard_cell_layout(
+            GeneratorParams(rows=3, cols=12, risky_wire_fraction=0.3),
+            seed=11)
+
+    def test_chip_reports_identical_across_matchers(self, layout, tech):
+        pytest.importorskip("networkx")
+        from repro.chip import run_chip_flow
+
+        reports = {}
+        for matcher in ("blossom", "networkx"):
+            for executor in ("serial", "thread"):
+                chip = run_chip_flow(layout, tech, tiles=(2, 2), jobs=2,
+                                     executor=executor, matcher=matcher)
+                reports[(matcher, executor)] = _report_key(chip.detection)
+        base = reports[("blossom", "serial")]
+        for key, rep in reports.items():
+            assert rep == base, f"report diverged under {key}"
+
+    @pytest.mark.parametrize("tiled", [False, True])
+    @pytest.mark.parametrize("kernels", ["scalar", "numpy"])
+    def test_full_pipeline_identical(self, layout, tech, tiled, kernels):
+        pytest.importorskip("networkx")
+        results = {}
+        for matcher in ("blossom", "networkx"):
+            config = PipelineConfig(tiles=(2, 2) if tiled else None,
+                                    jobs=1, tiled=tiled,
+                                    executor="serial" if tiled else None,
+                                    kernels=kernels, matcher=matcher)
+            r = run_pipeline(layout, tech, config)
+            results[matcher] = _pipeline_key(r)
+        assert results["networkx"] == results["blossom"]
