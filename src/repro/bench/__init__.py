@@ -1,6 +1,18 @@
 """Named benchmark suite and table runners (substrate S12)."""
 
-from .suite import LARGE, MEDIUM, SMALL, SUITE, Design, build_design, design_names, get_design
+from .suite import (
+    LARGE,
+    MEDIUM,
+    SCENARIO_PREFIX,
+    SMALL,
+    SUITE,
+    Design,
+    LayoutSpec,
+    build_design,
+    design_names,
+    get_design,
+    resolve_spec,
+)
 from .tables import (
     figure2_row,
     format_table,
@@ -12,6 +24,8 @@ from .tables import (
 
 __all__ = [
     "Design",
+    "LayoutSpec",
+    "SCENARIO_PREFIX",
     "SUITE",
     "SMALL",
     "MEDIUM",
@@ -19,6 +33,7 @@ __all__ = [
     "get_design",
     "build_design",
     "design_names",
+    "resolve_spec",
     "table1_row",
     "table2_row",
     "figure2_row",

@@ -15,16 +15,38 @@ from typing import Dict, List, Optional
 
 from ..layout import GeneratorParams, Layout, standard_cell_layout
 
+# The spec prefix that routes a --designs entry to the scenario
+# curriculum instead of the named suite: "scenario:<stratum>:<seed>".
+SCENARIO_PREFIX = "scenario:"
+
 
 @dataclass(frozen=True)
-class Design:
-    """A named, reproducible benchmark design."""
+class LayoutSpec:
+    """Anything the bench and fuzz tooling can build a layout from.
+
+    The one protocol shared by the named suite designs below and the
+    generated corpus entries of :mod:`repro.scenarios`: a ``name``, the
+    ``seed`` that reproduces it, and :meth:`build`.  Consumers (``repro
+    bench --designs``, the differential fuzzer, the table runners)
+    depend only on this shape, so a corpus scenario drops into any slot
+    a suite design fits.
+    """
 
     name: str
-    rows: int
-    cols: int
-    seed: int
+    seed: int = 0
     description: str = ""
+
+    def build(self, seed: Optional[int] = None) -> Layout:
+        """Build the layout; ``seed`` overrides the spec's own seed."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Design(LayoutSpec):
+    """A named, reproducible benchmark design."""
+
+    rows: int = 0
+    cols: int = 0
 
     def build(self, seed: Optional[int] = None) -> Layout:
         """Build the design; ``seed`` overrides the suite seed (for
@@ -63,13 +85,47 @@ def get_design(name: str) -> Design:
     return _BY_NAME[name]
 
 
+def resolve_spec(name: str) -> LayoutSpec:
+    """Resolve a ``--designs`` entry to a buildable :class:`LayoutSpec`.
+
+    Accepts a suite design name ("D1".."D8") or a scenario-curriculum
+    spec ``scenario:<stratum>:<seed>`` (e.g. ``scenario:oddcycle:3``),
+    which builds the corresponding :class:`repro.scenarios.Scenario` —
+    the same entry the fuzzer would generate for that (stratum, seed).
+    Raises ``KeyError`` with the known choices for anything else.
+    """
+    if name.startswith(SCENARIO_PREFIX):
+        # Lazy import: scenarios imports this module for LayoutSpec.
+        from ..scenarios import STRATA, build_scenario
+
+        rest = name[len(SCENARIO_PREFIX):]
+        stratum, sep, seed_text = rest.rpartition(":")
+        if not sep or stratum not in STRATA or not seed_text.isdigit():
+            known = ", ".join(sorted(STRATA))
+            raise KeyError(
+                f"bad scenario spec {name!r}: expected "
+                f"scenario:<stratum>:<seed> with stratum in ({known})")
+        return build_scenario(stratum, int(seed_text))
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(d.name for d in SUITE)
+        raise KeyError(
+            f"unknown design {name!r} (known: {known}, or "
+            f"scenario:<stratum>:<seed>)") from None
+
+
 def build_design(name: str, cache: bool = True,
                  seed: Optional[int] = None) -> Layout:
-    """Build (and memoise) a suite design by name.
+    """Build (and memoise) a suite design or scenario spec by name.
 
     A non-None ``seed`` builds a deterministic variant of the design
     (same rows/cols, different RNG stream) and bypasses the memo.
+    Scenario specs (``scenario:<stratum>:<seed>``) resolve through the
+    curriculum and bypass the memo too — building one is cheap.
     """
+    if name.startswith(SCENARIO_PREFIX):
+        return resolve_spec(name).build(seed=seed)
     if seed is not None:
         return _BY_NAME[name].build(seed=seed)
     if cache and name in _CACHE:

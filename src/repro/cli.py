@@ -8,6 +8,7 @@ The tool a layout engineer would actually run::
     python -m repro flow    chip.gds --incremental --cache-dir .tiles
     python -m repro eco     base.gds edited.gds --cache-dir .tiles
     python -m repro bench   --subset small --json
+    python -m repro fuzz    --strata all --count 3 --seed 0 --json
     python -m repro generate --design D3 --seed 7 -o d3.gds
     python -m repro table1                     # reproduce paper tables
     python -m repro table2
@@ -122,6 +123,19 @@ def _parse_matcher(text: str) -> str:
         raise argparse.ArgumentTypeError(
             f"unknown matcher backend {text!r}; registered: "
             f"{', '.join(sorted(MATCHER_BACKENDS))}")
+    return text
+
+
+def _parse_design(text: str) -> str:
+    """Validate a --designs entry: a suite name or a scenario spec
+    (``scenario:<stratum>:<seed>``), resolved against the live
+    registries so curriculum strata work from the CLI unchanged."""
+    from .bench import resolve_spec
+
+    try:
+        resolve_spec(text)
+    except KeyError as exc:
+        raise argparse.ArgumentTypeError(exc.args[0]) from None
     return text
 
 
@@ -411,6 +425,100 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing over the stratified scenario curriculum.
+
+    Builds the ``(strata, count, seed)`` corpus, runs every scenario
+    through its invariant matrix (tiled/mono, windowed/global,
+    eco/cold, kernels, matchers, executors, geometric oracle,
+    dark-field parity), and — on any divergence — delta-debugs the
+    scenario down to a minimal repro, printed as a paste-able pytest
+    case.  ``--json`` emits the corpus report (per-check status +
+    shrunk repros + telemetry) for CI artifact upload.
+    """
+    from .scenarios import (
+        FuzzReport,
+        build_corpus,
+        invariant_names,
+        run_scenario,
+        shrink_scenario_failure,
+        stratum_names,
+    )
+
+    tech = TECH_PRESETS[args.tech]()
+    try:
+        corpus = build_corpus(strata=args.strata, count=args.count,
+                              seed=args.seed, tech=tech)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.invariants:
+        unknown = [n for n in args.invariants
+                   if n not in invariant_names()]
+        if unknown:
+            print(f"error: unknown invariant(s) {unknown} (known: "
+                  f"{', '.join(invariant_names())})", file=sys.stderr)
+            return 2
+
+    tracer = _tracer_for(args)
+    report = FuzzReport()
+    rows: List[dict] = []
+    with use_tracer(tracer):
+        for scenario in corpus:
+            start = time.perf_counter()
+            result = run_scenario(scenario, invariants=args.invariants)
+            wall = time.perf_counter() - start
+            statuses = {c.name: c.status for c in result.invariants}
+            _note(args, f"{scenario.name}: "
+                  f"{'ok' if result.ok else 'FAIL'} "
+                  f"({', '.join(f'{k}:{v}' for k, v in statuses.items())})"
+                  f" {wall:.2f}s")
+            for failure in result.failures:
+                _log.error("fuzz.divergence", scenario=scenario.name,
+                           invariant=failure.name,
+                           detail=failure.detail)
+            if result.failures and not args.no_shrink:
+                first = result.failures[0]
+                outcome = shrink_scenario_failure(
+                    scenario, first.name, detail=first.detail,
+                    max_runs=args.max_shrink_runs)
+                if outcome is not None:
+                    result.shrunk = outcome.as_dict()
+                    print(f"--- shrunk repro ({scenario.name}, "
+                          f"{first.name}: {outcome.original_rects} -> "
+                          f"{len(outcome.rects)} rects) ---\n"
+                          f"{outcome.as_test_case()}", file=sys.stderr)
+            report.results.append(result)
+            rows.append({
+                "scenario": scenario.name,
+                "stratum": scenario.stratum,
+                "seed": scenario.seed,
+                "polygons": scenario.num_polygons,
+                "ok": sum(c.status == "ok" for c in result.invariants),
+                "fail": sum(c.status == "fail"
+                            for c in result.invariants),
+                "skip": sum(c.status == "skip"
+                            for c in result.invariants),
+                "wall_s": round(wall, 2),
+            })
+    if args.json:
+        out = report.as_dict()
+        out["strata"] = args.strata or stratum_names()
+        out["count"] = args.count
+        out["seed"] = args.seed
+        print(json.dumps(_attach_telemetry(out, tracer), indent=2,
+                         sort_keys=True))
+    else:
+        print(format_table(rows, "Scenario curriculum — differential "
+                                 "invariant matrix"))
+        counts = report.counts()
+        print(f"{counts['scenarios']} scenarios, {counts['checks']} "
+              f"checks: {counts['ok']} ok, {counts['fail']} fail, "
+              f"{counts['skip']} skip")
+    _finish_trace(args, tracer)
+    return 0 if report.ok else 1
+
+
 def _note(args: argparse.Namespace, message: str) -> None:
     """Progress chatter — kept off stdout when it must stay pure JSON
     (routed through the structured logger, which writes stderr)."""
@@ -511,9 +619,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "staged pipeline")
     p.add_argument("--subset", choices=["small", "medium", "large"],
                    default="small")
-    p.add_argument("--designs", nargs="+", choices=design_names(),
+    p.add_argument("--designs", nargs="+", type=_parse_design,
                    metavar="NAME",
-                   help="explicit designs to run (overrides --subset)")
+                   help="explicit designs to run (overrides --subset): "
+                        "suite names (D1..D8) or scenario-curriculum "
+                        "specs like scenario:oddcycle:3")
     p.add_argument("--cover", choices=["auto", "greedy", "exact"],
                    default="auto")
     p.add_argument("--incremental", action="store_true",
@@ -524,6 +634,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_arguments(p)
     _add_tech_argument(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("fuzz",
+                       help="differential fuzzing over the stratified "
+                            "scenario curriculum")
+    p.add_argument("--strata", nargs="+", metavar="NAME", default=None,
+                   help="strata to fuzz: density, oddcycle, tjoin, "
+                        "boundary, darkfield, duplicate, or 'all' "
+                        "(default: all)")
+    p.add_argument("--count", type=int, default=3,
+                   help="seeds per stratum (default: 3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; stratum seeds run seed..seed+count-1")
+    p.add_argument("--invariants", nargs="+", metavar="NAME",
+                   default=None,
+                   help="restrict the matrix: tiled, windowed, eco, "
+                        "kernels, matchers, executors, oracle, "
+                        "darkfield (default: each scenario's tags)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report divergences without delta-debugging "
+                        "them to a minimal repro")
+    p.add_argument("--max-shrink-runs", type=int, default=200,
+                   help="predicate-evaluation budget per shrink "
+                        "(default: 200)")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable corpus report "
+                        "(per-check status, shrunk repros, telemetry)")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write an execution trace here (Chrome "
+                        "trace-event JSON, or .jsonl span log)")
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="debug-level logging plus a span-tree timing "
+                        "summary on stderr (with --trace or --json)")
+    _add_tech_argument(p)
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("generate",
                        help="write a benchmark-suite design as GDS")

@@ -50,13 +50,18 @@ from ..correction import CutRestrictions, apply_cuts, plan_correction
 from ..geometry.kernels import use_kernel
 from ..graph import METHOD_GADGET, use_matcher
 from ..layout import Layout, Technology
-from ..obs import get_tracer
+from ..obs import get_logger, get_tracer
 from ..phase import (
     assign_and_verify_incremental,
     assign_phases,
     verify_assignment,
 )
-from ..shifters import SpliceError, has_duplicate_features, tiled_front_end
+from ..shifters import (
+    SpliceError,
+    duplicate_feature_rects,
+    has_duplicate_features,
+    tiled_front_end,
+)
 from .artifacts import (
     AssignmentArtifact,
     CorrectionArtifact,
@@ -145,18 +150,40 @@ def stage_front_end(layout: Layout, tech: Technology,
             get_tracer().span("shifters", cat="stage") as span:
         store = as_store(cache)
         grid = None
-        if config is not None and config.is_tiled \
-                and not has_duplicate_features(layout):
-            grid = partition_layout(layout, tech, tiles=config.tiles,
-                                    halo=config.halo, jobs=config.jobs)
+        if config is not None and config.is_tiled:
+            if has_duplicate_features(layout):
+                # Duplicate rects defeat the coordinate-anchored
+                # artifact keys; degrade to the monolithic pass, but
+                # never silently — the duplicate-rect fuzz stratum
+                # hits this constantly and CI greps for it.
+                dupes = duplicate_feature_rects(layout)
+                get_tracer().count("frontend.monolithic_fallbacks")
+                get_logger("pipeline").warning(
+                    "frontend.monolithic_fallback",
+                    design=layout.name, reason="duplicate_features",
+                    duplicates=len(dupes), first=dupes[0])
+                span.set(fallback="duplicate_features")
+            else:
+                grid = partition_layout(layout, tech,
+                                        tiles=config.tiles,
+                                        halo=config.halo,
+                                        jobs=config.jobs)
+        if grid is not None:
             if grid.bbox is not None:
                 try:
                     shifters, pairs, hits, misses = tiled_front_end(
                         layout, tech, grid.tiles, store=store)
-                except SpliceError:
+                except SpliceError as exc:
                     # A stale or foreign artifact; recompute
-                    # monolithically rather than fail the revision.
-                    pass
+                    # monolithically rather than fail the revision —
+                    # and say so, the degradation costs a chip-wide
+                    # regeneration.
+                    get_tracer().count("frontend.monolithic_fallbacks")
+                    get_logger("pipeline").warning(
+                        "frontend.monolithic_fallback",
+                        design=layout.name, reason="splice_error",
+                        error=str(exc))
+                    span.set(fallback="splice_error")
                 else:
                     span.set(tiled=True, shifters=len(shifters),
                              cache_hits=hits, cache_misses=misses)

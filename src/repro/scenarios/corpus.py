@@ -1,0 +1,60 @@
+"""Corpus assembly: which ``(stratum, seed)`` pairs a fuzz run visits.
+
+A corpus is fully determined by ``(strata, count, base seed)`` — the
+same triple enumerates the same scenarios with the same content ids in
+any process, so a CI failure names a scenario any machine can rebuild
+with ``repro fuzz --strata <s> --seed <n> --count 1`` or
+``scenario:<stratum>:<seed>`` anywhere a design name is accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from ..layout import Technology
+from .strata import STRATA, Scenario, build_scenario, stratum_names
+
+
+def resolve_strata(names: Optional[Sequence[str]]) -> List[str]:
+    """Validate and order a strata selection; None/"all" means all."""
+    if not names or list(names) == ["all"]:
+        return stratum_names()
+    unknown = [n for n in names if n not in STRATA]
+    if unknown:
+        known = ", ".join(stratum_names())
+        raise KeyError(f"unknown strata {unknown} (known: {known}, "
+                       f"or 'all')")
+    # Curriculum order, de-duplicated.
+    picked = set(names)
+    return [n for n in stratum_names() if n in picked]
+
+
+def corpus_seeds(count: int, seed: int) -> List[int]:
+    """The per-stratum seed sequence: ``count`` seeds from ``seed``."""
+    return list(range(seed, seed + count))
+
+
+def iter_corpus(strata: Optional[Sequence[str]] = None,
+                count: int = 3,
+                seed: int = 0,
+                tech: Optional[Technology] = None
+                ) -> Iterator[Scenario]:
+    """Enumerate the corpus: every stratum × ``count`` seeds.
+
+    Strata iterate in curriculum order and seeds in sequence, so a
+    corpus report's scenario order is itself reproducible.
+    """
+    if tech is None:
+        tech = Technology.node_90nm()
+    for stratum in resolve_strata(strata):
+        for s in corpus_seeds(count, seed):
+            yield build_scenario(stratum, s, tech=tech)
+
+
+def build_corpus(strata: Optional[Sequence[str]] = None,
+                 count: int = 3,
+                 seed: int = 0,
+                 tech: Optional[Technology] = None) -> List[Scenario]:
+    """The corpus as a list (see :func:`iter_corpus`)."""
+    return list(iter_corpus(strata=strata, count=count, seed=seed,
+                            tech=tech))

@@ -1,0 +1,511 @@
+"""The differential runner: every scenario through the invariant matrix.
+
+Each invariant re-runs a scenario under two configurations that the
+repo guarantees are *answer-identical* — tiled vs monolithic, windowed
+vs global correction, warm ECO vs cold, scalar vs numpy kernels,
+blossom vs networkx/brute matchers, serial vs thread executors — and
+diffs the flow reports byte for byte.  The ``oracle`` and
+``darkfield`` invariants are different in kind: instead of comparing
+two runs they re-check the result against independently recomputed
+geometry (the paper's two conditions, the dark-field interaction
+graph).
+
+What "byte for byte" means here: the domain outcome
+(:func:`report_key` — conflicts, cuts, phases, success, uncorrectable
+sets) serializes identically.  Per-run *work accounting* (summed
+per-tile graph sizes, the ``pipeline`` cache/timing block) is excluded:
+it legitimately differs between a monolithic pass and sixteen tile
+passes, and the equivalence contract was never about it.
+
+An invariant returns ``None`` (holds), a failure detail string
+(diverged — the shrinker takes over), or raises :class:`InvariantSkip`
+(structurally inapplicable here: no grid on an untiled scenario's
+deck, matching instance over the brute budget, optional backend
+missing).  Skips are reported, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..cache import ArtifactCache
+from ..core.flow import FlowResult, flow_result_from_pipeline, run_aapsm_flow
+from ..core.report import flow_result_dict
+from ..correction import plan_correction
+from ..layout import Layout, Technology
+from ..obs import get_tracer
+from .strata import Scenario, scenario_id
+
+# Detection-report fields that are per-run work accounting, not domain
+# outcome: tiled detection sums per-tile graph sizes, so these
+# legitimately differ from the monolithic pass while the conflict set,
+# cuts, and phases are identical.
+ACCOUNTING_FIELDS = frozenset({
+    "graph_nodes", "graph_edges", "crossings_removed",
+    "step2_edges", "step2_weight", "step3_edges",
+})
+
+# Largest monolithic conflict-graph node count the exponential brute
+# matcher is asked to oracle (empirical: long odd-cycle chains above
+# this produce one connected gadget-matching instance brute cannot
+# finish in seconds; grids of small clusters are fine far beyond it,
+# but node count is the cheap conservative proxy we have up front).
+BRUTE_NODE_BUDGET = 45
+
+# Largest conflict count the whole-instance *exact* set cover is asked
+# to cross-check against the windowed exact cover (the solver itself
+# caps out at 64 elements/sets; staying well under keeps the
+# branch-and-bound instant).
+EXACT_COVER_BUDGET = 16
+
+DEFAULT_TILES = (2, 2)
+
+
+class InvariantSkip(Exception):
+    """Raised by an invariant that is structurally inapplicable."""
+
+
+def report_key(result: FlowResult) -> str:
+    """The canonical byte-comparison key: domain outcome only.
+
+    Serializes the timing-free flow report minus the ``pipeline``
+    accounting block and the per-run detection accounting fields —
+    exactly the sections two answer-equivalent configurations must
+    agree on.
+    """
+    d = flow_result_dict(result, timings=False)
+    d.pop("pipeline", None)
+    for section in ("detection", "post_detection"):
+        for f in ACCOUNTING_FIELDS:
+            d[section].pop(f, None)
+    return json.dumps(d, sort_keys=True)
+
+
+def _first_divergence(a: FlowResult, b: FlowResult) -> str:
+    """Name the top-level report section where two runs part ways."""
+    da = json.loads(report_key(a))
+    db = json.loads(report_key(b))
+    diverged = [k for k in sorted(set(da) | set(db))
+                if da.get(k) != db.get(k)]
+    return ", ".join(diverged) or "<none>"
+
+
+class DiffContext:
+    """Per-scenario run cache shared by the invariants.
+
+    The monolithic and tiled baselines are each computed once per
+    scenario no matter how many invariants consult them; the tiled run
+    warms a memory-backed artifact store the ECO invariant reuses.
+    """
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self.layout = scenario.layout
+        self.tech = scenario.tech
+        self.tiles = scenario.tiles or DEFAULT_TILES
+        self.store = ArtifactCache()
+        self._mono: Optional[FlowResult] = None
+        self._tiled: Optional[FlowResult] = None
+
+    def mono(self) -> FlowResult:
+        if self._mono is None:
+            self._mono = run_aapsm_flow(self.layout, self.tech)
+        return self._mono
+
+    def tiled(self) -> FlowResult:
+        if self._tiled is None:
+            self._tiled = run_aapsm_flow(self.layout, self.tech,
+                                         tiles=self.tiles,
+                                         cache=self.store)
+        return self._tiled
+
+
+# ----------------------------------------------------------------------
+# The invariant matrix
+# ----------------------------------------------------------------------
+def _check_tiled(ctx: DiffContext) -> Optional[str]:
+    """Tiled detection+correction == monolithic, byte for byte."""
+    mono, tiled = ctx.mono(), ctx.tiled()
+    if report_key(mono) != report_key(tiled):
+        return (f"tiled {ctx.tiles} != monolithic "
+                f"(diverges in: {_first_divergence(mono, tiled)})")
+    return None
+
+
+def _check_windowed(ctx: DiffContext) -> Optional[str]:
+    """Window-scoped set cover == whole-instance set cover.
+
+    Greedy covers must produce identical cuts either way; when the
+    instance is small enough, the exact covers are additionally
+    cross-checked for identical corrected sets and total cut width
+    (exact ties may pick different, equally optimal representatives).
+    """
+    pipe = ctx.mono().pipeline
+    front = pipe.detection.front
+    conflicts = [c.key for c in pipe.detection.report.conflicts]
+
+    def plan(cover: str, windowed: bool):
+        return plan_correction(front.layout, ctx.tech, conflicts,
+                               shifters=front.shifters, cover=cover,
+                               windowed=windowed)
+
+    win = plan("greedy", True)
+    glob = plan("greedy", False)
+    cuts = lambda r: [(c.axis, c.position, c.width) for c in r.cuts]
+    if cuts(win) != cuts(glob):
+        return (f"greedy windowed cuts {cuts(win)} != "
+                f"global cuts {cuts(glob)}")
+    if win.corrected != glob.corrected:
+        return (f"greedy windowed corrected {win.corrected} != "
+                f"global {glob.corrected}")
+    if len(conflicts) <= EXACT_COVER_BUDGET:
+        ewin, eglob = plan("exact", True), plan("exact", False)
+        if ewin.corrected != eglob.corrected:
+            return (f"exact windowed corrected {ewin.corrected} != "
+                    f"global {eglob.corrected}")
+        width = lambda r: sum(c.width for c in r.cuts)
+        if width(ewin) != width(eglob):
+            return (f"exact windowed total cut width {width(ewin)} != "
+                    f"global {width(eglob)}")
+    return None
+
+
+def _check_eco(ctx: DiffContext) -> Optional[str]:
+    """Warm incremental rerun == cold run, byte for byte.
+
+    Preferred mode: propose the canonical conflict-neutral single-
+    feature edit and compare the warm ECO flow on the edited layout
+    (over the tiled baseline's store) against a cold run of the same
+    edit.  Scenarios with no isolated interior feature (odd-cycle
+    chains, T-join grids — everything interacts by design) fall back
+    to warm *replay*: rerun the unchanged layout over the warm store
+    and require a byte-identical report with zero detect misses.
+    """
+    from ..pipeline import PipelineConfig
+    from ..pipeline.eco import propose_eco_edit, run_eco_flow
+
+    ctx.tiled()  # warm ctx.store
+    config = PipelineConfig(tiles=ctx.tiles)
+    try:
+        edited, _ = propose_eco_edit(ctx.layout, ctx.tech)
+    except ValueError:
+        warm = run_aapsm_flow(ctx.layout, ctx.tech, tiles=ctx.tiles,
+                              cache=ctx.store)
+        if report_key(warm) != report_key(ctx.tiled()):
+            return ("warm replay != cold run (diverges in: "
+                    f"{_first_divergence(warm, ctx.tiled())})")
+        hits, misses = warm.pipeline.cache_counts()
+        if misses:
+            return (f"warm replay recomputed {misses} tile(s) "
+                    f"({hits} hits) — cache keys unstable")
+        return None
+    eco = run_eco_flow(ctx.layout, edited, ctx.tech, config=config,
+                       cache=ctx.store, warm_base=False)
+    warm = flow_result_from_pipeline(eco.result)
+    cold = run_aapsm_flow(edited, ctx.tech, tiles=ctx.tiles,
+                          cache=ArtifactCache())
+    if report_key(warm) != report_key(cold):
+        return ("warm eco != cold run on edited layout (diverges in: "
+                f"{_first_divergence(warm, cold)})")
+    return None
+
+
+def _check_kernels(ctx: DiffContext) -> Optional[str]:
+    """Numpy batch geometry kernels == scalar oracle, byte for byte."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        raise InvariantSkip("numpy not installed") from None
+    vec = run_aapsm_flow(ctx.layout, ctx.tech, kernels="numpy")
+    if report_key(vec) != report_key(ctx.mono()):
+        return ("kernels=numpy != scalar (diverges in: "
+                f"{_first_divergence(vec, ctx.mono())})")
+    return None
+
+
+def _check_matchers(ctx: DiffContext) -> Optional[str]:
+    """Every exact matching backend produces the same reports.
+
+    networkx is the independent cross-check (skipped when the extra
+    isn't installed); the exponential brute oracle runs only under
+    :data:`BRUTE_NODE_BUDGET`.
+    """
+    mono = ctx.mono()
+    problems = []
+    skips = []
+    try:
+        import networkx  # noqa: F401
+        nxr = run_aapsm_flow(ctx.layout, ctx.tech, matcher="networkx")
+        if report_key(nxr) != report_key(mono):
+            problems.append(
+                "matcher=networkx != blossom (diverges in: "
+                f"{_first_divergence(nxr, mono)})")
+    except ImportError:
+        skips.append("networkx not installed")
+    if mono.detection.graph_nodes <= BRUTE_NODE_BUDGET:
+        brute = run_aapsm_flow(ctx.layout, ctx.tech, matcher="brute")
+        if report_key(brute) != report_key(mono):
+            problems.append(
+                "matcher=brute != blossom (diverges in: "
+                f"{_first_divergence(brute, mono)})")
+    else:
+        skips.append(f"brute over budget "
+                     f"({mono.detection.graph_nodes} graph nodes)")
+    if problems:
+        return "; ".join(problems)
+    if len(skips) == 2:
+        raise InvariantSkip("; ".join(skips))
+    return None
+
+
+def _check_executors(ctx: DiffContext) -> Optional[str]:
+    """Thread executor == serial executor on the tiled path.
+
+    Compared against the tiled baseline (not the monolithic one): the
+    executor knob only exists on the tiled path, and strata that
+    document a tiled/mono divergence (duplicate rects) still require
+    every executor to agree with every other.
+    """
+    threaded = run_aapsm_flow(ctx.layout, ctx.tech, tiles=ctx.tiles,
+                              executor="thread")
+    if report_key(threaded) != report_key(ctx.tiled()):
+        return ("executor=thread != serial tiled run (diverges in: "
+                f"{_first_divergence(threaded, ctx.tiled())})")
+    return None
+
+
+def _check_oracle(ctx: DiffContext) -> Optional[str]:
+    """Re-check the flow's own verdict straight from geometry.
+
+    Regenerates the front end on the corrected layout and re-validates
+    the phase assignment against the paper's two conditions — without
+    trusting the conflict graph, the pipeline's cached verdicts, or
+    the flow's ``success`` flag.
+    """
+    from ..conflict import layout_front_end
+    from ..phase.verify import verify_assignment
+
+    mono = ctx.mono()
+    if mono.success != (mono.assignment is not None
+                        and mono.post_detection.phase_assignable):
+        return (f"success={mono.success} inconsistent with "
+                f"assignment={'set' if mono.assignment else 'none'}, "
+                f"phase_assignable="
+                f"{mono.post_detection.phase_assignable}")
+    if mono.assignment is None:
+        return None
+    shifters, pairs = layout_front_end(mono.corrected_layout, ctx.tech)
+    problems = verify_assignment(shifters, mono.assignment, ctx.tech,
+                                 pairs=pairs)
+    if problems:
+        head = "; ".join(problems[:3])
+        return (f"geometric oracle rejects assignment "
+                f"({len(problems)} problem(s): {head})")
+    return None
+
+
+def _check_darkfield(ctx: DiffContext) -> Optional[str]:
+    """Dark-field detection is deterministic and its phases 2-color
+    the independently rebuilt interaction graph minus the conflicts."""
+    from ..darkfield import build_darkfield_graph, detect_darkfield_conflicts
+
+    r1 = detect_darkfield_conflicts(ctx.layout, ctx.tech)
+    r2 = detect_darkfield_conflicts(ctx.layout, ctx.tech)
+    key = lambda r: (r.num_critical, r.num_edges, r.phase_assignable,
+                     sorted(r.conflicts),
+                     sorted(r.phases.items()) if r.phases else None)
+    if key(r1) != key(r2):
+        return "dark-field detection not deterministic across reruns"
+    if r1.phases is not None:
+        df = build_darkfield_graph(ctx.layout, ctx.tech)
+        removed = set(map(tuple, r1.conflicts))
+        for pair in df.edge_pair.values():
+            if tuple(sorted(pair)) in removed:
+                continue
+            a, b = pair
+            if a in r1.phases and b in r1.phases \
+                    and r1.phases[a] == r1.phases[b]:
+                return (f"dark-field features {a}/{b} interact but "
+                        f"share phase {r1.phases[a]}")
+    return None
+
+
+InvariantFn = Callable[[DiffContext], Optional[str]]
+
+INVARIANTS: Dict[str, InvariantFn] = {
+    "tiled": _check_tiled,
+    "windowed": _check_windowed,
+    "eco": _check_eco,
+    "kernels": _check_kernels,
+    "matchers": _check_matchers,
+    "executors": _check_executors,
+    "oracle": _check_oracle,
+    "darkfield": _check_darkfield,
+}
+
+
+def invariant_names() -> List[str]:
+    """All registered invariants, in matrix order."""
+    return list(INVARIANTS)
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class InvariantResult:
+    """One invariant's verdict on one scenario."""
+
+    name: str
+    status: str                # "ok" | "fail" | "skip"
+    seconds: float = 0.0
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"name": self.name,
+                                  "status": self.status,
+                                  "seconds": round(self.seconds, 4)}
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+@dataclass
+class ScenarioResult:
+    """All invariant verdicts for one scenario."""
+
+    scenario: Scenario
+    invariants: List[InvariantResult] = field(default_factory=list)
+    shrunk: Optional[Dict[str, object]] = None
+
+    @property
+    def failures(self) -> List[InvariantResult]:
+        return [r for r in self.invariants if r.status == "fail"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> Dict[str, object]:
+        out = self.scenario.summary_dict()
+        out["status"] = "ok" if self.ok else "fail"
+        out["checks"] = [r.as_dict() for r in self.invariants]
+        if self.shrunk is not None:
+            out["shrunk"] = self.shrunk
+        return out
+
+
+@dataclass
+class FuzzReport:
+    """The corpus-level outcome the CLI serializes."""
+
+    results: List[ScenarioResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def counts(self) -> Dict[str, int]:
+        checks = [c for r in self.results for c in r.invariants]
+        return {
+            "scenarios": len(self.results),
+            "failed_scenarios": sum(not r.ok for r in self.results),
+            "checks": len(checks),
+            "ok": sum(c.status == "ok" for c in checks),
+            "fail": sum(c.status == "fail" for c in checks),
+            "skip": sum(c.status == "skip" for c in checks),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"summary": self.counts(),
+                "scenarios": [r.as_dict() for r in self.results]}
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+def run_invariant(ctx: DiffContext, name: str) -> InvariantResult:
+    """Run one named invariant against a prepared context."""
+    fn = INVARIANTS[name]
+    tracer = get_tracer()
+    start = time.perf_counter()
+    with tracer.span("invariant", cat="fuzz", invariant=name,
+                     scenario=ctx.scenario.name) as span:
+        try:
+            detail = fn(ctx)
+        except InvariantSkip as skip:
+            tracer.count("fuzz.checks.skip")
+            span.set(status="skip")
+            return InvariantResult(name, "skip",
+                                   time.perf_counter() - start,
+                                   str(skip))
+    status = "ok" if detail is None else "fail"
+    tracer.count(f"fuzz.checks.{status}")
+    return InvariantResult(name, status, time.perf_counter() - start,
+                           detail or "")
+
+
+def run_scenario(scenario: Scenario,
+                 invariants: Optional[Sequence[str]] = None
+                 ) -> ScenarioResult:
+    """One scenario through its invariant matrix.
+
+    ``invariants`` restricts the matrix (CLI ``--invariants``); the
+    scenario's own tags gate which of those apply — a stratum that
+    documents a divergence (duplicate rects vs the tiled path) simply
+    doesn't tag the diverging invariant.
+    """
+    requested = list(invariants) if invariants is not None \
+        else list(scenario.invariants)
+    unknown = [n for n in requested if n not in INVARIANTS]
+    if unknown:
+        known = ", ".join(INVARIANTS)
+        raise KeyError(f"unknown invariant(s) {unknown} "
+                       f"(known: {known})")
+    ctx = DiffContext(scenario)
+    result = ScenarioResult(scenario=scenario)
+    for name in requested:
+        if name not in scenario.invariants:
+            continue
+        result.invariants.append(run_invariant(ctx, name))
+    get_tracer().count("fuzz.scenarios")
+    return result
+
+
+def run_corpus(scenarios: Iterable[Scenario],
+               invariants: Optional[Sequence[str]] = None,
+               progress: Optional[Callable[[ScenarioResult], None]] = None
+               ) -> FuzzReport:
+    """The whole corpus through the matrix, in corpus order."""
+    report = FuzzReport()
+    with get_tracer().span("fuzz", cat="fuzz"):
+        for scenario in scenarios:
+            result = run_scenario(scenario, invariants=invariants)
+            report.results.append(result)
+            if progress is not None:
+                progress(result)
+    return report
+
+
+def run_invariant_on_layout(name: str, layout: Layout,
+                            tech: Optional[Technology] = None,
+                            tiles: Optional[Tuple[int, int]] = None
+                            ) -> Optional[str]:
+    """Run one invariant on a bare layout; None = holds, str = detail.
+
+    The entry point shared by the shrinker's failure predicate, the
+    paste-able test cases it emits, and the promoted regression suite:
+    all three re-check exactly the invariant that failed, on exactly
+    the rects in hand.
+    """
+    if tech is None:
+        tech = Technology.node_90nm()
+    scenario = Scenario(
+        name=f"adhoc-{scenario_id(layout, tech, tiles)[:8]}",
+        stratum="adhoc", layout=layout, tech=tech, tiles=tiles,
+        invariants=tuple(INVARIANTS),
+        sid=scenario_id(layout, tech, tiles))
+    return INVARIANTS[name](DiffContext(scenario))

@@ -1,0 +1,236 @@
+"""Greedy delta-debugging shrinker for differential failures.
+
+When an invariant diverges on a generated scenario, the scenario is
+evidence, not a repro: dozens of features, most irrelevant.  This
+module minimizes it ddmin-style — remove feature chunks (halves, then
+quarters, ... then single rects), re-running *only the failing
+invariant* after each candidate removal and keeping any reduction
+that still fails; then greedily shrink the surviving rects' long
+dimensions.  The result is a minimal rect list plus a paste-able
+pytest case that re-checks the same invariant on the same rects via
+:func:`repro.scenarios.differential.run_invariant_on_layout`.
+
+The predicate deliberately accepts *any* failure detail of the target
+invariant, not the original string: details embed feature indices,
+which renumber as rects are removed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..geometry import Rect
+from ..layout import Layout, Technology, layout_from_rects
+from ..obs import get_logger, get_tracer
+from .differential import run_invariant_on_layout
+from .strata import Scenario, TileSpec
+
+# Predicate-evaluation budget: ddmin is O(n^2) in the worst case, and
+# every probe re-runs a flow configuration pair.  Scenarios are small
+# (tens of rects), so the default is generous; hitting it just stops
+# early with the best reduction so far.
+DEFAULT_MAX_RUNS = 200
+
+Predicate = Callable[[List[Rect]], bool]
+
+
+class _Budget:
+    """Counts predicate runs; signals exhaustion without raising."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.runs = 0
+
+    def spent(self) -> bool:
+        return self.runs >= self.limit
+
+    def check(self, predicate: Predicate, rects: List[Rect]) -> bool:
+        if self.spent():
+            return False
+        self.runs += 1
+        return predicate(rects)
+
+
+def _ddmin_rects(rects: List[Rect], predicate: Predicate,
+                 budget: _Budget) -> List[Rect]:
+    """Classic ddmin over the rect list: largest removals first."""
+    current = list(rects)
+    chunks = 2
+    while len(current) >= 2 and not budget.spent():
+        size = max(1, len(current) // chunks)
+        reduced = False
+        start = 0
+        while start < len(current) and not budget.spent():
+            candidate = current[:start] + current[start + size:]
+            if candidate and budget.check(predicate, candidate):
+                current = candidate
+                reduced = True
+                # Same position now holds the next chunk; keep going.
+            else:
+                start += size
+        if reduced:
+            chunks = max(chunks - 1, 2)
+        elif size == 1:
+            break
+        else:
+            chunks = min(len(current), chunks * 2)
+    return current
+
+
+def _shrink_dims(rects: List[Rect], predicate: Predicate,
+                 budget: _Budget) -> List[Rect]:
+    """Greedily halve each surviving rect's long dimension while the
+    failure persists (never below a 1x1 unit rect)."""
+    def halve_width(r: Rect) -> Rect:
+        return Rect(r.x1, r.y1,
+                    max(r.x1 + 1, r.x2 - max(1, r.width // 2)), r.y2)
+
+    def halve_height(r: Rect) -> Rect:
+        return Rect(r.x1, r.y1, r.x2,
+                    max(r.y1 + 1, r.y2 - max(1, r.height // 2)))
+
+    current = list(rects)
+    for i in range(len(current)):
+        while not budget.spent():
+            r = current[i]
+            # Long dimension first; if the failure needs it, fall back
+            # to the short one — a blocked width must not pin the
+            # height at full size (or vice versa).
+            if r.width >= r.height:
+                attempts = [halve_width(r), halve_height(r)]
+            else:
+                attempts = [halve_height(r), halve_width(r)]
+            for shrunk in attempts:
+                if shrunk == r or budget.spent():
+                    continue
+                candidate = current[:i] + [shrunk] + current[i + 1:]
+                if budget.check(predicate, candidate):
+                    current = candidate
+                    break
+            else:
+                break
+    return current
+
+
+def shrink_rects(rects: Sequence[Rect], still_fails: Predicate,
+                 max_runs: int = DEFAULT_MAX_RUNS
+                 ) -> Tuple[List[Rect], int]:
+    """Minimize a failing rect list; returns ``(rects, runs used)``.
+
+    ``still_fails`` must return True for the input (the caller
+    guarantees the failure reproduces before shrinking starts).
+    """
+    budget = _Budget(max_runs)
+    current = _ddmin_rects(list(rects), still_fails, budget)
+    current = _shrink_dims(current, still_fails, budget)
+    return current, budget.runs
+
+
+@dataclass
+class ShrinkOutcome:
+    """A minimal repro for one invariant failure."""
+
+    invariant: str
+    detail: str                    # the original failure detail
+    rects: List[Rect] = field(default_factory=list)
+    tiles: TileSpec = None
+    original_rects: int = 0
+    runs: int = 0
+    seconds: float = 0.0
+    scenario_name: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "scenario": self.scenario_name,
+            "original_rects": self.original_rects,
+            "shrunk_rects": len(self.rects),
+            "tiles": list(self.tiles) if self.tiles else None,
+            "runs": self.runs,
+            "seconds": round(self.seconds, 3),
+            "rects": [[r.x1, r.y1, r.x2, r.y2] for r in self.rects],
+            "test_case": self.as_test_case(),
+        }
+
+    def as_test_case(self) -> str:
+        """A paste-able pytest case re-checking the shrunk repro."""
+        safe = "".join(c if c.isalnum() else "_"
+                       for c in self.scenario_name) or "repro"
+        lines = [
+            f"def test_shrunk_{self.invariant}_{safe}():",
+            f'    """Shrunk from {self.scenario_name!r} '
+            f"({self.original_rects} -> {len(self.rects)} rects): "
+            f'{self.invariant} diverged."""',
+            "    from repro.geometry import Rect",
+            "    from repro.layout import layout_from_rects",
+            "    from repro.scenarios import run_invariant_on_layout",
+            "    rects = [",
+        ]
+        lines += [f"        Rect({r.x1}, {r.y1}, {r.x2}, {r.y2}),"
+                  for r in self.rects]
+        lines.append("    ]")
+        lines.append(
+            f'    layout = layout_from_rects(rects, name="{safe}")')
+        tiles = f"tiles={tuple(self.tiles)}" if self.tiles else "tiles=None"
+        lines.append(
+            f'    assert run_invariant_on_layout("{self.invariant}", '
+            f"layout, {tiles}) is None")
+        return "\n".join(lines)
+
+
+def shrink_failure(layout: Layout, invariant: str,
+                   tech: Optional[Technology] = None,
+                   tiles: TileSpec = None,
+                   detail: str = "",
+                   scenario_name: str = "",
+                   max_runs: int = DEFAULT_MAX_RUNS
+                   ) -> Optional[ShrinkOutcome]:
+    """Shrink a failing layout to a minimal repro for ``invariant``.
+
+    Returns None when the failure does not reproduce on the layout's
+    bare rects (flaky or environment-dependent — shrinking would chase
+    noise).
+    """
+    if tech is None:
+        tech = Technology.node_90nm()
+    log = get_logger("scenarios.shrink")
+
+    def still_fails(rects: List[Rect]) -> bool:
+        probe = layout_from_rects(rects, name=f"{layout.name}+shrink")
+        return run_invariant_on_layout(invariant, probe, tech=tech,
+                                       tiles=tiles) is not None
+
+    start = time.perf_counter()
+    with get_tracer().span("shrink", cat="fuzz", invariant=invariant,
+                           design=layout.name) as span:
+        original = list(layout.features)
+        if not still_fails(original):
+            log.warning("shrink.not_reproducible", invariant=invariant,
+                        design=layout.name)
+            return None
+        rects, runs = shrink_rects(original, still_fails,
+                                   max_runs=max_runs)
+        span.set(original=len(original), shrunk=len(rects), runs=runs)
+    outcome = ShrinkOutcome(
+        invariant=invariant, detail=detail, rects=rects, tiles=tiles,
+        original_rects=len(original), runs=runs + 1,
+        seconds=time.perf_counter() - start,
+        scenario_name=scenario_name or layout.name)
+    log.info("shrink.done", invariant=invariant,
+             original=outcome.original_rects, shrunk=len(rects),
+             runs=outcome.runs)
+    return outcome
+
+
+def shrink_scenario_failure(scenario: Scenario, invariant: str,
+                            detail: str = "",
+                            max_runs: int = DEFAULT_MAX_RUNS
+                            ) -> Optional[ShrinkOutcome]:
+    """Shrink one scenario's invariant failure to a minimal repro."""
+    return shrink_failure(scenario.layout, invariant,
+                          tech=scenario.tech, tiles=scenario.tiles,
+                          detail=detail, scenario_name=scenario.name,
+                          max_runs=max_runs)

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..cache import KIND_FRONTEND, ArtifactCache
 from ..geometry import Rect
@@ -237,6 +237,20 @@ def has_duplicate_features(layout: Layout) -> bool:
             return True
         seen.add(t)
     return False
+
+
+def duplicate_feature_rects(layout: Layout) -> List[Tuple[int, int, int, int]]:
+    """The distinct rectangles that appear more than once, sorted.
+
+    The detail payload for the monolithic-fallback warning: names the
+    offending geometry so a log line is enough to locate the duplicates
+    in the source layout.
+    """
+    counts: Dict[Tuple[int, int, int, int], int] = {}
+    for r in layout.features:
+        t = (r.x1, r.y1, r.x2, r.y2)
+        counts[t] = counts.get(t, 0) + 1
+    return sorted(t for t, n in counts.items() if n > 1)
 
 
 def splice_front_ends(layout: Layout,

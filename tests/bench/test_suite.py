@@ -4,11 +4,14 @@ import pytest
 
 from repro.bench import (
     SUITE,
+    Design,
+    LayoutSpec,
     build_design,
     design_names,
     figure2_row,
     format_table,
     get_design,
+    resolve_spec,
     table1_row,
     table2_row,
 )
@@ -49,6 +52,42 @@ class TestSuite:
         medium = design_names("medium")
         large = design_names("large")
         assert set(small) < set(medium) < set(large)
+
+
+class TestLayoutSpecProtocol:
+    """Design and Scenario share one buildable-spec protocol, so the
+    bench tooling points at either without duplicated plumbing."""
+
+    def test_design_is_a_layout_spec(self):
+        d = get_design("D1")
+        assert isinstance(d, LayoutSpec)
+        assert isinstance(d, Design)
+        assert d.build().features == build_design("D1",
+                                                  cache=False).features
+
+    def test_base_spec_build_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            LayoutSpec(name="x").build()
+
+    def test_resolve_spec_suite_names(self):
+        assert resolve_spec("D2") is get_design("D2")
+        with pytest.raises(KeyError, match="scenario:"):
+            resolve_spec("D99")   # error text advertises both forms
+
+    def test_resolve_spec_scenario_round_trip(self):
+        from repro.scenarios import build_scenario
+
+        spec = resolve_spec("scenario:density:2")
+        assert isinstance(spec, LayoutSpec)
+        assert spec.build().features == \
+            build_scenario("density", 2).layout.features
+
+    def test_build_design_scenario_seed_override(self):
+        from repro.scenarios import build_scenario
+
+        layout = build_design("scenario:density:0", seed=1)
+        assert layout.features == \
+            build_scenario("density", 1).layout.features
 
 
 class TestTableRunners:

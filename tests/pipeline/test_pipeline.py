@@ -104,6 +104,48 @@ class TestTiledFrontEnd:
         assert front.pairs == mono.pairs
         assert len(front.shifters) == len(mono.shifters)
 
+    def test_duplicate_fallback_warns_and_counts(self, tech):
+        """The degradation is never silent: a structured-log warning
+        names the duplicate geometry and the metrics counter ticks."""
+        import io
+        import logging
+
+        from repro.geometry import Rect
+        from repro.layout import layout_from_rects
+        from repro.obs import Tracer, configure_logging, use_tracer
+
+        r = Rect(0, 0, 90, 1000)
+        lay = layout_from_rects([r, Rect(500, 0, 590, 1000)])
+        lay.add_feature(r)
+        tracer = Tracer()
+        stream = io.StringIO()
+        root = logging.getLogger("repro")
+        propagate = root.propagate
+        configure_logging(stream=stream)
+        try:
+            with use_tracer(tracer):
+                stage_front_end(lay, tech, PipelineConfig(tiles=2))
+        finally:
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+            root.propagate = propagate
+        assert tracer.metrics.counter(
+            "frontend.monolithic_fallbacks").value == 1
+        text = stream.getvalue()
+        assert "frontend.monolithic_fallback" in text
+        assert "duplicate_features" in text
+
+    def test_clean_tiled_run_does_not_count_fallback(self, tech):
+        from repro.obs import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            front = stage_front_end(grating_layout(6), tech,
+                                    PipelineConfig(tiles=2))
+        assert front.tiled
+        assert tracer.metrics.counter(
+            "frontend.monolithic_fallbacks").value == 0
+
     def test_pipeline_threads_grid_to_detection(self, tech):
         """One partition per revision: the detect stage's chip report
         runs on the front end's grid, which is released afterwards so

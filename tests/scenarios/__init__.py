@@ -1,0 +1,1 @@
+"""Scenario curriculum test package."""

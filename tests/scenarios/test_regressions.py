@@ -1,0 +1,56 @@
+"""Promoted scenario regressions: one hand-picked case per stratum.
+
+The full corpus runs in CI's fuzz-smoke job; these are the fast tier-1
+distillations — each pins the one invariant its stratum most directly
+stresses, on the seed whose geometry was verified by hand when the
+curriculum landed.  No shrunk corpus findings existed at promotion
+time (the matrix was green), so these are the hand-picked
+representatives the issue calls for; genuine shrunk repros join this
+file as the fuzzer finds them.
+"""
+
+from repro.core.flow import run_aapsm_flow
+from repro.scenarios import build_scenario, run_invariant_on_layout
+
+
+class TestPromotedScenarios:
+    def test_density_tight_windowed_equals_global(self, tech):
+        """Seed 3 is the DRC-tight level: every gap near the 140 nm
+        floor, the densest correction instance the sweep produces."""
+        s = build_scenario("density", 3)
+        assert run_invariant_on_layout("windowed", s.layout) is None
+
+    def test_oddcycle_chain_tiled_equals_monolithic(self):
+        """Seed 1 builds two chains, one with a nested second cycle —
+        the stitcher must reassemble the long odd cycles exactly."""
+        s = build_scenario("oddcycle", 1)
+        assert run_invariant_on_layout("tiled", s.layout) is None
+
+    def test_tjoin_grid_conflict_count_exact(self, tech):
+        """The T-join witness grid has a known optimum: one conflict
+        per independent Figure-1 cluster, nothing more."""
+        s = build_scenario("tjoin", 1)
+        r = run_aapsm_flow(s.layout, tech)
+        assert r.detection.num_conflicts == s.expect_conflicts
+        assert r.success
+
+    def test_boundary_seam_conflicts_tiled_equals_monolithic(self):
+        """Conflict clusters pinned on the 3x3 grid's seams: owner
+        arbitration must not drop or double-count the seam conflicts."""
+        s = build_scenario("boundary", 1)
+        assert run_invariant_on_layout("tiled", s.layout,
+                                       tiles=s.tiles) is None
+
+    def test_darkfield_parity_holds(self):
+        s = build_scenario("darkfield", 0)
+        assert run_invariant_on_layout("darkfield", s.layout) is None
+
+    def test_duplicate_rects_executors_agree(self):
+        """Duplicate rects force the monolithic front-end fallback;
+        every executor must still produce the identical report."""
+        s = build_scenario("duplicate", 0)
+        assert run_invariant_on_layout("executors", s.layout) is None
+
+    def test_duplicate_rects_oracle_accepts(self):
+        s = build_scenario("duplicate", 1)
+        assert run_invariant_on_layout("oracle", s.layout) is None

@@ -197,6 +197,16 @@ class TestSpliceGuards:
         for name in ("D1", "D2", "D3"):
             assert not has_duplicate_features(build_design(name))
 
+    def test_duplicate_feature_rects_names_offenders(self):
+        from repro.shifters import duplicate_feature_rects
+
+        a = Rect(0, 0, 90, 1000)
+        b = Rect(500, 0, 590, 1000)
+        lay = layout_from_rects([a, b, a, a, Rect(1000, 0, 1090, 800)])
+        assert duplicate_feature_rects(lay) == [(0, 0, 90, 1000)]
+        assert duplicate_feature_rects(
+            layout_from_rects([a, b])) == []
+
     def test_stale_artifact_rejected(self, tech):
         lay = layout_from_rects([Rect(0, 0, 90, 1000)])
         stale = TileFrontEnd(

@@ -352,3 +352,75 @@ class TestBench:
         assert main(["bench", "--designs", "D1",
                      "--executor", "thread"]) == 0
         assert "no effect" in capsys.readouterr().err
+
+
+class TestFuzz:
+    def test_fuzz_table_mode_green(self, capsys):
+        assert main(["fuzz", "--strata", "tjoin", "--count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario curriculum" in out
+        assert "tjoin-s0" in out
+        assert " 0 fail" in out
+
+    def test_fuzz_json_stdout_is_pure(self, capsys):
+        import json as json_mod
+
+        assert main(["fuzz", "--strata", "density", "--count", "1",
+                     "--seed", "2", "--json"]) == 0
+        captured = capsys.readouterr()
+        data = json_mod.loads(captured.out)  # progress goes to stderr
+        assert data["strata"] == ["density"]
+        assert (data["count"], data["seed"]) == (1, 2)
+        assert data["summary"]["scenarios"] == 1
+        assert data["summary"]["fail"] == 0
+        assert data["scenarios"][0]["name"].startswith("density-s2-")
+        assert all(c["status"] in ("ok", "skip")
+                   for c in data["scenarios"][0]["checks"])
+        assert "telemetry" in data
+
+    def test_fuzz_invariant_subset(self, capsys):
+        import json as json_mod
+
+        assert main(["fuzz", "--strata", "tjoin", "--count", "1",
+                     "--invariants", "oracle", "--json"]) == 0
+        data = json_mod.loads(capsys.readouterr().out)
+        checks = data["scenarios"][0]["checks"]
+        assert [c["name"] for c in checks] == ["oracle"]
+
+    def test_fuzz_unknown_stratum_exits_2(self, capsys):
+        assert main(["fuzz", "--strata", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "density" in err
+
+    def test_fuzz_unknown_invariant_exits_2(self, capsys):
+        assert main(["fuzz", "--strata", "tjoin", "--count", "1",
+                     "--invariants", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_fuzz_divergence_shrinks_and_exits_1(self, capsys,
+                                                 monkeypatch):
+        """A broken invariant must surface as exit 1 plus a bounded,
+        paste-able shrunk repro on stderr."""
+        from repro.scenarios import INVARIANTS
+
+        monkeypatch.setitem(
+            INVARIANTS, "oracle",
+            lambda ctx: "injected divergence"
+            if ctx.layout.num_polygons >= 1 else None)
+        assert main(["fuzz", "--strata", "tjoin", "--count", "1",
+                     "--invariants", "oracle",
+                     "--max-shrink-runs", "60"]) == 1
+        captured = capsys.readouterr()
+        assert " 1 fail" in captured.out
+        assert "shrunk repro" in captured.err
+        assert "def test_shrunk_oracle_" in captured.err
+
+    def test_fuzz_no_shrink_skips_repro(self, capsys, monkeypatch):
+        from repro.scenarios import INVARIANTS
+
+        monkeypatch.setitem(
+            INVARIANTS, "oracle",
+            lambda ctx: "injected divergence")
+        assert main(["fuzz", "--strata", "tjoin", "--count", "1",
+                     "--invariants", "oracle", "--no-shrink"]) == 1
+        assert "shrunk repro" not in capsys.readouterr().err
