@@ -25,6 +25,7 @@ import argparse
 import cProfile
 import json
 import os
+import subprocess
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -137,6 +138,47 @@ def profile_design(design: str, top: int = 15,
     }
 
 
+def _git_commit() -> str:
+    """Short hash of HEAD, or ``unknown`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def append_trajectory(report: dict, path: str) -> dict:
+    """Append one run's headline numbers to the trajectory log.
+
+    ``BENCH_trajectory.json`` is a committed, append-only list — one
+    entry per profile run — so stage-second history reads as a diff
+    across commits instead of being overwritten by each snapshot.
+    """
+    entry = {
+        "commit": _git_commit(),
+        "design": report["design"],
+        "kernels": report["kernels"],
+        "matcher": report["matcher"],
+        "wall_seconds": report["wall_seconds"],
+        "stage_seconds": report["stage_seconds"],
+    }
+    history: List[dict] = []
+    if os.path.exists(path):
+        with open(path) as fh:
+            history = json.load(fh)
+    history.append(entry)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(history, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return entry
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="cProfile the staged pipeline, one profile per "
@@ -156,6 +198,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("-o", "--output", default=None,
                         help="output path (default: "
                              "benchmarks/BENCH_profile_<design>.json)")
+    parser.add_argument("--trajectory", default=None,
+                        help="trajectory log path (default: "
+                             "BENCH_trajectory.json beside the "
+                             "snapshot); 'none' disables the append")
     args = parser.parse_args(argv)
 
     report = profile_design(args.design, top=args.top,
@@ -168,6 +214,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     with open(out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+    if args.trajectory != "none":
+        traj_path = args.trajectory or os.path.join(
+            os.path.dirname(out) or ".", "BENCH_trajectory.json")
+        entry = append_trajectory(report, traj_path)
+        print(f"trajectory += {entry['commit']} {entry['design']} "
+              f"({entry['kernels']}/{entry['matcher']}) -> {traj_path}")
 
     print(f"{args.design}: {report['wall_seconds']:.2f}s wall, "
           f"stage seconds "

@@ -177,11 +177,12 @@ def _detect_tile(job: TileJob) -> TileResult:
     report = detect_conflicts(job.layout, job.tech, kind=job.kind,
                               method=job.method, prebuilt=prebuilt)
     feats = job.layout.features
+    feature_col = shifters.feature_column()
+    side_col = shifters.side_column()
 
     def shifter_key(sid: int) -> ShifterKey:
-        s = shifters[sid]
-        r = feats[s.feature_index]
-        return ((r.x1, r.y1, r.x2, r.y2), s.side)
+        r = feats[feature_col[sid]]
+        return ((r.x1, r.y1, r.x2, r.y2), side_col[sid])
 
     result = TileResult(ix=job.ix, iy=job.iy, report=report)
 
@@ -198,8 +199,8 @@ def _detect_tile(job: TileJob) -> TileResult:
         return root
 
     for p in pairs:
-        ra = comp_find(shifters[p.a].feature_index)
-        rb = comp_find(shifters[p.b].feature_index)
+        ra = comp_find(feature_col[p.a])
+        rb = comp_find(feature_col[p.b])
         if ra != rb:
             comp_parent[rb] = ra
 
@@ -216,7 +217,7 @@ def _detect_tile(job: TileJob) -> TileResult:
     for (conflict, tshape), ref2 in zip(tagged, ref2s):
         ka, kb = sorted((shifter_key(conflict.a), shifter_key(conflict.b)))
         members = comp_members.get(
-            comp_find(shifters[conflict.a].feature_index), ())
+            comp_find(feature_col[conflict.a]), ())
         witness = tuple(
             (feats[fi].x1, feats[fi].y1, feats[fi].x2, feats[fi].y2)
             for fi in members

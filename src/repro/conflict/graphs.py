@@ -108,9 +108,11 @@ class ConflictGraph:
 
 def _base_graph(kind: str, shifters: ShifterSet) -> ConflictGraph:
     graph = GeomGraph(name=kind)
-    shifter_node: Dict[int, int] = {s.id: s.id for s in shifters}
+    # Shifter ids are dense insertion indices, so the node map is the
+    # identity — built off the rect column, no Shifter objects.
+    shifter_node: Dict[int, int] = {i: i for i in range(len(shifters))}
     graph.add_nodes(shifter_node,
-                    [_node_coord(s.rect) for s in shifters])
+                    [_node_coord(r) for r in shifters.rects])
     return ConflictGraph(graph=graph, kind=kind, shifters=shifters,
                          shifter_node=shifter_node)
 
@@ -164,11 +166,12 @@ def build_phase_conflict_graph(
     for sa, sb in shifters.feature_pairs():
         rows.append((cg.shifter_node[sa.id], cg.shifter_node[sb.id],
                      inf_weight, (FEATURE_TAG, sa.feature_index)))
-    edges = graph.add_edges(rows)
-    for e in edges[:n_overlap]:
-        cg.edge_pair[e.id] = e.tag[1]
-    for e in edges[n_overlap:]:
-        cg.edge_feature[e.id] = e.tag[1]
+    eids = graph.add_edge_rows(rows)
+    start = eids.start
+    for k in range(n_overlap):
+        cg.edge_pair[start + k] = rows[k][3][1]
+    for k in range(n_overlap, len(rows)):
+        cg.edge_feature[start + k] = rows[k][3][1]
     return cg
 
 
@@ -223,11 +226,12 @@ def build_feature_graph(
                      (f2, cg.shifter_node[sb.id])):
             rows.append((u, v, inf_weight, (FEATURE_TAG, fi)))
     graph.add_nodes(node_ids, node_coords)
-    edges = graph.add_edges(rows)
-    for e in edges[:n_overlap]:
-        cg.edge_pair[e.id] = e.tag[1]
-    for e in edges[n_overlap:]:
-        cg.edge_feature[e.id] = e.tag[1]
+    eids = graph.add_edge_rows(rows)
+    start = eids.start
+    for k in range(n_overlap):
+        cg.edge_pair[start + k] = rows[k][3][1]
+    for k in range(n_overlap, len(rows)):
+        cg.edge_feature[start + k] = rows[k][3][1]
     return cg
 
 

@@ -204,8 +204,27 @@ class Rect:
 _rect_corners = operator.attrgetter("x1", "y1", "x2", "y2")
 
 
+class RectList(list):
+    """A rect list that can carry its int64 columns.
+
+    :func:`rect_columns` memoizes its result on the ``columns`` slot, so
+    producers that hand the same (immutable-by-convention) rect list to
+    several kernel calls — e.g. ``ShifterSet.rects`` — pay the
+    struct-of-arrays conversion once.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, rects: Iterable["Rect"] = ()) -> None:
+        super().__init__(rects)
+        self.columns = None
+
+
 def rect_columns(rects: Iterable["Rect"]):
     """Struct-of-arrays int64 columns ``(x1, y1, x2, y2)`` of a rect list."""
+    cols = getattr(rects, "columns", None)
+    if cols is not None:
+        return cols
     import numpy as np
 
     # attrgetter is C-level: materializing hundreds of thousands of
@@ -213,9 +232,13 @@ def rect_columns(rects: Iterable["Rect"]):
     rows = list(map(_rect_corners, rects))
     if not rows:
         e = np.empty(0, dtype=np.int64)
-        return e, e.copy(), e.copy(), e.copy()
-    arr = np.array(rows, dtype=np.int64)
-    return arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]
+        cols = (e, e.copy(), e.copy(), e.copy())
+    else:
+        arr = np.array(rows, dtype=np.int64)
+        cols = (arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3])
+    if isinstance(rects, RectList):
+        rects.columns = cols
+    return cols
 
 
 def batch_expanded(x1, y1, x2, y2, amount: int):

@@ -102,11 +102,12 @@ def greedy_spanning_tree_bipartization(graph: GeomGraph
         return x
 
     removed: List[int] = []
-    ordered = sorted(graph.edges(), key=lambda e: (-e.weight, e.id))
-    for e in ordered:
-        ra, rb = find(e.u), find(e.v)
+    ordered = sorted(graph.live_edge_rows(),
+                     key=lambda row: (-row[3], row[0]))
+    for eid, u, v, _w in ordered:
+        ra, rb = find(u), find(v)
         if ra == rb:
-            removed.append(e.id)
+            removed.append(eid)
         else:
             parent[ra] = rb
     removed.sort()
@@ -129,10 +130,11 @@ def greedy_odd_cycle_bipartization(graph: GeomGraph) -> BipartizationResult:
     for node in graph.nodes:
         dsu.add(node)
     removed: List[int] = []
-    ordered = sorted(graph.edges(), key=lambda e: (-e.weight, e.id))
-    for e in ordered:
-        if e.is_self_loop or not dsu.union_unequal(e.u, e.v):
-            removed.append(e.id)
+    ordered = sorted(graph.live_edge_rows(),
+                     key=lambda row: (-row[3], row[0]))
+    for eid, u, v, _w in ordered:
+        if u == v or not dsu.union_unequal(u, v):
+            removed.append(eid)
     removed.sort()
     return BipartizationResult(
         removed=removed,

@@ -72,22 +72,48 @@ def color_component(graph: GeomGraph, start: int,
     traversal root gets color 0.  Returns colors for every node
     reachable from ``start`` over live edges minus ``skip_edges``, or
     None when that component is not bipartite.
+
+    Runs straight on the graph's CSR adjacency: a proper 2-coloring is
+    unique per component up to the pinned root polarity, so traversal
+    order is free and the flat arrays are walked without materializing
+    :class:`~repro.graph.geomgraph.Edge` objects (this is the verify
+    stage's hottest loop on chip-scale layouts).
     """
     skip = skip_edges if isinstance(skip_edges, set) else set(skip_edges)
+    csr = graph.csr()
+    indptr = csr.indptr
+    neighbors = csr.neighbors
+    edge_ids = csr.edge_ids
+    index = graph._node_index
+    removed = graph._removed
+    if not removed:
+        blocked = skip
+    elif not skip:
+        blocked = removed
+    else:
+        blocked = removed | skip
     colors: Dict[int, int] = {start: 0}
     queue = [start]
+    pop = queue.pop
+    push = queue.append
+    get = colors.get
     while queue:
-        node = queue.pop()
-        for e in graph.incident(node):
-            if e.id in skip:
+        node = pop()
+        color = colors[node]
+        i = index.get(node)
+        if i is None:        # unknown start label: colored, no edges
+            continue
+        for k in range(indptr[i], indptr[i + 1]):
+            if blocked and edge_ids[k] in blocked:
                 continue
-            if e.is_self_loop:
+            nxt = neighbors[k]
+            if nxt == node:      # self-loop: never 2-colorable
                 return None
-            nxt = e.other(node)
-            if nxt not in colors:
-                colors[nxt] = colors[node] ^ 1
-                queue.append(nxt)
-            elif colors[nxt] == colors[node]:
+            seen = get(nxt)
+            if seen is None:
+                colors[nxt] = color ^ 1
+                push(nxt)
+            elif seen == color:
                 return None
     return colors
 
@@ -136,16 +162,16 @@ def residual_conflicts(graph: GeomGraph, deleted: Sequence[int],
     dsu = ParityDSU()
     for node in graph.nodes:
         dsu.add(node)
-    for e in graph.edges():
-        if e.id in deleted_set or e.id in candidate_set:
+    for eid, u, v, _w in graph.live_edge_rows():
+        if eid in deleted_set or eid in candidate_set:
             continue
-        if not dsu.union_unequal(e.u, e.v):
+        if not dsu.union_unequal(u, v):
             raise ValueError(
                 "graph minus deleted edges is not bipartite; "
                 "bipartization output is inconsistent")
 
-    ordered = sorted(candidate_set,
-                     key=lambda eid: (-graph.edge(eid).weight, eid))
+    weight = graph.edge_weight
+    ordered = sorted(candidate_set, key=lambda eid: (-weight(eid), eid))
     conflicts: List[int] = []
     for eid in ordered:
         e = graph.edge(eid)

@@ -73,7 +73,10 @@ def decompose(graph: GeomGraph) -> List[GraphComponent]:
 
     Deterministic: components are ordered by minimum node id, so the
     decomposition of a given graph is reproducible across runs and
-    processes.
+    processes.  Component discovery and the per-component edge lists
+    both read the graph's flat arrays directly — no
+    :class:`~repro.graph.geomgraph.Edge` objects on this path (it runs
+    once per assign/verify stage over chip-scale graphs).
     """
     components = sorted(graph.connected_components(),
                         key=lambda comp: comp[0])
@@ -82,8 +85,8 @@ def decompose(graph: GeomGraph) -> List[GraphComponent]:
         for node in comp:
             node_comp[node] = i
     edges: List[List[Tuple[int, int, int]]] = [[] for _ in components]
-    for e in graph.edges():
-        edges[node_comp[e.u]].append((e.u, e.v, e.weight))
+    for _eid, u, v, w in graph.live_edge_rows():
+        edges[node_comp[u]].append((u, v, w))
 
     out: List[GraphComponent] = []
     for i, comp in enumerate(components):
@@ -121,21 +124,26 @@ def component_content_id(graph: GeomGraph, order: Sequence[int],
     multiset, which preserves parallel edges and self-loops.
     """
     rank = {n: i for i, n in enumerate(order)}
-    # One joined update per section instead of a hash-object call per
-    # node/edge: sha256 of a concatenation is byte-identical however it
-    # is chunked, and this function runs once per component per stage
-    # (tens of thousands of times on chip-scale runs).  Coordinates are
-    # plain tuples straight off the graph's dict — no dataclass
-    # introspection on this path.
+    # The digest is fed in chunked sections (header, nodes, edges)
+    # straight off the component's arrays: sha256 of a concatenation is
+    # byte-identical however it is chunked, and this function runs once
+    # per component per stage (tens of thousands of times on chip-scale
+    # runs).  Coordinates are plain tuples straight off the graph's
+    # dict — no dataclass introspection on this path.
     coords = graph._coords
-    parts = [f"component-format:{COMPONENT_FORMAT}"]
-    for n in order:
-        c = coords.get(n)
-        parts.append(repr(c) if c is not None else f"node:{n}")
-    parts.extend(f"e:{u},{v},{w}" for u, v, w in sorted(
-        (min(rank[u], rank[v]), max(rank[u], rank[v]), w)
-        for u, v, w in comp_edges))
-    return hashlib.sha256("".join(parts).encode()).hexdigest()
+    h = hashlib.sha256()
+    h.update(f"component-format:{COMPONENT_FORMAT}".encode())
+    h.update("".join(
+        repr(c) if (c := coords.get(n)) is not None else f"node:{n}"
+        for n in order).encode())
+    keys: List[Tuple[int, int, int]] = []
+    for u, v, w in comp_edges:
+        ru = rank[u]
+        rv = rank[v]
+        keys.append((ru, rv, w) if ru <= rv else (rv, ru, w))
+    keys.sort()
+    h.update("".join(f"e:{a},{b},{w}" for a, b, w in keys).encode())
+    return h.hexdigest()
 
 
 # ----------------------------------------------------------------------

@@ -36,10 +36,16 @@ def find_crossing_pairs(graph: GeomGraph) -> List[Tuple[int, int]]:
     (the gap-1 extras cannot conflict and the exact integer predicate
     discards them), never a miss.
     """
-    edges = [e for e in graph.edges() if not e.is_self_loop]
-    if not edges:
+    coords = graph._coords
+    eids: List[int] = []
+    segs: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+    for eid, u, v, _w in graph.live_edge_rows():
+        if u == v:
+            continue
+        eids.append(eid)
+        segs.append((coords[u], coords[v]))
+    if not eids:
         return []
-    segs = [graph.segment(e.id) for e in edges]
     boxes = []
     for a, b in segs:
         x1, y1, x2, y2 = segment_bbox(a, b)
@@ -50,9 +56,9 @@ def find_crossing_pairs(graph: GeomGraph) -> List[Tuple[int, int]]:
         a, b = segs[i]
         c, d = segs[j]
         if segments_conflict(a, b, c, d):
-            # edges() yields in ascending id order, so (i, j) with
-            # i < j maps to an ascending, already-sorted id pair.
-            pairs.append((edges[i].id, edges[j].id))
+            # live_edge_rows yields in ascending id order, so (i, j)
+            # with i < j maps to an ascending, already-sorted id pair.
+            pairs.append((eids[i], eids[j]))
     return pairs
 
 
@@ -79,11 +85,11 @@ def greedy_planarize(graph: GeomGraph) -> List[int]:
         conflicts[b].add(a)
 
     removed: List[int] = []
+    weight = graph.edge_weight
     while conflicts:
         victim = min(
             conflicts,
-            key=lambda eid: (graph.edge(eid).weight, -len(conflicts[eid]),
-                             eid),
+            key=lambda eid: (weight(eid), -len(conflicts[eid]), eid),
         )
         graph.remove_edge(victim)
         removed.append(victim)

@@ -37,17 +37,21 @@ class DualGraph:
 
 
 def build_dual(embedding: PlanarEmbedding) -> DualGraph:
-    """Construct the dual of an embedded planar graph."""
-    dual = GeomGraph(name=f"{embedding.graph.name}#dual")
-    for face_index in range(embedding.num_faces):
-        dual.add_node(face_index)
+    """Construct the dual of an embedded planar graph.
 
-    primal_of: Dict[int, int] = {}
-    for e in embedding.graph.edges():
-        f1, f2 = embedding.edge_faces(e.id)
-        dual_edge = dual.add_edge(f1, f2, weight=e.weight,
-                                  tag=(PRIMAL_TAG, e.id))
-        primal_of[dual_edge.id] = e.id
+    Bulk build off the embedding's edge-face columns: dual edge ``k``
+    corresponds to the ``k``-th live primal edge, so ids and iteration
+    order match the historical per-edge construction exactly.
+    """
+    dual = GeomGraph(name=f"{embedding.graph.name}#dual")
+    dual.add_nodes(range(embedding.num_faces))
+
+    primal_ids, left, right = embedding.edge_face_columns()
+    weight = embedding.graph.edge_weight
+    ids = dual.add_edge_rows(
+        [(f1, f2, weight(eid), (PRIMAL_TAG, eid))
+         for eid, f1, f2 in zip(primal_ids, left, right)])
+    primal_of = dict(zip(ids, primal_ids))
 
     return DualGraph(graph=dual, tset=set(embedding.odd_faces()),
                      primal_of=primal_of)

@@ -8,19 +8,31 @@ out of the face table.
 
 All angle comparisons are exact (integer cross products), so the face
 structure is deterministic and independent of floating-point behaviour.
+
+The builder is array-native: darts are dense integers ``2*k + bit``
+over the live-edge list, rotations come from one batch half-plane-key +
+integer-cross-product ranking over *all* darts at once (numpy when
+available, a scalar pass mirroring the same comparator otherwise), and
+the face walk runs over a flat next-dart permutation.  The dict/tuple
+views (``rotations`` / ``faces`` / ``face_of``) materialize lazily for
+consumers that want them; the hot consumers (the dual builder) read the
+flat arrays.
 """
 
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from .geomgraph import GeomGraph
+from .geomgraph import GeomGraph, _numpy
 
 # A dart is a directed copy of an edge: (edge_id, 0) runs u -> v,
 # (edge_id, 1) runs v -> u.
 Dart = Tuple[int, int]
+
+# Below this many darts the numpy batch sort loses to its fixed
+# overhead; both paths are exactly equivalent (differential-tested).
+_VECTOR_MIN_DARTS = 256
 
 
 def _half(dx: int, dy: int) -> int:
@@ -44,9 +56,12 @@ def _direction_cmp(d1: Tuple[int, int], d2: Tuple[int, int]) -> int:
     return 0
 
 
-@dataclass
 class PlanarEmbedding:
     """Rotation system + face table of a plane straight-line graph.
+
+    Backed by flat dart arrays; the mapping-shaped attributes of the
+    historical implementation (``rotations``, ``faces``, ``face_of``)
+    are materialized on first access and cached.
 
     Attributes:
         graph: the underlying (crossing-free) geometric graph.
@@ -57,17 +72,33 @@ class PlanarEmbedding:
         face_of: face index of every dart.
     """
 
-    graph: GeomGraph
-    rotations: Dict[int, List[Dart]]
-    faces: List[List[Dart]]
-    face_of: Dict[Dart, int]
+    def __init__(self, graph: GeomGraph, live_edges: List[int],
+                 rot: List[int], rot_indptr: List[int],
+                 next_dart: List[int], dart_face: List[int],
+                 face_lens: List[int], face_seeds: List[int]) -> None:
+        self.graph = graph
+        # Dart d encodes (live_edges[d >> 1], d & 1).
+        self._live_edges = live_edges
+        self._rot = rot                  # darts grouped by node, CCW
+        self._rot_indptr = rot_indptr    # per dense node index
+        self._next = next_dart           # face-walk successor per dart
+        self._dart_face = dart_face      # face index per dart
+        self._face_lens = face_lens
+        self._face_seeds = face_seeds    # first dart of each face
+        self._edge_pos: Optional[Dict[int, int]] = None
+        self._rotations: Optional[Dict[int, List[Dart]]] = None
+        self._faces: Optional[List[List[Dart]]] = None
+        self._face_of: Optional[Dict[Dart, int]] = None
 
+    # ------------------------------------------------------------------
+    # Array-level queries (no dict materialization)
+    # ------------------------------------------------------------------
     @property
     def num_faces(self) -> int:
-        return len(self.faces)
+        return len(self._face_lens)
 
     def face_length(self, face_index: int) -> int:
-        return len(self.faces[face_index])
+        return self._face_lens[face_index]
 
     def odd_faces(self) -> List[int]:
         """Faces with an odd boundary walk — the T set for the dual T-join.
@@ -77,11 +108,25 @@ class PlanarEmbedding:
         GF(2) and a bridge appears twice in its face walk (contributing
         even length).
         """
-        return [i for i, f in enumerate(self.faces) if len(f) % 2 == 1]
+        return [i for i, n in enumerate(self._face_lens) if n % 2 == 1]
 
     def edge_faces(self, edge_id: int) -> Tuple[int, int]:
         """The two (possibly equal) faces bordering an edge."""
-        return (self.face_of[(edge_id, 0)], self.face_of[(edge_id, 1)])
+        pos = self._edge_pos
+        if pos is None:
+            pos = {eid: k for k, eid in enumerate(self._live_edges)}
+            self._edge_pos = pos
+        k = pos[edge_id]
+        return (self._dart_face[2 * k], self._dart_face[2 * k + 1])
+
+    def edge_face_columns(self) -> Tuple[List[int], List[int], List[int]]:
+        """``(live edge ids, left faces, right faces)`` columns, id order.
+
+        The dual builder's fast path: column ``k`` is
+        ``edge_faces(live_edge_ids[k])`` without the per-edge lookups.
+        """
+        return (self._live_edges, self._dart_face[0::2],
+                self._dart_face[1::2])
 
     def euler_check(self) -> bool:
         """V - E + F == 1 + C (Euler's formula with C components)."""
@@ -94,7 +139,50 @@ class PlanarEmbedding:
             1 for comp in components
             if any(True for n in comp for _ in self.graph.incident(n)))
         expected_f = e - v + len(components) + c_with_edges
-        return len(self.faces) == expected_f
+        return len(self._face_lens) == expected_f
+
+    # ------------------------------------------------------------------
+    # Materialized views (lazy, for tests and exploratory callers)
+    # ------------------------------------------------------------------
+    def _dart_tuple(self, d: int) -> Dart:
+        return (self._live_edges[d >> 1], d & 1)
+
+    @property
+    def rotations(self) -> Dict[int, List[Dart]]:
+        if self._rotations is None:
+            indptr = self._rot_indptr
+            rot = self._rot
+            live = self._live_edges
+            self._rotations = {
+                node: [(live[d >> 1], d & 1)
+                       for d in rot[indptr[i]:indptr[i + 1]]]
+                for i, node in enumerate(self.graph.nodes)}
+        return self._rotations
+
+    @property
+    def faces(self) -> List[List[Dart]]:
+        if self._faces is None:
+            nxt = self._next
+            live = self._live_edges
+            faces: List[List[Dart]] = []
+            for seed in self._face_seeds:
+                walk = [(live[seed >> 1], seed & 1)]
+                cur = nxt[seed]
+                while cur != seed:
+                    walk.append((live[cur >> 1], cur & 1))
+                    cur = nxt[cur]
+                faces.append(walk)
+            self._faces = faces
+        return self._faces
+
+    @property
+    def face_of(self) -> Dict[Dart, int]:
+        if self._face_of is None:
+            live = self._live_edges
+            self._face_of = {
+                (live[d >> 1], d & 1): f
+                for d, f in enumerate(self._dart_face)}
+        return self._face_of
 
 
 def build_embedding(graph: GeomGraph) -> PlanarEmbedding:
@@ -104,56 +192,164 @@ def build_embedding(graph: GeomGraph) -> PlanarEmbedding:
     :func:`repro.graph.crossings.greedy_planarize` first, which also
     guarantees no two darts at a node share a direction.
     """
-    rotations: Dict[int, List[Dart]] = {}
-    for node in graph.nodes:
-        darts: List[Dart] = []
-        # Directions are computed once per dart, not inside the
-        # comparator — cmp_to_key evaluates it O(d log d) times per
-        # rotation otherwise.
-        dirs: Dict[Dart, Tuple[int, int]] = {}
-        ox, oy = graph.coord(node)
-        for e in graph.incident(node):
-            if e.is_self_loop:
-                raise ValueError("embedding does not support self-loops")
-            dart = (e.id, 0 if e.u == node else 1)
-            tx, ty = graph.coord(e.other(node))
-            darts.append(dart)
-            dirs[dart] = (tx - ox, ty - oy)
+    removed = graph._removed
+    n_edges = len(graph._eu)
+    if removed:
+        live = [eid for eid in range(n_edges) if eid not in removed]
+    else:
+        live = list(range(n_edges))
+    eu, ev = graph._eu, graph._ev
+    for eid in live:
+        if eu[eid] == ev[eid]:
+            raise ValueError("embedding does not support self-loops")
 
+    np = _numpy() if 2 * len(live) >= _VECTOR_MIN_DARTS else None
+    if np is not None:
+        rot, rot_indptr, next_dart = _rotation_arrays_numpy(graph, live, np)
+    else:
+        rot, rot_indptr, next_dart = _rotation_arrays_scalar(graph, live)
+
+    # Face orbits.  Seeds scan the rotation array in order — nodes in
+    # insertion order, darts CCW within a node — reproducing the
+    # historical face enumeration (and with it every dual node id).
+    dart_face = [-1] * (2 * len(live))
+    face_lens: List[int] = []
+    face_seeds: List[int] = []
+    for seed in rot:
+        if dart_face[seed] != -1:
+            continue
+        face = len(face_lens)
+        face_seeds.append(seed)
+        dart_face[seed] = face
+        length = 1
+        cur = next_dart[seed]
+        while cur != seed:
+            dart_face[cur] = face
+            length += 1
+            cur = next_dart[cur]
+        face_lens.append(length)
+
+    return PlanarEmbedding(graph=graph, live_edges=live, rot=rot,
+                           rot_indptr=rot_indptr, next_dart=next_dart,
+                           dart_face=dart_face, face_lens=face_lens,
+                           face_seeds=face_seeds)
+
+
+def _rotation_arrays_numpy(graph: GeomGraph, live: List[int], np):
+    """Batch CCW rotation build over all darts at once.
+
+    Per-dart half-plane keys plus exact int64 cross products rank every
+    dart within its origin's rotation in one vectorized pass (degrees
+    in planarized conflict graphs are small, so the per-node all-pairs
+    comparison count stays linear in practice); the next-dart
+    permutation then falls out of pure array arithmetic.
+    """
+    xs, ys = graph.coord_arrays(np)
+    ui_all, vi_all = graph._dense_endpoints(np)
+    le = np.array(live, dtype=np.int64)
+    ui = ui_all[le]
+    vi = vi_all[le]
+    n_darts = 2 * len(live)
+
+    # Dart d = 2*k + bit: origin/target dense node indices.
+    origin = np.empty(n_darts, dtype=np.int64)
+    target = np.empty(n_darts, dtype=np.int64)
+    origin[0::2] = ui
+    origin[1::2] = vi
+    target[0::2] = vi
+    target[1::2] = ui
+    dx = xs[target] - xs[origin]
+    dy = ys[target] - ys[origin]
+    half = ((dy < 0) | ((dy == 0) & (dx < 0))).astype(np.int8)
+
+    # Group darts by origin node.
+    n_nodes = graph.num_nodes()
+    counts = np.bincount(origin, minlength=n_nodes)
+    indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.argsort(origin, kind="stable")
+
+    # All intra-node dart pairs (i < j in grouped position): the
+    # blocked repeat/arange construction of the geometry kernels.
+    grouped_origin = origin[order]
+    local = np.arange(n_darts, dtype=np.int64) - indptr[grouped_origin]
+    reps = counts[grouped_origin] - 1 - local
+    pair_i = np.repeat(np.arange(n_darts, dtype=np.int64), reps)
+    block_start = np.repeat(np.cumsum(reps) - reps, reps)
+    pair_j = pair_i + 1 + (np.arange(len(pair_i), dtype=np.int64)
+                           - block_start)
+
+    gh = half[order]
+    gdx = dx[order]
+    gdy = dy[order]
+    hi, hj = gh[pair_i], gh[pair_j]
+    cross = gdx[pair_i] * gdy[pair_j] - gdy[pair_i] * gdx[pair_j]
+    # "i before j" in CCW order, the vectorized twin of _direction_cmp.
+    # Planarization guarantees no equal directions at a node, but a
+    # hypothetical tie (cross == 0, same half) keeps the lower dart id
+    # first — matching the stable comparison sort of the scalar path.
+    i_first = (hi < hj) | ((hi == hj) & (cross >= 0))
+    rank = np.bincount(np.where(i_first, pair_j, pair_i),
+                       minlength=n_darts)
+
+    # CCW rotation array: stable refinement of the origin grouping by
+    # rank.  pos is its inverse permutation (global slot per dart).
+    rot = order[np.lexsort((rank, grouped_origin))]
+    pos = np.empty(n_darts, dtype=np.int64)
+    pos[rot] = np.arange(n_darts, dtype=np.int64)
+
+    # Face-walk successor: reverse the dart, then step clockwise in the
+    # reverse dart's ring.
+    reverse = np.arange(n_darts, dtype=np.int64) ^ 1
+    head = origin[reverse]
+    start = indptr[head]
+    size = counts[head]
+    next_dart = rot[start + (pos[reverse] - start - 1) % size]
+
+    return rot.tolist(), indptr.tolist(), next_dart.tolist()
+
+
+def _rotation_arrays_scalar(graph: GeomGraph, live: List[int]):
+    """Per-node comparison sort; exactly equivalent to the batch pass."""
+    eu, ev = graph._eu, graph._ev
+    index = graph._node_index
+    coords = graph._coords
+
+    # Incident darts per dense node index, in ascending edge-id order
+    # (matching the CSR dart order the numpy pass groups by).
+    incident: List[List[int]] = [[] for _ in range(graph.num_nodes())]
+    for k, eid in enumerate(live):
+        incident[index[eu[eid]]].append(2 * k)
+        incident[index[ev[eid]]].append(2 * k + 1)
+
+    rot: List[int] = []
+    rot_indptr = [0]
+    pos = [0] * (2 * len(live))
+    dart_origin: List[int] = [0] * (2 * len(live))
+    for node in graph.nodes:
+        i = index[node]
+        darts = incident[i]
+        ox, oy = coords[node]
+        dirs: Dict[int, Tuple[int, int]] = {}
+        for d in darts:
+            eid = live[d >> 1]
+            other = ev[eid] if d & 1 == 0 else eu[eid]
+            tx, ty = coords[other]
+            dirs[d] = (tx - ox, ty - oy)
+            dart_origin[d] = i
         darts.sort(key=functools.cmp_to_key(
             lambda a, b: _direction_cmp(dirs[a], dirs[b])))
-        rotations[node] = darts
+        for d in darts:
+            pos[d] = len(rot)
+            rot.append(d)
+        rot_indptr.append(len(rot))
 
-    # Position of each dart within its origin's rotation.
-    position: Dict[Dart, int] = {}
-    for node, darts in rotations.items():
-        for i, dart in enumerate(darts):
-            position[dart] = i
-
-    def next_dart(dart: Dart) -> Dart:
-        """Face-walk successor: reverse the dart, then step clockwise."""
-        edge_id, direction_bit = dart
-        reverse = (edge_id, 1 - direction_bit)
-        e = graph.edge(edge_id)
-        head = e.v if direction_bit == 0 else e.u
-        ring = rotations[head]
-        i = position[reverse]
-        return ring[(i - 1) % len(ring)]
-
-    faces: List[List[Dart]] = []
-    face_of: Dict[Dart, int] = {}
-    for node in graph.nodes:
-        for start in rotations[node]:
-            if start in face_of:
-                continue
-            walk = [start]
-            face_of[start] = len(faces)
-            cur = next_dart(start)
-            while cur != start:
-                face_of[cur] = len(faces)
-                walk.append(cur)
-                cur = next_dart(cur)
-            faces.append(walk)
-
-    return PlanarEmbedding(graph=graph, rotations=rotations,
-                           faces=faces, face_of=face_of)
+    next_dart = [0] * (2 * len(live))
+    for d in range(2 * len(live)):
+        reverse = d ^ 1
+        head = dart_origin[reverse]
+        ring_start = rot_indptr[head]
+        ring_len = rot_indptr[head + 1] - ring_start
+        local = pos[reverse] - ring_start
+        next_dart[d] = rot[ring_start + (local - 1) % ring_len]
+    return rot, rot_indptr, next_dart

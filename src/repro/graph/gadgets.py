@@ -87,9 +87,9 @@ class GadgetGraph:
 def _internal_edges(graph: GeomGraph, tset: Set[int]) -> List[_InternalEdge]:
     """Collect non-self-loop edges and add pendants for odd components."""
     edges: List[_InternalEdge] = []
-    for e in graph.edges():
-        if not e.is_self_loop:
-            edges.append(_InternalEdge(len(edges), e.u, e.v, e.weight, e.id))
+    for eid, u, v, w in graph.live_edge_rows():
+        if u != v:
+            edges.append(_InternalEdge(len(edges), u, v, w, eid))
 
     synthetic = max(graph.nodes, default=0) + 1
     comp_edges: Dict[int, int] = {}
@@ -197,7 +197,7 @@ def build_gadget_graph(graph: GeomGraph, tset: Set[int],
 
     # Nodes are dense sequential ints and edges are appended in one
     # deterministic order, so the whole graph is buffered and built
-    # through the bulk add_nodes/add_edges paths — same ids, same
+    # through the bulk add_nodes/add_edge_rows paths — same ids, same
     # iteration order, a fraction of the construction cost (this
     # builder runs once per odd cycle chip-wide).
     mg = GeomGraph(name=f"{graph.name}#gadget")
@@ -265,7 +265,7 @@ def build_gadget_graph(graph: GeomGraph, tset: Set[int],
         selectors.append((e.orig_id, dummy, assigned_node))
 
     mg.add_nodes(range(next_node))
-    mg.add_edges(rows)
+    mg.add_edge_rows(rows)
     return GadgetGraph(matching_graph=mg, selectors=selectors,
                        num_divide_nodes=num_divide)
 

@@ -1,4 +1,4 @@
-"""Weighted geometric multigraphs.
+"""Weighted geometric multigraphs on flat arrays.
 
 The conflict-detection flow manipulates graphs whose nodes carry exact
 integer coordinates (doubled layout coordinates so rectangle centres stay
@@ -6,14 +6,47 @@ integral) and whose edges are straight segments.  The same structure,
 minus the coordinates, also represents the dual graphs and gadget graphs,
 so it supports parallel edges and self-loops with stable integer edge
 ids.
+
+Storage is struct-of-arrays: edges live in parallel endpoint / weight /
+tag columns and adjacency is a CSR table (``indptr`` / ``neighbors`` /
+``edge_ids``) built lazily in one pass — vectorized through numpy when
+available, by a scalar pass otherwise — instead of per-edge adjacency
+list appends.  :class:`Edge` objects are materialized on demand and
+memoized, so bulk construction and array-level consumers (coloring,
+components, embedding) never pay for them.  The id-stability contract:
+node iteration order is insertion order, edge ids are assigned
+sequentially, and a node's incident edges enumerate in ascending edge
+id — exactly the orders the incremental cache keys and component ids
+were derived from, however the graph was built.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from array import array
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, \
+    Set, Tuple
 
 Point = Tuple[int, int]
+
+# Below this many darts a scalar CSR pass beats numpy's fixed overhead;
+# the two builders are byte-equivalent (asserted by the differential
+# suite), so the crossover is purely a latency knob.
+_NUMPY_MIN_DARTS = 256
+
+_np: Any = False  # unresolved; resolved to a module or None on first use
+
+
+def _numpy():
+    """The numpy module, or None when unavailable (resolved once)."""
+    global _np
+    if _np is False:
+        try:
+            import numpy
+            _np = numpy
+        except ImportError:  # pragma: no cover - exercised on bare images
+            _np = None
+    return _np
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,7 +71,28 @@ class Edge:
         return self.u == self.v
 
 
-@dataclass
+class _CSR:
+    """Adjacency of every edge (removed included) in flat arrays.
+
+    ``indptr[i]:indptr[i+1]`` slices the darts of the node at dense
+    index ``i``; ``edge_ids`` holds ascending edge ids per node and
+    ``neighbors`` the opposite endpoint *labels*.  Removal is a query-
+    time filter, so soft remove/restore never invalidates the table.
+    ``eid_buf`` keeps a sliceable buffer (numpy array or ``array('q')``)
+    over the same edge ids so :meth:`GeomGraph.incident_edge_ids` can
+    hand out zero-copy views.
+    """
+
+    __slots__ = ("indptr", "neighbors", "edge_ids", "eid_buf")
+
+    def __init__(self, indptr: List[int], neighbors: List[int],
+                 edge_ids: List[int], eid_buf) -> None:
+        self.indptr = indptr
+        self.neighbors = neighbors
+        self.edge_ids = edge_ids
+        self.eid_buf = eid_buf
+
+
 class GeomGraph:
     """Undirected multigraph with optional node coordinates.
 
@@ -47,38 +101,63 @@ class GeomGraph:
     stage deleted.
     """
 
-    name: str = "graph"
-    _coords: Dict[int, Point] = field(default_factory=dict)
-    _edges: List[Edge] = field(default_factory=list)
-    _adj: Dict[int, List[int]] = field(default_factory=dict)
-    _removed: Set[int] = field(default_factory=set)
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        # label -> dense index, in insertion order (the dict IS the
+        # node registry; dense index == insertion position).
+        self._node_index: Dict[int, int] = {}
+        self._labels: List[int] = []
+        self._coords: Dict[int, Point] = {}
+        # Edge columns, indexed by edge id.
+        self._eu: List[int] = []
+        self._ev: List[int] = []
+        self._ew: List[int] = []
+        self._etags: List[Any] = []
+        self._removed: Set[int] = set()
+        # True while node labels are exactly 0..n-1 in insertion order
+        # (conflict/dual/gadget graphs) — lets the CSR builder skip the
+        # label -> index translation.
+        self._dense_labels = True
+        # Lazy caches, all keyed on the mutation epoch.
+        self._csr: Optional[_CSR] = None
+        self._edge_cache: Dict[int, Edge] = {}
+        self._array_cache: Dict[str, Tuple[int, Any]] = {}
+        self._epoch = 0
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _register(self, node: int) -> None:
+        index = self._node_index
+        if node not in index:
+            if node != len(self._labels):
+                self._dense_labels = False
+            index[node] = len(self._labels)
+            self._labels.append(node)
+
+    def _dirty(self) -> None:
+        self._epoch += 1
+        self._csr = None
+
     def add_node(self, node: int, coord: Optional[Point] = None) -> int:
-        if node not in self._adj:
-            self._adj[node] = []
+        self._register(node)
         if coord is not None:
             self._coords[node] = coord
+        self._dirty()
         return node
 
     def add_edge(self, u: int, v: int, weight: int = 1,
                  tag: Any = None) -> Edge:
-        # Hot path (hundreds of thousands of calls per chip-scale
-        # detection): node registration is inlined rather than going
-        # through add_node().
-        adj = self._adj
-        if u not in adj:
-            adj[u] = []
-        if v not in adj:
-            adj[v] = []
-        eid = len(self._edges)
+        self._register(u)
+        self._register(v)
+        eid = len(self._eu)
+        self._eu.append(u)
+        self._ev.append(v)
+        self._ew.append(weight)
+        self._etags.append(tag)
+        self._dirty()
         edge = Edge(eid, u, v, weight, tag)
-        self._edges.append(edge)
-        adj[u].append(eid)
-        if v != u:
-            adj[v].append(eid)
+        self._edge_cache[eid] = edge
         return edge
 
     def add_nodes(self, nodes: Iterable[int],
@@ -87,48 +166,57 @@ class GeomGraph:
         """Bulk :meth:`add_node`: same registration semantics, one
         call.  ``coords`` (when given) pairs positionally with
         ``nodes``; ``None`` entries leave a node coordinate-free."""
-        adj = self._adj
+        register = self._register
         if coords is None:
             for node in nodes:
-                if node not in adj:
-                    adj[node] = []
-            return
-        cmap = self._coords
-        for node, coord in zip(nodes, coords):
-            if node not in adj:
-                adj[node] = []
-            if coord is not None:
-                cmap[node] = coord
+                register(node)
+        else:
+            cmap = self._coords
+            for node, coord in zip(nodes, coords):
+                register(node)
+                if coord is not None:
+                    cmap[node] = coord
+        self._dirty()
+
+    def add_edge_rows(self, rows: Iterable[Tuple[int, int, int, Any]]
+                      ) -> range:
+        """Bulk edge append over ``(u, v, weight, tag)`` rows.
+
+        The array-native fast path: ids are assigned sequentially in
+        row order and endpoints register in per-row ``u``-then-``v``
+        order — byte-identical ids and iteration order to the
+        equivalent loop of :meth:`add_edge` calls — but no :class:`Edge`
+        objects are built.  Returns the ``range`` of assigned ids.
+        """
+        rows = rows if isinstance(rows, (list, tuple)) else list(rows)
+        start = len(self._eu)
+        if not rows:
+            return range(start, start)
+        index = self._node_index
+        register = self._register
+        for row in rows:
+            u = row[0]
+            if u not in index:
+                register(u)
+            v = row[1]
+            if v not in index:
+                register(v)
+        us, vs, ws, tags = zip(*rows)
+        self._eu.extend(us)
+        self._ev.extend(vs)
+        self._ew.extend(ws)
+        self._etags.extend(tags)
+        self._dirty()
+        return range(start, len(self._eu))
 
     def add_edges(self, rows: Iterable[Tuple[int, int, int, Any]]
                   ) -> List[Edge]:
         """Bulk :meth:`add_edge` over ``(u, v, weight, tag)`` rows.
 
-        Ids are assigned sequentially in row order — byte-identical
-        node/edge ids and iteration order to the equivalent loop of
-        per-edge calls, without paying a method call and four
-        attribute lookups per edge (the graph builders issue hundreds
-        of thousands on chip-scale layouts).
+        Same id assignment as :meth:`add_edge_rows`, plus materialized
+        :class:`Edge` objects for callers that want them.
         """
-        adj = self._adj
-        edges = self._edges
-        append = edges.append
-        out: List[Edge] = []
-        push = out.append
-        eid = len(edges)
-        for u, v, weight, tag in rows:
-            if u not in adj:
-                adj[u] = []
-            if v not in adj:
-                adj[v] = []
-            edge = Edge(eid, u, v, weight, tag)
-            append(edge)
-            adj[u].append(eid)
-            if v != u:
-                adj[v].append(eid)
-            push(edge)
-            eid += 1
-        return out
+        return [self.edge(eid) for eid in self.add_edge_rows(rows)]
 
     def remove_edge(self, edge_id: int) -> None:
         """Soft-remove an edge (it stays addressable by id)."""
@@ -142,70 +230,245 @@ class GeomGraph:
     # ------------------------------------------------------------------
     @property
     def nodes(self) -> List[int]:
-        return list(self._adj)
+        return list(self._labels)
 
     def num_nodes(self) -> int:
-        return len(self._adj)
+        return len(self._labels)
 
     def num_edges(self) -> int:
         """Count of live (non-removed) edges."""
-        return len(self._edges) - len(self._removed)
+        return len(self._eu) - len(self._removed)
 
     def coord(self, node: int) -> Point:
         return self._coords[node]
 
     def has_coords(self) -> bool:
-        return len(self._coords) == len(self._adj)
+        return len(self._coords) == len(self._labels)
 
     def edge(self, edge_id: int) -> Edge:
-        return self._edges[edge_id]
+        edge = self._edge_cache.get(edge_id)
+        if edge is None:
+            edge = Edge(edge_id, self._eu[edge_id], self._ev[edge_id],
+                        self._ew[edge_id], self._etags[edge_id])
+            self._edge_cache[edge_id] = edge
+        return edge
+
+    def edge_weight(self, edge_id: int) -> int:
+        """Weight column lookup, no :class:`Edge` materialization."""
+        return self._ew[edge_id]
 
     def is_removed(self, edge_id: int) -> bool:
         return edge_id in self._removed
 
     def edges(self, include_removed: bool = False) -> Iterator[Edge]:
-        for e in self._edges:
-            if include_removed or e.id not in self._removed:
-                yield e
+        removed = self._removed
+        edge = self.edge
+        for eid in range(len(self._eu)):
+            if include_removed or eid not in removed:
+                yield edge(eid)
+
+    def live_edge_rows(self) -> Iterator[Tuple[int, int, int, int]]:
+        """``(id, u, v, weight)`` of every live edge, in id order.
+
+        The Edge-free counterpart of :meth:`edges` for array-level
+        consumers (components, gadgets, matching conversion).
+        """
+        removed = self._removed
+        eu, ev, ew = self._eu, self._ev, self._ew
+        if removed:
+            for eid in range(len(eu)):
+                if eid not in removed:
+                    yield eid, eu[eid], ev[eid], ew[eid]
+        else:
+            yield from zip(range(len(eu)), eu, ev, ew)
 
     def incident(self, node: int, include_removed: bool = False
                  ) -> Iterator[Edge]:
-        for eid in self._adj.get(node, ()):
-            if include_removed or eid not in self._removed:
-                yield self._edges[eid]
+        csr = self._csr or self._build_csr()
+        i = self._node_index.get(node)
+        if i is None:
+            return
+        removed = self._removed
+        edge_ids = csr.edge_ids
+        edge = self.edge
+        for k in range(csr.indptr[i], csr.indptr[i + 1]):
+            eid = edge_ids[k]
+            if include_removed or eid not in removed:
+                yield edge(eid)
+
+    def incident_edge_ids(self, node: int) -> Sequence[int]:
+        """Zero-copy view of a node's incident edge ids, ascending.
+
+        Soft-removed edges are included (filter with
+        :meth:`is_removed`); the returned object is a slice *view* of
+        the CSR buffer — a numpy view or a ``memoryview`` — never a
+        freshly built list, so repeated queries allocate no per-edge
+        garbage.
+        """
+        csr = self._csr or self._build_csr()
+        i = self._node_index.get(node)
+        if i is None:
+            return ()
+        if csr.eid_buf is None:
+            csr.eid_buf = memoryview(array("q", csr.edge_ids))
+        return csr.eid_buf[csr.indptr[i]:csr.indptr[i + 1]]
 
     def degree(self, node: int) -> int:
         """Degree counting self-loops twice (graph-theoretic degree)."""
+        csr = self._csr or self._build_csr()
+        i = self._node_index.get(node)
+        if i is None:
+            return 0
+        removed = self._removed
+        neighbors = csr.neighbors
+        edge_ids = csr.edge_ids
         d = 0
-        for e in self.incident(node):
-            d += 2 if e.is_self_loop else 1
+        for k in range(csr.indptr[i], csr.indptr[i + 1]):
+            if edge_ids[k] in removed:
+                continue
+            d += 2 if neighbors[k] == node else 1
         return d
 
     def segment(self, edge_id: int) -> Tuple[Point, Point]:
-        e = self._edges[edge_id]
-        return (self._coords[e.u], self._coords[e.v])
+        coords = self._coords
+        return (coords[self._eu[edge_id]], coords[self._ev[edge_id]])
 
     def total_weight(self, edge_ids: Iterable[int]) -> int:
-        return sum(self._edges[eid].weight for eid in edge_ids)
+        ew = self._ew
+        return sum(ew[eid] for eid in edge_ids)
+
+    # ------------------------------------------------------------------
+    # CSR adjacency
+    # ------------------------------------------------------------------
+    def _build_csr(self) -> _CSR:
+        np = _numpy() if 2 * len(self._eu) >= _NUMPY_MIN_DARTS else None
+        csr = (self._build_csr_scalar() if np is None
+               else self._build_csr_numpy(np))
+        self._csr = csr
+        return csr
+
+    def _dense_endpoints(self, np):
+        """Cached int64 arrays of dense endpoint indices per edge."""
+        cached = self._array_cache.get("endpoints")
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        n_edges = len(self._eu)
+        if self._dense_labels:
+            ui = np.array(self._eu, dtype=np.int64)
+            vi = np.array(self._ev, dtype=np.int64)
+        else:
+            get = self._node_index.__getitem__
+            ui = np.fromiter(map(get, self._eu), dtype=np.int64,
+                             count=n_edges)
+            vi = np.fromiter(map(get, self._ev), dtype=np.int64,
+                             count=n_edges)
+        self._array_cache["endpoints"] = (self._epoch, (ui, vi))
+        return ui, vi
+
+    def coord_arrays(self, np):
+        """Cached int64 coordinate columns per dense node index.
+
+        Raises KeyError when any node lacks a coordinate (same contract
+        as :meth:`coord`).
+        """
+        cached = self._array_cache.get("coords")
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        coords = self._coords
+        n = len(self._labels)
+        xs = np.fromiter((coords[lab][0] for lab in self._labels),
+                         dtype=np.int64, count=n)
+        ys = np.fromiter((coords[lab][1] for lab in self._labels),
+                         dtype=np.int64, count=n)
+        self._array_cache["coords"] = (self._epoch, (xs, ys))
+        return xs, ys
+
+    def _build_csr_numpy(self, np) -> _CSR:
+        """One vectorized pass: lexsort darts by (node, edge id)."""
+        n = len(self._labels)
+        ui, vi = self._dense_endpoints(np)
+        n_edges = len(self._eu)
+        eids = np.arange(n_edges, dtype=np.int64)
+        nonloop = ui != vi
+        # Self-loops contribute a single dart, like the historical
+        # adjacency lists.
+        node_keys = np.concatenate([ui, vi[nonloop]])
+        dart_eids = np.concatenate([eids, eids[nonloop]])
+        others = np.concatenate([vi, ui[nonloop]])
+        order = np.lexsort((dart_eids, node_keys))
+        eid_sorted = dart_eids[order]
+        other_sorted = others[order]
+        counts = np.bincount(node_keys, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if self._dense_labels:
+            neighbor_labels = other_sorted
+        else:
+            labels_arr = np.array(self._labels, dtype=np.int64)
+            neighbor_labels = labels_arr[other_sorted]
+        # Python-int mirrors for the traversal loops (plain ints hash
+        # faster than numpy scalars and can never leak into reports);
+        # the numpy buffer stays behind for zero-copy views.
+        return _CSR(indptr.tolist(), neighbor_labels.tolist(),
+                    eid_sorted.tolist(), eid_sorted)
+
+    def _build_csr_scalar(self) -> _CSR:
+        """Pure-python CSR build mirroring the numpy pass exactly."""
+        n = len(self._labels)
+        index = self._node_index
+        adj_eids: List[List[int]] = [[] for _ in range(n)]
+        adj_nbrs: List[List[int]] = [[] for _ in range(n)]
+        for eid, (u, v) in enumerate(zip(self._eu, self._ev)):
+            i = index[u]
+            adj_eids[i].append(eid)
+            adj_nbrs[i].append(v)
+            if u != v:
+                j = index[v]
+                adj_eids[j].append(eid)
+                adj_nbrs[j].append(u)
+        indptr = [0] * (n + 1)
+        total = 0
+        for i, bucket in enumerate(adj_eids):
+            total += len(bucket)
+            indptr[i + 1] = total
+        edge_ids: List[int] = []
+        neighbors: List[int] = []
+        for i in range(n):
+            edge_ids.extend(adj_eids[i])
+            neighbors.extend(adj_nbrs[i])
+        return _CSR(indptr, neighbors, edge_ids, None)
+
+    def csr(self) -> _CSR:
+        """The (lazily built) CSR adjacency table."""
+        return self._csr or self._build_csr()
 
     # ------------------------------------------------------------------
     # Structure queries
     # ------------------------------------------------------------------
     def connected_components(self) -> List[List[int]]:
         """Components over live edges, each sorted; includes isolated nodes."""
+        csr = self._csr or self._build_csr()
+        indptr = csr.indptr
+        neighbors = csr.neighbors
+        edge_ids = csr.edge_ids
+        index = self._node_index
+        removed = self._removed
         seen: Set[int] = set()
         components: List[List[int]] = []
-        for start in self._adj:
+        for start in self._labels:
             if start in seen:
                 continue
-            stack = [start]
             seen.add(start)
-            comp = []
+            stack = [start]
+            comp: List[int] = []
             while stack:
                 node = stack.pop()
                 comp.append(node)
-                for e in self.incident(node):
-                    nxt = e.other(node)
+                i = index[node]
+                for k in range(indptr[i], indptr[i + 1]):
+                    if edge_ids[k] in removed:
+                        continue
+                    nxt = neighbors[k]
                     if nxt not in seen:
                         seen.add(nxt)
                         stack.append(nxt)
@@ -217,11 +480,14 @@ class GeomGraph:
         ids preserved in each edge's tag as ``("orig", id, tag)``)."""
         node_set = set(nodes)
         out = GeomGraph(name=f"{self.name}#sub")
-        for n in sorted(node_set):
-            out.add_node(n, self._coords.get(n))
-        for e in self.edges():
-            if e.u in node_set and e.v in node_set:
-                out.add_edge(e.u, e.v, e.weight, tag=("orig", e.id, e.tag))
+        ordered = sorted(node_set)
+        coords = self._coords
+        out.add_nodes(ordered, [coords.get(n) for n in ordered])
+        etags = self._etags
+        rows = [(u, v, w, ("orig", eid, etags[eid]))
+                for eid, u, v, w in self.live_edge_rows()
+                if u in node_set and v in node_set]
+        out.add_edge_rows(rows)
         return out
 
     def to_networkx(self):
@@ -229,12 +495,28 @@ class GeomGraph:
         import networkx as nx
 
         g = nx.Graph()
-        g.add_nodes_from(self._adj)
-        for e in self.edges():
-            if e.is_self_loop:
+        g.add_nodes_from(self._labels)
+        for eid, u, v, w in self.live_edge_rows():
+            if u == v:
                 continue
-            if g.has_edge(e.u, e.v):
-                if g[e.u][e.v]["weight"] <= e.weight:
+            if g.has_edge(u, v):
+                if g[u][v]["weight"] <= w:
                     continue
-            g.add_edge(e.u, e.v, weight=e.weight, eid=e.id)
+            g.add_edge(u, v, weight=w, eid=eid)
         return g
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"GeomGraph(name={self.name!r}, nodes={len(self._labels)}, "
+                f"edges={len(self._eu)}, removed={len(self._removed)})")
+
+    def __getstate__(self):
+        # Caches hold unpicklable buffers (memoryview) and are cheap to
+        # rebuild; strip them so graphs stay picklable for the store.
+        state = self.__dict__.copy()
+        state["_csr"] = None
+        state["_edge_cache"] = {}
+        state["_array_cache"] = {}
+        return state

@@ -297,12 +297,13 @@ def min_weight_perfect_matching(
     t0 = time.perf_counter()
 
     best: Dict[Tuple[int, int], Tuple[int, int]] = {}
-    for e in graph.edges():
-        if e.is_self_loop:
+    for eid, u, v, w in graph.live_edge_rows():
+        if u == v:
             continue
-        key = (min(e.u, e.v), max(e.u, e.v))
-        if key not in best or e.weight < best[key][0]:
-            best[key] = (e.weight, e.id)
+        key = (u, v) if u < v else (v, u)
+        prev = best.get(key)
+        if prev is None or w < prev[0]:
+            best[key] = (w, eid)
 
     # Union-find over the collapsed edges; isolated nodes stay their
     # own (odd) components, exactly like the historical nx path.

@@ -53,11 +53,9 @@ def assignment_from_colors(conflict_graph,
     ``0..len(shifters)-1`` by construction; auxiliary node colors are
     discarded.
     """
-    assignment = PhaseAssignment()
-    for shifter_id, node in conflict_graph.shifter_node.items():
-        assignment.phases[shifter_id] = (
-            PHASE_0 if colors[node] == 0 else PHASE_180)
-    return assignment
+    return PhaseAssignment(phases={
+        shifter_id: (PHASE_0 if colors[node] == 0 else PHASE_180)
+        for shifter_id, node in conflict_graph.shifter_node.items()})
 
 
 def assign_phases(conflict_graph) -> Optional[PhaseAssignment]:

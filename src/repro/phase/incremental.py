@@ -95,16 +95,24 @@ def assign_and_verify_incremental(
         return None, [], stats
     assignment = assignment_from_colors(conflict_graph, colors)
 
-    comp_of: Dict[int, int] = {}
-    for component in components:
-        for node in component.nodes:
-            comp_of[node] = component.index
-    feature_pairs_by: Dict[int, list] = {}
-    for sa, sb in conflict_graph.shifters.feature_pairs():
-        feature_pairs_by.setdefault(comp_of[sa.id], []).append((sa, sb))
-    pairs_by: Dict[int, list] = {}
-    for pair in pairs:
-        pairs_by.setdefault(comp_of[pair.a], []).append(pair)
+    # Constraint grouping is chip-wide work; on a warm run every verdict
+    # replays from the store and the grouping would be wasted, so it is
+    # deferred until the first component that actually re-verifies.
+    feature_pairs_by: Optional[Dict[int, list]] = None
+    pairs_by: Optional[Dict[int, list]] = None
+
+    def group_constraints() -> None:
+        nonlocal feature_pairs_by, pairs_by
+        comp_of: Dict[int, int] = {}
+        for component in components:
+            for node in component.nodes:
+                comp_of[node] = component.index
+        feature_pairs_by = {}
+        for sa, sb in conflict_graph.shifters.feature_pairs():
+            feature_pairs_by.setdefault(comp_of[sa.id], []).append((sa, sb))
+        pairs_by = {}
+        for pair in pairs:
+            pairs_by.setdefault(comp_of[pair.a], []).append(pair)
 
     tracer = get_tracer()
     problems: List[str] = []
@@ -112,6 +120,8 @@ def assign_and_verify_incremental(
         key = verify_key(component.content_id, tech)
         cached = store.get(KIND_VERIFY, key)
         if cached is None:
+            if feature_pairs_by is None:
+                group_constraints()
             stats.verified += 1
             # Spans only for components actually re-verified; replayed
             # verdicts are already visible as verify-kind cache hits.

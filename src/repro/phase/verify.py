@@ -31,12 +31,13 @@ def condition1_problems(feature_pairs: Iterable[Tuple[Shifter, Shifter]],
                         assignment) -> List[str]:
     """Opposite-phase violations among flanking shifter pairs."""
     problems: List[str] = []
+    phases = assignment.phases
     for sa, sb in feature_pairs:
-        if assignment.phases[sa.id] == assignment.phases[sb.id]:
+        pa = phases[sa.id]
+        if pa == phases[sb.id]:
             problems.append(
                 f"condition1: feature {sa.feature_index} shifters "
-                f"{sa.id}/{sb.id} share phase "
-                f"{assignment.phases[sa.id]}")
+                f"{sa.id}/{sb.id} share phase {pa}")
     return problems
 
 
@@ -44,8 +45,9 @@ def condition2_problems(pairs: Iterable[OverlapPair],
                         assignment) -> List[str]:
     """Same-phase violations among overlapping shifter pairs."""
     problems: List[str] = []
+    phases = assignment.phases
     for pair in pairs:
-        if assignment.phases[pair.a] != assignment.phases[pair.b]:
+        if phases[pair.a] != phases[pair.b]:
             problems.append(
                 f"condition2: overlapping shifters {pair.a}/{pair.b} "
                 f"have opposite phases")

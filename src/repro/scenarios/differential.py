@@ -277,6 +277,46 @@ def _check_executors(ctx: DiffContext) -> Optional[str]:
     return None
 
 
+def _check_graph(ctx: DiffContext) -> Optional[str]:
+    """Flat graph core: scalar and numpy CSR/embedding paths agree.
+
+    The graph backend is internal (no flag — one exact implementation),
+    so the seam is the crossover thresholds: one rerun pins every graph
+    to the scalar CSR build and comparison-sort embedding, another
+    forces the numpy batch paths everywhere, and both reports must be
+    byte-identical to the baseline.
+    """
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        raise InvariantSkip("numpy not installed") from None
+    from ..graph import embedding as embedding_mod
+    from ..graph import geomgraph as geomgraph_mod
+
+    saved = (geomgraph_mod._NUMPY_MIN_DARTS,
+             embedding_mod._VECTOR_MIN_DARTS)
+
+    def run_with_thresholds(csr_min: int, emb_min: int) -> FlowResult:
+        geomgraph_mod._NUMPY_MIN_DARTS = csr_min
+        embedding_mod._VECTOR_MIN_DARTS = emb_min
+        try:
+            return run_aapsm_flow(ctx.layout, ctx.tech)
+        finally:
+            geomgraph_mod._NUMPY_MIN_DARTS = saved[0]
+            embedding_mod._VECTOR_MIN_DARTS = saved[1]
+
+    mono = ctx.mono()
+    scalar_only = run_with_thresholds(1 << 62, 1 << 62)
+    if report_key(scalar_only) != report_key(mono):
+        return ("scalar graph core != baseline (diverges in: "
+                f"{_first_divergence(scalar_only, mono)})")
+    vector_only = run_with_thresholds(0, 0)
+    if report_key(vector_only) != report_key(mono):
+        return ("numpy graph core != baseline (diverges in: "
+                f"{_first_divergence(vector_only, mono)})")
+    return None
+
+
 def _check_oracle(ctx: DiffContext) -> Optional[str]:
     """Re-check the flow's own verdict straight from geometry.
 
@@ -342,6 +382,7 @@ INVARIANTS: Dict[str, InvariantFn] = {
     "kernels": _check_kernels,
     "matchers": _check_matchers,
     "executors": _check_executors,
+    "graph": _check_graph,
     "oracle": _check_oracle,
     "darkfield": _check_darkfield,
 }

@@ -62,7 +62,7 @@ SCENARIO_ID_FORMAT = 1
 # repro.scenarios.differential.INVARIANTS).
 BRIGHT_FIELD_INVARIANTS = (
     "tiled", "windowed", "eco", "kernels", "matchers", "executors",
-    "oracle",
+    "graph", "oracle",
 )
 
 TileSpec = Optional[Tuple[int, int]]

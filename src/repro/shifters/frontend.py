@@ -202,13 +202,24 @@ def compute_tile_front_end(layout: Layout, owner: Bounds,
 
     centers2 = get_kernel().region_centers2(shifters.rects,
                                             [p.key for p in pairs])
+    # Canonical key of every shifter, computed once per tile off the
+    # shifter columns — the per-pair Shifter + feature-rect double
+    # lookup this replaces was ~244K calls chip-wide on D8.
+    feat_rect: Dict[int, RectTuple] = {}
+    skeys: List[ShifterKey] = []
+    for fi, side in zip(shifters.feature_column(), shifters.side_column()):
+        rt = feat_rect.get(fi)
+        if rt is None:
+            rt = _rect_tuple(feats[fi])
+            feat_rect[fi] = rt
+        skeys.append((rt, side))
+
     owned_pairs: List[FrontPair] = []
     for p, center2 in zip(pairs, centers2):
-        sa, sb = shifters[p.a], shifters[p.b]
         if not _owns_point2(owner, *center2):
             continue
-        ka = (_rect_tuple(feats[sa.feature_index]), sa.side)
-        kb = (_rect_tuple(feats[sb.feature_index]), sb.side)
+        ka = skeys[p.a]
+        kb = skeys[p.b]
         if kb < ka:
             ka, kb = kb, ka
         owned_pairs.append(FrontPair(
@@ -290,16 +301,18 @@ def splice_front_ends(layout: Layout,
             entries.append((fi, ff))
     entries.sort(key=lambda e: e[0])
 
-    shifters = ShifterSet()
-    key_to_id = {}
+    rows: List[Tuple[int, str, Rect]] = []
+    keys: List[ShifterKey] = []
     previous = -1
     for fi, ff in entries:
         if fi == previous:
             raise SpliceError(f"feature {fi} owned by two tiles")
         previous = fi
         for side, rt in ff.shifters:
-            s = shifters.add(fi, side, Rect(*rt))
-            key_to_id[(ff.rect, side)] = s.id
+            rows.append((fi, side, Rect(*rt)))
+            keys.append((ff.rect, side))
+    shifters = ShifterSet()
+    key_to_id = dict(zip(keys, shifters.extend_rows(rows)))
 
     pairs: List[OverlapPair] = []
     for tf in fronts:

@@ -51,9 +51,11 @@ def generate_shifters(layout: Layout, tech: Technology) -> ShifterSet:
     (:mod:`repro.shifters.frontend`) reproduces this exact numbering
     when splicing cached per-tile artifacts.
     """
-    shifters = ShifterSet()
+    rows = []
     for feat in extract_critical_features(layout, tech):
         for side, rect in shifter_rects_for_feature(feat.rect, feat.vertical,
                                                     tech):
-            shifters.add(feat.index, side, rect)
+            rows.append((feat.index, side, rect))
+    shifters = ShifterSet()
+    shifters.extend_rows(rows)
     return shifters

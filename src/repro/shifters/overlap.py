@@ -79,10 +79,8 @@ def find_overlap_pairs(shifters: ShifterSet,
     rects, which lets the tile-scoped front end cache them
     tile-independently.
     """
-    rects = shifters.rects
-    feature_ids = [s.feature_index for s in shifters]
-    rows = get_kernel().overlap_rows(rects, tech.shifter_spacing,
-                                     groups=feature_ids)
+    rows = get_kernel().overlap_rows(shifters.rects, tech.shifter_spacing,
+                                     groups=shifters.feature_column())
     return [OverlapPair(a=i, b=j, separation_sq=sep, x_gap=xg, y_gap=yg)
             for i, j, sep, xg, yg in rows]
 

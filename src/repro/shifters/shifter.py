@@ -4,14 +4,22 @@ A *shifter* is a clear quartz aperture etched to shift the exposure phase
 by 180 degrees; in bright-field AAPSM every critical feature is flanked by
 two of them on opposite sides of its critical dimension.  This module
 only models geometry and identity; phases live in :mod:`repro.phase`.
+
+:class:`ShifterSet` is a batch table: shifters live in parallel
+feature / side / rect columns (plus one feature→ids dict built as rows
+land), and :class:`Shifter` objects are materialized lazily and
+memoized.  The hot paths — frontend splice, conflict-graph
+construction, the verifier's ``feature_pairs`` — read the columns and
+cached pair list instead of paying a dataclass per lookup.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..geometry import Rect
+from ..geometry.rect import RectList
 
 LEFT = "left"
 RIGHT = "right"
@@ -49,40 +57,113 @@ class ShifterSet:
     Invariant (tested): the shifters of one feature come in opposing
     pairs, so the feature edges of the phase conflict graph form a
     perfect matching on the shifter nodes.
+
+    Append-only; ids are dense insertion indices.  Rows are stored as
+    columns, :class:`Shifter` objects materialize on demand, and the
+    ``rects`` / ``feature_pairs`` views are cached per size.
     """
 
     def __init__(self) -> None:
-        self._shifters: List[Shifter] = []
+        self._feature: List[int] = []
+        self._side: List[str] = []
+        self._rect: List[Rect] = []
         self._by_feature: Dict[int, List[int]] = {}
+        self._objs: Dict[int, Shifter] = {}
+        self._rects: Optional[RectList] = None
+        self._pairs: Optional[Tuple[int, List[Tuple[Shifter, Shifter]]]] = \
+            None
 
     def add(self, feature_index: int, side: str, rect: Rect) -> Shifter:
-        shifter = Shifter(len(self._shifters), feature_index, side, rect)
-        self._shifters.append(shifter)
-        self._by_feature.setdefault(feature_index, []).append(shifter.id)
+        sid = len(self._feature)
+        self._feature.append(feature_index)
+        self._side.append(side)
+        self._rect.append(rect)
+        self._by_feature.setdefault(feature_index, []).append(sid)
+        self._rects = None
+        shifter = Shifter(sid, feature_index, side, rect)
+        self._objs[sid] = shifter
         return shifter
 
+    def extend_rows(self, rows: Iterable[Tuple[int, str, Rect]]) -> range:
+        """Bulk :meth:`add` over ``(feature_index, side, rect)`` rows.
+
+        Ids are assigned sequentially in row order — identical to the
+        equivalent loop of :meth:`add` calls — but no :class:`Shifter`
+        objects are built.  Returns the ``range`` of assigned ids.
+        """
+        rows = rows if isinstance(rows, (list, tuple)) else list(rows)
+        start = len(self._feature)
+        if not rows:
+            return range(start, start)
+        by_feature = self._by_feature
+        for sid, row in enumerate(rows, start):
+            by_feature.setdefault(row[0], []).append(sid)
+        features, sides, rects = zip(*rows)
+        self._feature.extend(features)
+        self._side.extend(sides)
+        self._rect.extend(rects)
+        self._rects = None
+        return range(start, len(self._feature))
+
     def __len__(self) -> int:
-        return len(self._shifters)
+        return len(self._feature)
 
     def __iter__(self) -> Iterator[Shifter]:
-        return iter(self._shifters)
+        return (self[sid] for sid in range(len(self._feature)))
 
     def __getitem__(self, shifter_id: int) -> Shifter:
-        return self._shifters[shifter_id]
+        shifter = self._objs.get(shifter_id)
+        if shifter is None:
+            sid = (shifter_id + len(self._feature) if shifter_id < 0
+                   else shifter_id)
+            shifter = Shifter(sid, self._feature[shifter_id],
+                              self._side[shifter_id], self._rect[shifter_id])
+            self._objs[shifter_id] = shifter
+        return shifter
 
     @property
     def rects(self) -> List[Rect]:
-        return [s.rect for s in self._shifters]
+        """The rect column (cached; shared with the geometry kernels,
+        whose :func:`~repro.geometry.rect.rect_columns` memoizes its
+        int64 columns on the returned list)."""
+        if self._rects is None:
+            self._rects = RectList(self._rect)
+        return self._rects
+
+    def feature_column(self) -> List[int]:
+        """The feature-index column (read-only by convention)."""
+        return self._feature
+
+    def side_column(self) -> List[str]:
+        """The side column (read-only by convention)."""
+        return self._side
+
+    def feature_of(self, shifter_id: int) -> int:
+        """Feature index of a shifter, no :class:`Shifter` needed."""
+        return self._feature[shifter_id]
+
+    def rect_of(self, shifter_id: int) -> Rect:
+        """Rect of a shifter, no :class:`Shifter` needed."""
+        return self._rect[shifter_id]
 
     def feature_indices(self) -> List[int]:
         return sorted(self._by_feature)
 
     def of_feature(self, feature_index: int) -> List[Shifter]:
-        return [self._shifters[i]
-                for i in self._by_feature.get(feature_index, [])]
+        return [self[i] for i in self._by_feature.get(feature_index, ())]
+
+    def feature_pair_ids(self, feature_index: int) -> List[int]:
+        """Shifter ids of a feature (no :class:`Shifter` objects)."""
+        return self._by_feature.get(feature_index, [])
 
     def feature_pairs(self) -> List[Tuple[Shifter, Shifter]]:
-        """The opposing shifter pair of every critical feature."""
+        """The opposing shifter pair of every critical feature.
+
+        Cached per set size (the set is append-only, so a size match
+        means identical content).
+        """
+        if self._pairs is not None and self._pairs[0] == len(self._feature):
+            return self._pairs[1]
         pairs = []
         for feature_index in self.feature_indices():
             members = self.of_feature(feature_index)
@@ -91,4 +172,5 @@ class ShifterSet:
                     f"feature {feature_index} has {len(members)} shifters, "
                     "expected exactly 2")
             pairs.append((members[0], members[1]))
+        self._pairs = (len(self._feature), pairs)
         return pairs

@@ -44,7 +44,7 @@ class TestMatrix:
     def test_registry_names(self):
         assert invariant_names() == ["tiled", "windowed", "eco",
                                      "kernels", "matchers", "executors",
-                                     "oracle", "darkfield"]
+                                     "graph", "oracle", "darkfield"]
 
     @pytest.mark.parametrize("stratum,seed", [
         ("oddcycle", 0), ("boundary", 0), ("duplicate", 0),
